@@ -1,0 +1,131 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index) plus
+   micro-benchmarks of the cryptographic and EVM substrates.
+
+   Usage:
+     bench/main.exe                 run everything at quick scale
+     bench/main.exe --full ...      paper scale (f=64, n=193-209; slow)
+     bench/main.exe fig1            Figure 1 message-flow trace
+     bench/main.exe fig2            Figures 2+3 grids (throughput/latency)
+     bench/main.exe contract-continent | contract-world | contract-baseline
+     bench/main.exe ablation        ingredient ablations
+     bench/main.exe micro           Bechamel micro-benchmarks *)
+
+open Sbft_harness
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks *)
+
+let micro () =
+  let open Bechamel in
+  let open Sbft_crypto in
+  Printf.printf "\n=== Micro-benchmarks (host-CPU performance of the substrates) ===\n%!";
+  let msg64 = String.make 64 'x' and msg1k = String.make 1024 'x' in
+  let rng = Sbft_sim.Rng.create 5L in
+  let scheme, keys = Threshold.setup rng ~n:25 ~k:17 in
+  let shares =
+    Array.to_list (Array.map (fun k -> Threshold.share_sign k ~msg:msg64) keys)
+  in
+  let sigma = Threshold.combine_exn scheme ~msg:msg64 shares in
+  let leaves = List.init 64 (fun i -> Printf.sprintf "leaf-%d" i) in
+  let tree = Merkle.build leaves in
+  let mm =
+    List.fold_left
+      (fun m i -> Merkle_map.set m ~key:(string_of_int i) ~value:"v")
+      Merkle_map.empty
+      (List.init 1000 (fun i -> i))
+  in
+  let a = Sbft_evm.U256.of_bytes_be (Sha256.digest "a") in
+  let b = Sbft_evm.U256.of_bytes_be (Sha256.digest "b") in
+  (* EVM: the pre-deployed token and a transfer call. *)
+  let sender = Sbft_workload.Eth_workload.account 1 in
+  let state =
+    let store = Sbft_workload.Eth_workload.service.Sbft_core.Cluster.make_store () in
+    Sbft_store.Auth_store.state store
+  in
+  let transfer_data =
+    Sbft_evm.Contracts.token_transfer
+      ~to_:(Sbft_workload.Eth_workload.account 2)
+      ~amount:(Sbft_evm.U256.of_int 5)
+  in
+  let token = Sbft_workload.Eth_workload.token_address 0 in
+  let tests =
+    [
+      Test.make ~name:"sha256-64B" (Staged.stage (fun () -> Sha256.digest msg64));
+      Test.make ~name:"sha256-1KiB" (Staged.stage (fun () -> Sha256.digest msg1k));
+      Test.make ~name:"keccak256-64B" (Staged.stage (fun () -> Keccak.digest msg64));
+      Test.make ~name:"hmac-64B" (Staged.stage (fun () -> Hmac.mac ~key:"k" msg64));
+      Test.make ~name:"threshold-share-sign"
+        (Staged.stage (fun () -> Threshold.share_sign keys.(0) ~msg:msg64));
+      Test.make ~name:"threshold-combine-17of25"
+        (Staged.stage (fun () -> Threshold.combine scheme ~msg:msg64 shares));
+      Test.make ~name:"threshold-verify"
+        (Staged.stage (fun () -> Threshold.verify scheme ~msg:msg64 sigma));
+      Test.make ~name:"merkle-build-64" (Staged.stage (fun () -> Merkle.build leaves));
+      Test.make ~name:"merkle-prove" (Staged.stage (fun () -> Merkle.prove tree 13));
+      Test.make ~name:"merkle-map-set"
+        (Staged.stage (fun () -> Merkle_map.set mm ~key:"new-key" ~value:"v"));
+      Test.make ~name:"merkle-map-prove"
+        (Staged.stage (fun () -> Merkle_map.prove mm "500"));
+      Test.make ~name:"u256-mul" (Staged.stage (fun () -> Sbft_evm.U256.mul a b));
+      Test.make ~name:"u256-div" (Staged.stage (fun () -> Sbft_evm.U256.div a b));
+      Test.make ~name:"evm-token-transfer"
+        (Staged.stage (fun () ->
+             Sbft_evm.Interpreter.call ~ctx:Sbft_evm.Interpreter.default_context
+               ~state ~caller:sender ~address:token ~value:Sbft_evm.U256.zero
+               ~data:transfer_data ~gas:200_000));
+    ]
+  in
+  let test = Test.make_grouped ~name:"sbft" ~fmt:"%s/%s" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Printf.printf "%-34s %14.1f ns/op\n" name est
+      | _ -> Printf.printf "%-34s %14s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let scale : Experiments.scale = if full then `Full else `Quick in
+  let cmds = List.filter (fun a -> a <> "--full") args in
+  let run_all () =
+    Experiments.fig1 ();
+    micro ();
+    Experiments.fig2_fig3 ~csv:"fig2_fig3.csv" scale;
+    Experiments.contract_bench scale `Continent;
+    Experiments.contract_bench scale `World;
+    Experiments.contract_baseline ();
+    Experiments.ablation_c scale;
+    Experiments.ablation_fast_mode scale;
+    Experiments.ablation_stagger scale
+  in
+  match cmds with
+  | [] -> run_all ()
+  | cmds ->
+      List.iter
+        (function
+          | "fig1" -> Experiments.fig1 ()
+          | "fig2" | "fig3" -> Experiments.fig2_fig3 ~csv:"fig2_fig3.csv" scale
+          | "contract-continent" -> Experiments.contract_bench scale `Continent
+          | "contract-world" -> Experiments.contract_bench scale `World
+          | "contract-baseline" -> Experiments.contract_baseline ()
+          | "ablation" ->
+              Experiments.ablation_c scale;
+              Experiments.ablation_fast_mode scale;
+              Experiments.ablation_stagger scale
+          | "micro" -> micro ()
+          | other ->
+              Printf.eprintf
+                "unknown benchmark %S (try fig1 fig2 contract-continent \
+                 contract-world contract-baseline ablation micro)\n"
+                other;
+              exit 1)
+        cmds

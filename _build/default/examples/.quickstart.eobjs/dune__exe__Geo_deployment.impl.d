@@ -1,0 +1,1 @@
+examples/geo_deployment.ml: Array Cluster Config Engine Kv_workload Printf Replica Sbft_core Sbft_sim Sbft_workload Stats Topology

@@ -1,0 +1,1 @@
+examples/light_client.ml: Array Auth_store Client Cluster Config Engine Kv_service List Option Printf Replica Sbft_core Sbft_crypto Sbft_sim Sbft_store String Topology

@@ -1,0 +1,1 @@
+examples/light_client.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cluster Config Engine Printf Replica Sbft_core Sbft_crypto Sbft_sim Sbft_store Stats String Topology

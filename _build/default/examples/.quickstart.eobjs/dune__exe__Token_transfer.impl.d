@@ -1,0 +1,1 @@
+examples/token_transfer.ml: Array Cluster Config Contracts Engine Evm_service List Printf Replica Sbft_core Sbft_crypto Sbft_evm Sbft_sim Sbft_store State Stats String Topology Tx U256

@@ -1,0 +1,1 @@
+examples/view_change_demo.ml: Array Cluster Config Engine Format List Printf Replica Sbft_core Sbft_sim Sbft_store Topology Trace

@@ -1,0 +1,81 @@
+(* Light-client reads: trusting ONE replica via Merkle proofs.
+
+     dune exec examples/light_client.exe
+
+   SBFT's execution collectors give clients a π-threshold-signed state
+   digest (§IV, §V-D).  Against that digest, a light client can read any
+   key from a single (possibly malicious) replica and verify the value
+   with a Merkle query proof — no f+1 agreement needed, exactly like SPV
+   clients in public blockchains.  This example commits state through
+   the cluster, then plays auditor: fetch value + proof from one
+   replica, verify offline, and show that tampered values or proofs are
+   rejected. *)
+
+open Sbft_sim
+open Sbft_core
+open Sbft_store
+
+let () =
+  Printf.printf "=== Light client: authenticated single-replica reads ===\n\n";
+  let cluster =
+    Cluster.create ~config:(Config.sbft ~f:1 ~c:0) ~num_clients:1
+      ~topology:(fun ~num_nodes -> Topology.lan ~num_nodes)
+      ~service:Cluster.kv_service ()
+  in
+  let entries =
+    [ ("asset/gold", "152 bars"); ("asset/silver", "980 bars"); ("owner", "acme-corp") ]
+  in
+  Cluster.start_clients cluster ~requests_per_client:(List.length entries)
+    ~make_op:(fun ~client:_ i ->
+      let key, value = List.nth entries i in
+      Kv_service.put ~key ~value);
+  Cluster.run_for cluster (Engine.sec 10);
+  Printf.printf "committed %d entries through consensus\n\n"
+    (Cluster.total_completed cluster);
+
+  (* The trusted anchor: the state digest covered by the π threshold
+     signature in every execute-ack / full-execute-proof. *)
+  let replica = cluster.Cluster.replicas.(3) in
+  let store = Replica.store replica in
+  let digest = Auth_store.digest store in
+  let seq = Auth_store.last_executed store in
+  Printf.printf "trusted digest (π-signed): %s… at height %d\n\n"
+    (String.sub (Sbft_crypto.Sha256.hex digest) 0 24)
+    seq;
+
+  (* Ask ONE replica for a value + proof and verify offline. *)
+  List.iter
+    (fun (key, expected) ->
+      match Auth_store.prove_query store ~key with
+      | None -> Printf.printf "  %-14s -> MISSING\n" key
+      | Some (value, proof) ->
+          let ok = Auth_store.verify_query_proof ~digest ~seq ~key ~value ~proof in
+          Printf.printf "  %-14s = %-12s proof: %4d bytes, verifies: %b (expected %s)\n"
+            key value (String.length proof) ok expected)
+    entries;
+
+  (* The same read over the network: Client.query fetches from a single
+     replica and verifies proof + π signature before accepting. *)
+  let client = cluster.Cluster.clients.(0) in
+  Engine.dispatch cluster.Cluster.engine ~dst:(Client.id client)
+    ~at:(Engine.now cluster.Cluster.engine) (fun ctx ->
+      Client.query client ctx ~key:"asset/gold" ~callback:(function
+        | Some (value, height) ->
+            Printf.printf "\nnetworked query: asset/gold = %S (verified at height %d)\n"
+              value height
+        | None -> Printf.printf "\nnetworked query failed\n"));
+  Cluster.run_for cluster (Engine.sec 5);
+
+  (* Tampering attempts must fail verification. *)
+  let key = "asset/gold" in
+  let value, proof = Option.get (Auth_store.prove_query store ~key) in
+  Printf.printf "\ntamper checks (all must be false):\n";
+  Printf.printf "  forged value     : %b\n"
+    (Auth_store.verify_query_proof ~digest ~seq ~key ~value:"9999 bars" ~proof);
+  Printf.printf "  wrong key        : %b\n"
+    (Auth_store.verify_query_proof ~digest ~seq ~key:"asset/silver" ~value ~proof);
+  Printf.printf "  truncated proof  : %b\n"
+    (Auth_store.verify_query_proof ~digest ~seq ~key ~value
+       ~proof:(String.sub proof 0 (String.length proof / 2)));
+  Printf.printf "  stale digest     : %b\n"
+    (Auth_store.verify_query_proof ~digest:(String.make 32 '\x00') ~seq ~key ~value ~proof)

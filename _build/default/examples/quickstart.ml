@@ -1,0 +1,58 @@
+(* Quickstart: a 4-replica SBFT cluster (f=1, c=0) running the
+   replicated key-value store on a simulated LAN.
+
+     dune exec examples/quickstart.exe
+
+   Two clients issue puts and a get; the example prints progress, the
+   commit-path statistics, and demonstrates that all replicas agree on
+   the authenticated state digest. *)
+
+open Sbft_sim
+open Sbft_core
+
+let () =
+  Printf.printf "=== SBFT quickstart: n=4 (f=1, c=0), LAN, key-value service ===\n\n";
+
+  (* 1. Build a simulated deployment: engine + network + keys + replicas
+        + clients, all wired. *)
+  let config = Config.sbft ~f:1 ~c:0 in
+  let cluster =
+    Cluster.create ~config ~num_clients:2
+      ~topology:(fun ~num_nodes -> Topology.lan ~num_nodes)
+      ~service:Cluster.kv_service ()
+  in
+
+  (* 2. Give each client a small closed-loop workload: 10 puts then they
+        read one key back. *)
+  Cluster.start_clients cluster ~requests_per_client:11 ~make_op:(fun ~client i ->
+      if i < 10 then
+        Sbft_store.Kv_service.put
+          ~key:(Printf.sprintf "account-%d-%d" client i)
+          ~value:(Printf.sprintf "%d" (100 * (i + 1)))
+      else Sbft_store.Kv_service.get ~key:(Printf.sprintf "account-%d-3" client));
+
+  (* 3. Run virtual time forward. *)
+  Cluster.run_for cluster (Engine.sec 10);
+
+  (* 4. Inspect the outcome. *)
+  Printf.printf "client requests completed : %d / 22\n" (Cluster.total_completed cluster);
+  Printf.printf "mean request latency      : %.2f ms\n"
+    (Stats.Latency.mean_ms cluster.Cluster.latency);
+  Printf.printf "replicas agree            : %b\n\n" (Cluster.agreement_ok cluster);
+
+  Array.iter
+    (fun r ->
+      Printf.printf
+        "replica %d: executed %d blocks (%d fast-path, %d slow-path), state digest %s…\n"
+        (Replica.id r) (Replica.last_executed r) (Replica.fast_commits r)
+        (Replica.slow_commits r)
+        (String.sub (Sbft_crypto.Sha256.hex (Replica.state_digest r)) 0 16))
+    cluster.Cluster.replicas;
+
+  (* 5. Read directly from ONE replica with an authenticated proof — the
+        single-replica trust model SBFT gives clients (§IV). *)
+  let replica0_store_digest = Replica.state_digest cluster.Cluster.replicas.(0) in
+  Printf.printf "\nThe single state digest above is what execute-acks carry: a client\n";
+  Printf.printf "verifies one Merkle proof against it instead of waiting for f+1\n";
+  Printf.printf "matching replies (digest: %s…).\n"
+    (String.sub (Sbft_crypto.Sha256.hex replica0_store_digest) 0 16)

@@ -1,0 +1,46 @@
+(* The dual-mode view change in action:
+
+     dune exec examples/view_change_demo.exe
+
+   The primary crashes mid-stream; replicas time out, exchange
+   view-change messages carrying their fast- and slow-path certificates,
+   the new primary reconciles them with the safe-value computation
+   (§V-G), and service resumes without losing or duplicating any client
+   operation.  The protocol trace is printed. *)
+
+open Sbft_sim
+open Sbft_core
+
+let () =
+  Printf.printf "=== View change demo: primary crash at t=100ms (n=4) ===\n\n";
+  let cluster =
+    Cluster.create ~trace:true ~config:(Config.sbft ~f:1 ~c:0) ~num_clients:2
+      ~topology:(fun ~num_nodes -> Topology.lan ~num_nodes)
+      ~service:Cluster.kv_service ()
+  in
+  Cluster.start_clients cluster ~requests_per_client:200 ~make_op:(fun ~client i ->
+      Sbft_store.Kv_service.put
+        ~key:(Printf.sprintf "k-%d-%d" client i)
+        ~value:(string_of_int i));
+  Engine.schedule cluster.Cluster.engine ~at:(Engine.ms 100) (fun () ->
+      Engine.crash cluster.Cluster.engine 0);
+  Cluster.run_for cluster (Engine.sec 30);
+
+  Printf.printf "completed: %d / 400, agreement: %b\n\n"
+    (Cluster.total_completed cluster) (Cluster.agreement_ok cluster);
+  Array.iter
+    (fun r ->
+      if not (Engine.is_crashed cluster.Cluster.engine (Replica.id r)) then
+        Printf.printf "replica %d: view=%d executed=%d (fast %d / slow %d)\n"
+          (Replica.id r) (Replica.view r) (Replica.last_executed r)
+          (Replica.fast_commits r) (Replica.slow_commits r))
+    cluster.Cluster.replicas;
+
+  Printf.printf "\n--- protocol trace around the view change ---\n";
+  let interesting = [ "view-change"; "new-view"; "send:new-view"; "state-transfer" ] in
+  List.iter
+    (fun rec_ ->
+      if List.mem rec_.Trace.kind interesting then
+        Format.printf "%a@." Trace.pp_record rec_)
+    (Trace.records cluster.Cluster.trace);
+  Printf.printf "\n(first commits of the new view follow as normal fast-path traffic)\n"

@@ -1,0 +1,1 @@
+lib/core/batching.mli: Config

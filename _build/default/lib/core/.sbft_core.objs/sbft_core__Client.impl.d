@@ -1,0 +1,1 @@
+lib/core/client.ml: Config Cost_model Engine Hashtbl Keys List Pki Replica Sbft_crypto Sbft_sim Sbft_store String Types

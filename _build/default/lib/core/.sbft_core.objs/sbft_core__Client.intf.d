@@ -1,0 +1,1 @@
+lib/core/client.mli: Replica Sbft_crypto Sbft_sim Types

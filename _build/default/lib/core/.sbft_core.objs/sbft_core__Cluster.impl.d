@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Client Config Cost_model Engine Keys List Network Replica Rng Sbft_crypto Sbft_sim Sbft_store Stats String Trace Types

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Client Config Keys Replica Sbft_sim Sbft_store Types

@@ -1,0 +1,1 @@
+lib/core/collectors.ml: Array Char Config Hashtbl List Printf Sbft_crypto String

@@ -1,0 +1,1 @@
+lib/core/config.ml: Engine Sbft_sim

@@ -1,0 +1,1 @@
+lib/core/keys.ml: Array Config Ephemeron Group_sig Hashtbl Pki Sbft_crypto Threshold Types

@@ -1,0 +1,1 @@
+lib/core/keys.mli: Config Sbft_crypto Sbft_sim Types

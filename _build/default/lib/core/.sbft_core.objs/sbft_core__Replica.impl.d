@@ -1,0 +1,1 @@
+lib/core/replica.ml: Batching Collectors Config Cost_model Engine Field Float Hashtbl Keys Lazy List Option Printf Queue Rng Sbft_crypto Sbft_sim Sbft_store String Threshold Trace Types View_change

@@ -1,0 +1,1 @@
+lib/core/replica.mli: Keys Sbft_sim Sbft_store Types

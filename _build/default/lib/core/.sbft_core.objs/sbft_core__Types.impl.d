@@ -1,0 +1,1 @@
+lib/core/types.ml: Codec Ephemeron Field Hashtbl List Pki Sbft_crypto Sbft_wire Sha256 String Threshold

@@ -1,0 +1,1 @@
+lib/core/view_change.ml: Config Field Hashtbl Keys List Option Sbft_crypto Sha256 Threshold Types

@@ -1,0 +1,1 @@
+lib/core/view_change.mli: Keys Sbft_crypto Types

@@ -1,0 +1,138 @@
+open Sbft_sim
+open Sbft_crypto
+
+type service = {
+  make_store : unit -> Sbft_store.Auth_store.t;
+  exec_cost : Types.request list -> Engine.time;
+}
+
+let kv_service =
+  {
+    make_store = (fun () -> Sbft_store.Kv_service.create ());
+    exec_cost =
+      (fun reqs ->
+        (* Charge per primitive operation (batched requests carry many)
+           plus the block's persistence. *)
+        List.fold_left
+          (fun acc (r : Types.request) ->
+            match Sbft_store.Kv_op.decode r.op with
+            | Some op -> acc + (Sbft_store.Kv_op.count op * Cost_model.kv_execute_op)
+            | None -> acc)
+          (Cost_model.persist_block (Types.requests_bytes reqs))
+          reqs);
+  }
+
+type t = {
+  engine : Engine.t;
+  network : Network.t;
+  trace : Trace.t;
+  keys : Keys.t;
+  config : Config.t;
+  replicas : Replica.t array;
+  clients : Client.t array;
+  latency : Stats.Latency.t;
+  throughput : Stats.Throughput.t;
+}
+
+(* CPU cost of pushing one message out (syscall + TLS record). *)
+let send_overhead = Engine.us 20
+
+let create ?(seed = 1L) ?(trace = false) ?(cpu_scale = 1.0) ~config ~num_clients
+    ~topology ~service () =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Cluster.create: " ^ e));
+  let n = Config.n config in
+  let num_nodes = n + num_clients in
+  let engine = Engine.create ~num_nodes ~seed () in
+  for node = 0 to num_nodes - 1 do
+    Engine.set_cpu_scale engine node cpu_scale
+  done;
+  let network = Network.create ~topology:(topology ~num_nodes) () in
+  let tr = Trace.create ~enabled:trace () in
+  let rng = Rng.split (Engine.rng engine) in
+  let keys, replica_keys, client_kps = Keys.setup rng ~config ~num_clients in
+  let deliver = ref (fun _ctx ~src:_ ~dst:_ _msg -> ()) in
+  let send ctx ~src ~dst msg =
+    Engine.charge ctx send_overhead;
+    Network.send network engine ~src ~dst ~size:(Types.size msg)
+      ~at:(Engine.ctx_now ctx) (fun ctx -> !deliver ctx ~src ~dst msg)
+  in
+  let env = { Replica.engine; trace = tr; keys; send; exec_cost = service.exec_cost } in
+  (* All honest replicas execute identical blocks: share the execution
+     work and the resulting persistent state across them. *)
+  let exec_cache = Sbft_store.Auth_store.new_cache () in
+  let replicas =
+    Array.init n (fun i ->
+        let store = service.make_store () in
+        Sbft_store.Auth_store.set_cache store exec_cache;
+        Replica.create ~env ~my:replica_keys.(i) ~store)
+  in
+  let latency = Stats.Latency.create () in
+  let throughput = Stats.Throughput.create () in
+  let clients =
+    Array.init num_clients (fun i ->
+        let cid = n + i in
+        Client.create ~env ~id:cid ~keypair:client_kps.(i)
+          ~on_complete:(fun ~timestamp:_ ~latency:l ~value:_ ->
+            Stats.Latency.add latency l;
+            Stats.Throughput.add throughput ~at:(Engine.now engine) 1))
+  in
+  deliver :=
+    (fun ctx ~src ~dst msg ->
+      if dst < n then Replica.on_message replicas.(dst) ctx ~src msg
+      else if dst < num_nodes then Client.on_message clients.(dst - n) ctx ~src msg);
+  Array.iter
+    (fun r -> Engine.dispatch engine ~dst:(Replica.id r) ~at:0 (fun ctx -> Replica.start r ctx))
+    replicas;
+  { engine; network; trace = tr; keys; config; replicas; clients; latency; throughput }
+
+let num_replicas t = Array.length t.replicas
+let client_id t i = num_replicas t + i
+
+let start_clients t ~requests_per_client ~make_op =
+  Array.iteri
+    (fun i c ->
+      Client.run_closed_loop c ~num_requests:requests_per_client
+        ~make_op:(fun k -> make_op ~client:i k)
+        ~start_at:0)
+    t.clients
+
+let crash_replicas t ids = List.iter (Engine.crash t.engine) ids
+
+let run_for t duration = Engine.run_until t.engine (Engine.now t.engine + duration)
+
+let total_completed t =
+  Array.fold_left (fun acc c -> acc + Client.completed c) 0 t.clients
+
+let agreement_ok t =
+  (* Compare committed blocks across replicas at every height any
+     replica committed, and state digests at equal executed heights. *)
+  let ok = ref true in
+  let n = num_replicas t in
+  let max_committed =
+    Array.fold_left (fun acc r -> max acc (Replica.last_executed r)) 0 t.replicas
+  in
+  for seq = 1 to max_committed do
+    let blocks =
+      Array.to_list t.replicas
+      |> List.filter_map (fun r -> Replica.committed_block r seq)
+      |> List.map (fun reqs ->
+             List.map (fun (r : Types.request) -> r.Types.op) reqs)
+    in
+    match blocks with
+    | [] -> ()
+    | first :: rest -> if not (List.for_all (( = ) first) rest) then ok := false
+  done;
+  (* Digest agreement at matching executed heights. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ri = t.replicas.(i) and rj = t.replicas.(j) in
+      if
+        Replica.last_executed ri = Replica.last_executed rj
+        && Replica.last_executed ri > 0
+        && not (String.equal (Replica.state_digest ri) (Replica.state_digest rj))
+      then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,26 @@
+(** Collector selection (§V): for each (view, sequence) pair, [c + 1]
+    non-primary replicas act as C-collectors (commit collection) and
+    [c + 1] as E-collectors (execution collection), chosen
+    pseudo-randomly as a function of the pair so load spreads over all
+    replicas.
+
+    The returned lists are ordered by activation rank: collectors after
+    the first are redundant and stagger their activation (§V-E).  For
+    the Linear-PBFT fallback the primary is always appended as the last
+    collector, guaranteeing progress whenever the primary is correct. *)
+
+val primary : config:Config.t -> view:int -> int
+
+val c_collectors : config:Config.t -> view:int -> seq:int -> int list
+(** [c + 1] distinct non-primary replicas (fewer only when n is tiny). *)
+
+val e_collectors : config:Config.t -> view:int -> seq:int -> int list
+
+val slow_path_collectors : config:Config.t -> view:int -> seq:int -> int list
+(** C-collectors with the primary as the final fallback collector. *)
+
+val is_c_collector : config:Config.t -> view:int -> seq:int -> int -> bool
+val is_e_collector : config:Config.t -> view:int -> seq:int -> int -> bool
+
+val rank : int list -> int -> int option
+(** Activation rank of a replica within a collector list. *)

@@ -1,0 +1,52 @@
+open Sbft_sim
+
+type t = {
+  f : int;
+  c : int;
+  win : int;
+  max_batch : int;
+  batch_timeout : Engine.time;
+  fast_path : bool;
+  execution_acks : bool;
+  fast_path_timeout : Engine.time;
+  collector_stagger : Engine.time;
+  view_change_timeout : Engine.time;
+  client_retry_timeout : Engine.time;
+  use_group_sig : bool;
+}
+
+let n t = (3 * t.f) + (2 * t.c) + 1
+let sigma_threshold t = (3 * t.f) + t.c + 1
+let tau_threshold t = (2 * t.f) + t.c + 1
+let pi_threshold t = t.f + 1
+let quorum_vc t = (2 * t.f) + (2 * t.c) + 1
+let active_window t = max 1 (t.win / 4)
+let checkpoint_interval t = max 1 (t.win / 2)
+
+let default ~f ~c =
+  {
+    f;
+    c;
+    win = 256;
+    max_batch = 64;
+    batch_timeout = Engine.ms 5;
+    fast_path = true;
+    execution_acks = true;
+    fast_path_timeout = Engine.ms 150;
+    collector_stagger = Engine.ms 50;
+    view_change_timeout = Engine.sec 2;
+    client_retry_timeout = Engine.sec 4;
+    use_group_sig = false;
+  }
+
+let linear_pbft ~f = { (default ~f ~c:0) with fast_path = false; execution_acks = false }
+let linear_pbft_fast ~f = { (default ~f ~c:0) with execution_acks = false }
+let sbft ~f ~c = default ~f ~c
+
+let validate t =
+  if t.f < 0 then Error "f must be non-negative"
+  else if t.c < 0 then Error "c must be non-negative"
+  else if t.win < 4 then Error "win must be at least 4"
+  else if t.max_batch < 1 then Error "max_batch must be positive"
+  else if n t < 4 then Error "need at least 4 replicas"
+  else Ok ()

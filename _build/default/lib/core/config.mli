@@ -1,0 +1,63 @@
+(** Protocol configuration: fault thresholds, window sizes, timers, and
+    the feature switches that produce the paper's evaluation variants.
+
+    SBFT runs [n = 3f + 2c + 1] replicas; the three threshold-signature
+    schemes have thresholds [3f + c + 1] (σ, fast commit),
+    [2f + c + 1] (τ, linear-PBFT commit), and [f + 1] (π, execution). *)
+
+type t = {
+  f : int;  (** tolerated Byzantine replicas *)
+  c : int;  (** additional crashed/slow replicas the fast path tolerates *)
+  win : int;  (** max outstanding decision blocks (paper: 256) *)
+  max_batch : int;  (** operations per decision block cap *)
+  batch_timeout : Sbft_sim.Engine.time;
+      (** primary proposes a partial batch after this delay *)
+  fast_path : bool;  (** ingredient 2: optimistic σ path *)
+  execution_acks : bool;
+      (** ingredient 3: E-collectors + single-message client acks; when
+          off, every replica replies to the client directly (f+1) *)
+  fast_path_timeout : Sbft_sim.Engine.time;
+      (** upper bound on the C-collector's wait before falling back to
+          the τ path; the replica adapts the actual wait from profiled
+          fast-path completion times (§V-E) *)
+  collector_stagger : Sbft_sim.Engine.time;
+      (** extra delay before the k-th redundant collector activates *)
+  view_change_timeout : Sbft_sim.Engine.time;
+      (** base client-progress timer before a replica votes to change
+          view (doubles per consecutive view change) *)
+  client_retry_timeout : Sbft_sim.Engine.time;
+  use_group_sig : bool;
+      (** §VIII: n-of-n group signatures on the fast path while no
+          failure has been observed, with automatic fallback *)
+}
+
+val n : t -> int
+(** [3f + 2c + 1]. *)
+
+val sigma_threshold : t -> int
+val tau_threshold : t -> int
+val pi_threshold : t -> int
+
+val quorum_vc : t -> int
+(** View-change quorum [2f + 2c + 1]. *)
+
+val active_window : t -> int
+(** Fast-path participation window [win/4] (§V-F). *)
+
+val checkpoint_interval : t -> int
+(** [win/2]. *)
+
+val default : f:int -> c:int -> t
+(** Full SBFT with all four ingredients. *)
+
+val linear_pbft : f:int -> t
+(** Ingredient 1 only: collectors and threshold signatures, no fast
+    path, direct f+1 client replies, c = 0. *)
+
+val linear_pbft_fast : f:int -> t
+(** Ingredients 1 + 2. *)
+
+val sbft : f:int -> c:int -> t
+(** Ingredients 1 + 2 + 3 (+ 4 when [c > 0]). *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,1209 @@
+open Sbft_sim
+open Sbft_crypto
+
+type env = {
+  engine : Engine.t;
+  trace : Trace.t;
+  keys : Keys.t;
+  send : Engine.ctx -> src:int -> dst:int -> Types.msg -> unit;
+  exec_cost : Types.request list -> Engine.time;
+}
+
+type byzantine =
+  | Honest
+  | Equivocating_primary
+  | Silent
+  | Corrupt_shares
+  | Wrong_exec_digest
+  | Stale_view_change
+
+type slot = {
+  seq : int;
+  (* accepted pre-prepare for the current view: (view, reqs, h) *)
+  mutable pp : (int * Types.request list * string) option;
+  (* collector-side share collection *)
+  mutable sigma_shares : (int * Threshold.share) list;
+  mutable tau_shares : (int * Threshold.share) list;
+  mutable commit_shares : (int * Threshold.share) list;
+  mutable fast_sent : bool; (* this collector already formed/combined σ *)
+  mutable prepare_sent : bool;
+  mutable slow_sent : bool;
+  mutable fast_timer : Engine.timer option;
+  (* replica-side commit state *)
+  mutable sent_sign_share : bool;
+  mutable sent_commit : bool;
+  mutable prepare_tau : Field.t option;
+  mutable committed : Types.request list option;
+  mutable executed : bool;
+  mutable exec_digest : string option;
+  (* pending proofs waiting for the block content *)
+  mutable pp_at : Engine.time; (* when the pre-prepare was accepted *)
+  mutable pending_fast : (int * Field.t) option; (* view, σ *)
+  mutable pending_slow : (int * Field.t * Field.t) option; (* view, τ, ττ *)
+  (* execution collector state: shares bucketed by claimed digest so a
+     Byzantine replica announcing a bogus digest first cannot block the
+     honest bucket from reaching its threshold *)
+  pi_shares : (string, (int * Threshold.share) list ref) Hashtbl.t;
+  mutable exec_proof_sent : bool;
+  mutable acks_sent : bool;
+  (* view-change bookkeeping *)
+  mutable highest_prepare : (int * Field.t * Types.request list) option;
+  mutable highest_preprepare : (int * Threshold.share * Types.request list) option;
+  mutable fast_cert : (Field.t * int * Types.request list) option;
+  mutable slow_cert : (Field.t * Field.t * int * Types.request list) option;
+}
+
+let new_slot seq =
+  {
+    seq;
+    pp = None;
+    sigma_shares = [];
+    tau_shares = [];
+    commit_shares = [];
+    fast_sent = false;
+    prepare_sent = false;
+    slow_sent = false;
+    fast_timer = None;
+    sent_sign_share = false;
+    sent_commit = false;
+    prepare_tau = None;
+    committed = None;
+    executed = false;
+    exec_digest = None;
+    pp_at = 0;
+    pending_fast = None;
+    pending_slow = None;
+    pi_shares = Hashtbl.create 2;
+    exec_proof_sent = false;
+    acks_sent = false;
+    highest_prepare = None;
+    highest_preprepare = None;
+    fast_cert = None;
+    slow_cert = None;
+  }
+
+type t = {
+  env : env;
+  my : Keys.replica_keys;
+  id : int;
+  store : Sbft_store.Auth_store.t;
+  blocks : Sbft_store.Block_store.t;
+  mutable view : int;
+  mutable next_seq : int; (* primary: next sequence to assign *)
+  mutable ls : int; (* windowing bound (includes the fast-path rule) *)
+  mutable stable : int; (* highest π-certified checkpoint *)
+  slots : (int, slot) Hashtbl.t;
+  pending : Types.request Queue.t;
+  pending_keys : (int * int, unit) Hashtbl.t;
+  client_table : (int, int * string * int * int) Hashtbl.t;
+      (* client -> (timestamp, value, seq, index) of last executed op *)
+  batching : Batching.t;
+  mutable batch_timer_armed : bool;
+  (* liveness *)
+  outstanding : (int * int, Types.request) Hashtbl.t; (* awaiting execution *)
+  mutable last_progress : Engine.time;
+  mutable vc_backoff : int;
+  mutable in_view_change : bool;
+  mutable sent_vc_for : int; (* highest view we issued a view-change for *)
+  vc_msgs : (int, (int, Types.view_change) Hashtbl.t) Hashtbl.t;
+  checkpoint_pis : (int, Field.t * string) Hashtbl.t;
+  mutable failures_observed : bool;
+  mutable fast_eta : float;
+      (* EWMA of observed pre-prepare -> full-commit-proof time (ns): the
+         paper's "adaptive protocol based on past network profiling" for
+         the fast-path fallback timer (§V-E) *)
+  mutable byz : byzantine;
+  (* metrics *)
+  mutable n_committed : int;
+  mutable n_executed_blocks : int;
+  mutable n_fast : int;
+  mutable n_slow : int;
+  mutable n_view_changes : int;
+}
+
+let cfg t = t.env.keys.Keys.config
+let num_replicas t = Config.n (cfg t)
+let keys t = t.env.keys
+
+let create ~env ~my ~store =
+  {
+    env;
+    my;
+    id = my.Keys.replica_id;
+    store;
+    blocks = Sbft_store.Block_store.create ();
+    view = 0;
+    next_seq = 1;
+    ls = 0;
+    stable = 0;
+    slots = Hashtbl.create 128;
+    pending = Queue.create ();
+    pending_keys = Hashtbl.create 64;
+    client_table = Hashtbl.create 64;
+    batching = Batching.create env.keys.Keys.config;
+    batch_timer_armed = false;
+    outstanding = Hashtbl.create 64;
+    last_progress = 0;
+    vc_backoff = 0;
+    in_view_change = false;
+    sent_vc_for = 0;
+    vc_msgs = Hashtbl.create 4;
+    checkpoint_pis = Hashtbl.create 8;
+    failures_observed = false;
+    fast_eta = float_of_int (env.keys.Keys.config.Config.fast_path_timeout / 2);
+    byz = Honest;
+    n_committed = 0;
+    n_executed_blocks = 0;
+    n_fast = 0;
+    n_slow = 0;
+    n_view_changes = 0;
+  }
+
+let id t = t.id
+let view t = t.view
+let primary_of t v = Collectors.primary ~config:(cfg t) ~view:v
+let is_primary t = primary_of t t.view = t.id
+let last_executed t = Sbft_store.Auth_store.last_executed t.store
+let last_stable t = t.stable
+let state_digest t = Sbft_store.Auth_store.digest t.store
+let store t = t.store
+let blocks_committed t = t.n_committed
+let blocks_executed t = t.n_executed_blocks
+let view_changes_completed t = t.n_view_changes
+let fast_commits t = t.n_fast
+let slow_commits t = t.n_slow
+let set_byzantine t b = t.byz <- b
+
+let committed_block t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s.committed
+  | None -> (
+      match Sbft_store.Block_store.find t.blocks seq with
+      | Some e ->
+          (* Reconstructed from the persisted ledger after GC. *)
+          Some
+            (List.map
+               (fun op -> { Types.client = -1; timestamp = 0; op; signature = "" })
+               e.Sbft_store.Block_store.ops)
+      | None -> None)
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+      let s = new_slot seq in
+      Hashtbl.replace t.slots seq s;
+      s
+
+let trace t ctx kind detail =
+  Trace.emit t.env.trace ~time:(Engine.ctx_now ctx) ~node:t.id ~kind ~detail
+
+let send t ctx ~dst msg = t.env.send ctx ~src:t.id ~dst msg
+
+let broadcast_replicas t ctx msg =
+  for r = 0 to num_replicas t - 1 do
+    send t ctx ~dst:r msg
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Progress tracking for the view-change trigger *)
+
+let note_progress t ctx = t.last_progress <- Engine.ctx_now ctx
+
+let mark_outstanding t (r : Types.request) =
+  if r.client >= 0 then Hashtbl.replace t.outstanding (r.client, r.timestamp) r
+
+let clear_outstanding t (r : Types.request) =
+  Hashtbl.remove t.outstanding (r.client, r.timestamp)
+
+(* ------------------------------------------------------------------ *)
+(* Forward declarations via mutual recursion: the handler graph is
+   cyclic (commit -> execute -> collector -> ...), so the whole protocol
+   lives in one recursive binding group below. *)
+
+let rec on_message t ctx ~src msg =
+  match t.byz with
+  | Silent -> ()
+  | _ -> (
+      Engine.charge ctx Cost_model.message_auth_check;
+      match msg with
+      | Types.Request r -> on_request t ctx r
+      | Types.Pre_prepare { seq; view; reqs } -> on_pre_prepare t ctx ~seq ~view ~reqs
+      | Types.Sign_share { seq; view; sigma_share; tau_share; replica } ->
+          on_sign_share t ctx ~seq ~view ~sigma_share ~tau_share ~replica
+      | Types.Full_commit_proof { seq; view; sigma } ->
+          on_full_commit_proof t ctx ~seq ~view ~sigma
+      | Types.Prepare { seq; view; tau } -> on_prepare t ctx ~seq ~view ~tau
+      | Types.Commit { seq; view; share } -> on_commit t ctx ~seq ~view ~share
+      | Types.Full_commit_proof_slow { seq; view; tau; tau_tau } ->
+          on_full_commit_proof_slow t ctx ~seq ~view ~tau ~tau_tau
+      | Types.Sign_state { seq; digest; share } -> on_sign_state t ctx ~seq ~digest ~share
+      | Types.Full_execute_proof { seq; digest; pi } ->
+          on_full_execute_proof t ctx ~seq ~digest ~pi ~src
+      | Types.Execute_ack _ | Types.Reply _ -> () (* client-only messages *)
+      | Types.View_change vc -> on_view_change t ctx vc
+      | Types.New_view { view; proofs } -> on_new_view t ctx ~view ~proofs
+      | Types.Query { client; qid; query } -> on_query t ctx ~client ~qid ~query
+      | Types.Query_resp _ -> () (* client-only *)
+      | Types.Get_block { seq; replica } -> on_get_block t ctx ~seq ~replica
+      | Types.Block_resp { seq; view; reqs } -> on_block_resp t ctx ~seq ~view ~reqs
+      | Types.Get_state { upto; replica } -> on_get_state t ctx ~upto ~replica
+      | Types.State_resp { snapshot; snap_seq; pi; digest; blocks } ->
+          on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Request intake and proposing (primary) *)
+
+and on_request t ctx (r : Types.request) =
+  (* Answer retransmissions of already-executed operations directly. *)
+  match Hashtbl.find_opt t.client_table r.client with
+  | Some (ts, value, seq, _) when ts >= r.timestamp ->
+      Engine.charge ctx Cost_model.rsa_sign;
+      send t ctx ~dst:r.client
+        (Types.Reply
+           {
+             view = t.view;
+             replica = t.id;
+             client = r.client;
+             timestamp = ts;
+             seq;
+             value;
+             signature = "";
+           })
+  | _ ->
+      if is_primary t then begin
+        if not (Hashtbl.mem t.pending_keys (r.client, r.timestamp)) then begin
+          (* Static authentication and access-control check (§V-C). *)
+          Engine.charge ctx Cost_model.rsa_verify;
+          if Keys.verify_request (keys t) r then begin
+            Hashtbl.replace t.pending_keys (r.client, r.timestamp) ();
+            Queue.push r t.pending;
+            Batching.observe_pending t.batching (Queue.length t.pending);
+            mark_outstanding t r;
+            try_propose t ctx
+          end
+        end
+      end
+      else begin
+        (* Forward to the primary and watch for progress. *)
+        if not (Hashtbl.mem t.outstanding (r.client, r.timestamp)) then begin
+          mark_outstanding t r;
+          send t ctx ~dst:(primary_of t t.view) (Types.Request r)
+        end
+      end
+
+and inflight t =
+  (* Blocks proposed but not yet known committed by us (primary view). *)
+  let le = last_executed t in
+  let count = ref 0 in
+  for s = le + 1 to t.next_seq - 1 do
+    match Hashtbl.find_opt t.slots s with
+    | Some sl when sl.committed = None -> incr count
+    | None -> incr count
+    | Some _ -> ()
+  done;
+  !count
+
+and try_propose t ctx =
+  if is_primary t && not t.in_view_change then begin
+    let config = cfg t in
+    let target = Batching.batch_size t.batching in
+    let can_propose () =
+      (not (Queue.is_empty t.pending))
+      && inflight t < Batching.max_concurrent config
+      && t.next_seq <= t.ls + config.Config.win
+      && t.next_seq <= last_executed t + Config.active_window config
+    in
+    let full_batch () = Queue.length t.pending >= target in
+    while can_propose () && full_batch () do
+      propose_block t ctx target
+    done;
+    (* A partial batch is flushed after the batching timeout. *)
+    if can_propose () && (not (Queue.is_empty t.pending)) && not t.batch_timer_armed
+    then begin
+      t.batch_timer_armed <- true;
+      ignore
+        (Engine.set_timer t.env.engine ~node:t.id ~after:config.Config.batch_timeout
+           (fun ctx ->
+             t.batch_timer_armed <- false;
+             if is_primary t && not t.in_view_change then begin
+               let batch = min (Queue.length t.pending) (Batching.batch_size t.batching) in
+               if
+                 batch > 0
+                 && inflight t < Batching.max_concurrent config
+                 && t.next_seq <= t.ls + config.Config.win
+               then propose_block t ctx batch;
+               try_propose t ctx
+             end))
+    end
+  end
+
+and propose_block t ctx batch =
+  let batch = min batch (Queue.length t.pending) in
+  let reqs = List.init batch (fun _ -> Queue.pop t.pending) in
+  List.iter (fun (r : Types.request) -> Hashtbl.remove t.pending_keys (r.client, r.timestamp)) reqs;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+  trace t ctx "send:pre-prepare" (Printf.sprintf "seq=%d view=%d batch=%d" seq t.view batch);
+  (match t.byz with
+  | Equivocating_primary ->
+      (* Send block A to the first half and block B to the second; pad
+         with a null request so the blocks differ even for batch = 1. *)
+      let reqs_b = List.rev reqs @ [ View_change.null_request ] in
+      let n = num_replicas t in
+      for r = 0 to n - 1 do
+        let payload = if r < n / 2 then reqs else reqs_b in
+        send t ctx ~dst:r (Types.Pre_prepare { seq; view = t.view; reqs = payload })
+      done
+  | _ -> broadcast_replicas t ctx (Types.Pre_prepare { seq; view = t.view; reqs }))
+
+(* ------------------------------------------------------------------ *)
+(* Fast path: pre-prepare -> sign-share -> full-commit-proof *)
+
+and on_pre_prepare t ctx ~seq ~view ~reqs =
+  let config = cfg t in
+  let sl = slot t seq in
+  if
+    view = t.view && (not t.in_view_change)
+    && (match sl.pp with Some (v, _, _) -> v <> view | None -> true)
+    && seq > t.ls
+    && seq <= t.ls + config.Config.win
+  then begin
+    (* Authenticate the client operations (null/view-change fillers are
+       locally constructed and carry no signature). *)
+    let real_reqs = List.filter (fun (r : Types.request) -> r.client >= 0) reqs in
+    Engine.charge ctx (List.length real_reqs * Cost_model.rsa_verify);
+    if List.for_all (fun r -> Keys.verify_request (keys t) r) real_reqs then begin
+      Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+      let h = Types.block_hash ~seq ~view ~reqs in
+      sl.pp <- Some (view, reqs, h);
+      sl.pp_at <- Engine.ctx_now ctx;
+      List.iter (mark_outstanding t) real_reqs;
+      if not sl.sent_sign_share then begin
+        sl.sent_sign_share <- true;
+        Engine.charge ctx (2 * Cost_model.bls_share_sign);
+        let sigma_share = Threshold.share_sign t.my.Keys.sigma_sk ~msg:h in
+        let tau_share = Threshold.share_sign t.my.Keys.tau_sk ~msg:h in
+        let sigma_share, tau_share =
+          match t.byz with
+          | Corrupt_shares ->
+              ( Threshold.forge_invalid_share ~signer:(t.id + 1),
+                Threshold.forge_invalid_share ~signer:(t.id + 1) )
+          | _ -> (sigma_share, tau_share)
+        in
+        sl.highest_preprepare <- Some (view, sigma_share, reqs);
+        List.iter
+          (fun c ->
+            send t ctx ~dst:c
+              (Types.Sign_share { seq; view; sigma_share; tau_share; replica = t.id }))
+          (Collectors.slow_path_collectors ~config ~view ~seq)
+      end;
+      (* A commit proof may have arrived before the block. *)
+      try_pending_proofs t ctx sl
+    end
+  end
+  else if seq > t.ls + config.Config.win then maybe_state_transfer t ctx seq
+
+and on_sign_share t ctx ~seq ~view ~sigma_share ~tau_share ~replica =
+  let config = cfg t in
+  if view = t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
+    let sl = slot t seq in
+    if not (List.mem_assoc replica sl.sigma_shares) then begin
+      sl.sigma_shares <- (replica, sigma_share) :: sl.sigma_shares;
+      sl.tau_shares <- (replica, tau_share) :: sl.tau_shares;
+      collector_check t ctx sl ~view
+    end
+  end
+
+and collector_check t ctx sl ~view =
+  let config = cfg t in
+  let seq = sl.seq in
+  let fast_collectors = Collectors.c_collectors ~config ~view ~seq in
+  let slow_collectors = Collectors.slow_path_collectors ~config ~view ~seq in
+  (* Fast path: combine σ when 3f+c+1 shares arrived. *)
+  (match Collectors.rank fast_collectors t.id with
+  | Some rank when config.Config.fast_path -> (
+      if
+        List.length sl.sigma_shares >= Config.sigma_threshold config
+        && (not sl.fast_sent)
+        && sl.committed = None
+      then
+        match sl.pp with
+        | None -> () (* wait for the block to know h *)
+        | Some (v, _, h) when v = view ->
+            sl.fast_sent <- true;
+            let act ctx =
+              if sl.committed = None && sl.pending_fast = None then begin
+                let k = Config.sigma_threshold config in
+                Engine.charge ctx (Cost_model.bls_batch_verify k);
+                Engine.charge ctx
+                  (if config.Config.use_group_sig && not t.failures_observed then
+                     Cost_model.group_combine k
+                   else Cost_model.bls_combine k);
+                match
+                  Threshold.combine (keys t).Keys.sigma ~msg:h
+                    (List.map snd sl.sigma_shares)
+                with
+                | Some sigma ->
+                    trace t ctx "send:full-commit-proof" (Printf.sprintf "seq=%d" seq);
+                    broadcast_replicas t ctx
+                      (Types.Full_commit_proof { seq; view; sigma })
+                | None ->
+                    (* Invalid shares present: retry when more arrive. *)
+                    t.failures_observed <- true;
+                    sl.fast_sent <- false
+              end
+            in
+            let stagger = rank * config.Config.collector_stagger in
+            if stagger = 0 then act ctx
+            else ignore (Engine.set_timer t.env.engine ~node:t.id ~after:stagger act)
+        | Some _ -> ())
+  | _ -> ());
+  (* Slow path trigger: 2f+c+1 τ shares, after the fast-path timeout
+     (immediately when the fast path is disabled).  The primary is the
+     last-ranked fallback collector (§V-E). *)
+  match Collectors.rank slow_collectors t.id with
+  | None -> ()
+  | Some rank -> (
+      if
+        List.length sl.tau_shares >= Config.tau_threshold config
+        && (not sl.prepare_sent)
+        && sl.committed = None
+      then begin
+        match sl.pp with
+        | None -> ()
+        | Some (v, _, h) when v = view ->
+            sl.prepare_sent <- true;
+            (* Adaptive fallback timer: wait about twice the recently
+               observed fast-path completion time, clamped to the
+               configured maximum. *)
+            let adaptive =
+              min config.Config.fast_path_timeout
+                (max (Engine.ms 5) (int_of_float (2.0 *. t.fast_eta)))
+            in
+            let wait =
+              (if config.Config.fast_path then adaptive else 0)
+              + (rank * config.Config.collector_stagger)
+            in
+            let act ctx =
+              (* Give up on the fast path only if no proof emerged. *)
+              if sl.committed = None && sl.pending_fast = None then begin
+                if config.Config.fast_path then t.failures_observed <- true;
+                let k = Config.tau_threshold config in
+                Engine.charge ctx (Cost_model.bls_batch_verify k);
+                Engine.charge ctx (Cost_model.bls_combine k);
+                match
+                  Threshold.combine (keys t).Keys.tau ~msg:h (List.map snd sl.tau_shares)
+                with
+                | Some tau ->
+                    trace t ctx "send:prepare" (Printf.sprintf "seq=%d" seq);
+                    broadcast_replicas t ctx (Types.Prepare { seq; view; tau })
+                | None -> sl.prepare_sent <- false
+              end
+            in
+            if wait = 0 then act ctx
+            else sl.fast_timer <- Some (Engine.set_timer t.env.engine ~node:t.id ~after:wait act)
+        | Some _ -> ()
+      end)
+
+and on_full_commit_proof t ctx ~seq ~view ~sigma =
+  let sl = slot t seq in
+  if sl.committed = None then begin
+    match sl.pp with
+    | Some (v, reqs, h) when v = view ->
+        Engine.charge ctx Cost_model.bls_verify;
+        if Threshold.verify (keys t).Keys.sigma ~msg:h sigma then begin
+          sl.fast_cert <- Some (sigma, view, reqs);
+          commit t ctx sl ~reqs ~view ~fast:true
+            ~cert:(Sbft_store.Block_store.Fast (Threshold.signature_bytes sigma))
+        end
+    | _ ->
+        (* Proof before block: stash it and fetch the block. *)
+        sl.pending_fast <- Some (view, sigma);
+        request_block t ctx seq
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Linear-PBFT path: prepare -> commit -> full-commit-proof-slow *)
+
+and on_prepare t ctx ~seq ~view ~tau =
+  let config = cfg t in
+  if view = t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
+    let sl = slot t seq in
+    if not sl.sent_commit then begin
+      match sl.pp with
+      | Some (v, reqs, h) when v = view ->
+          Engine.charge ctx Cost_model.bls_verify;
+          if Threshold.verify (keys t).Keys.tau ~msg:h tau then begin
+            sl.sent_commit <- true;
+            sl.prepare_tau <- Some tau;
+            sl.highest_prepare <- Some (view, tau, reqs);
+            Engine.charge ctx Cost_model.bls_share_sign;
+            let share =
+              match t.byz with
+              | Corrupt_shares -> Threshold.forge_invalid_share ~signer:(t.id + 1)
+              | _ ->
+                  Threshold.share_sign t.my.Keys.tau_sk ~msg:(Types.tau2_message tau)
+            in
+            let collectors = Collectors.slow_path_collectors ~config ~view ~seq in
+            List.iter
+              (fun c -> send t ctx ~dst:c (Types.Commit { seq; view; share }))
+              collectors
+          end
+      | _ -> request_block t ctx seq
+    end
+  end
+
+and on_commit t ctx ~seq ~view ~share =
+  let config = cfg t in
+  if view = t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
+    let sl = slot t seq in
+    if
+      (not (List.exists (fun (_, s) -> s.Threshold.signer = share.Threshold.signer) sl.commit_shares))
+      && not sl.slow_sent
+    then begin
+      sl.commit_shares <- (share.Threshold.signer, share) :: sl.commit_shares;
+      if List.length sl.commit_shares >= Config.tau_threshold config then begin
+        match sl.prepare_tau with
+        | Some tau when not sl.slow_sent ->
+            sl.slow_sent <- true;
+            let k = Config.tau_threshold config in
+            Engine.charge ctx (Cost_model.bls_batch_verify k);
+            Engine.charge ctx (Cost_model.bls_combine k);
+            (match
+               Threshold.combine (keys t).Keys.tau ~msg:(Types.tau2_message tau)
+                 (List.map snd sl.commit_shares)
+             with
+            | Some tau_tau ->
+                trace t ctx "send:full-commit-proof-slow" (Printf.sprintf "seq=%d" seq);
+                broadcast_replicas t ctx
+                  (Types.Full_commit_proof_slow { seq; view; tau; tau_tau })
+            | None -> sl.slow_sent <- false)
+        | _ -> ()
+      end
+    end
+  end
+
+and on_full_commit_proof_slow t ctx ~seq ~view ~tau ~tau_tau =
+  let sl = slot t seq in
+  if sl.committed = None then begin
+    match sl.pp with
+    | Some (v, reqs, h) when v = view ->
+        Engine.charge ctx (2 * Cost_model.bls_verify);
+        if
+          Threshold.verify (keys t).Keys.tau ~msg:h tau
+          && Threshold.verify (keys t).Keys.tau ~msg:(Types.tau2_message tau) tau_tau
+        then begin
+          sl.slow_cert <- Some (tau, tau_tau, view, reqs);
+          commit t ctx sl ~reqs ~view ~fast:false
+            ~cert:(Sbft_store.Block_store.Slow (Threshold.signature_bytes tau_tau))
+        end
+    | _ ->
+        sl.pending_slow <- Some (view, tau, tau_tau);
+        request_block t ctx seq
+  end
+
+and try_pending_proofs t ctx sl =
+  (match sl.pending_fast with
+  | Some (view, sigma) when sl.committed = None ->
+      sl.pending_fast <- None;
+      on_full_commit_proof t ctx ~seq:sl.seq ~view ~sigma
+  | _ -> ());
+  match sl.pending_slow with
+  | Some (view, tau, tau_tau) when sl.committed = None ->
+      sl.pending_slow <- None;
+      on_full_commit_proof_slow t ctx ~seq:sl.seq ~view ~tau ~tau_tau
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Commit and in-order execution *)
+
+and commit t ctx sl ~reqs ~view ~fast ~cert =
+  if sl.committed = None then begin
+    sl.committed <- Some reqs;
+    (match sl.fast_timer with Some tm -> Engine.cancel_timer tm | None -> ());
+    t.n_committed <- t.n_committed + 1;
+    if fast then t.n_fast <- t.n_fast + 1 else t.n_slow <- t.n_slow + 1;
+    (* Network profiling for the adaptive fallback timer. *)
+    (if fast && sl.pp_at > 0 then begin
+       let sample = float_of_int (Engine.ctx_now ctx - sl.pp_at) in
+       t.fast_eta <- (0.9 *. t.fast_eta) +. (0.1 *. sample)
+     end
+     else if not fast then
+       t.fast_eta <-
+         Float.min
+           (float_of_int (cfg t).Config.fast_path_timeout)
+           (t.fast_eta *. 1.25));
+    note_progress t ctx;
+    trace t ctx "commit"
+      (Printf.sprintf "seq=%d view=%d path=%s" sl.seq view (if fast then "fast" else "slow"));
+    let entry =
+      {
+        Sbft_store.Block_store.seq = sl.seq;
+        view;
+        ops = List.map (fun (r : Types.request) -> r.op) reqs;
+        cert;
+      }
+    in
+    Engine.charge ctx (Cost_model.persist_block (Sbft_store.Block_store.entry_size entry));
+    Sbft_store.Block_store.add t.blocks entry;
+    (* Fast-path checkpointing rule (§V-F). *)
+    if fast then begin
+      let candidate = sl.seq - Config.active_window (cfg t) in
+      if candidate > t.ls then t.ls <- candidate
+    end;
+    try_execute t ctx;
+    if is_primary t then try_propose t ctx
+  end
+
+and try_execute t ctx =
+  let config = cfg t in
+  let continue = ref true in
+  while !continue do
+    let next = last_executed t + 1 in
+    match Hashtbl.find_opt t.slots next with
+    | Some sl when sl.committed <> None && not sl.executed -> begin
+        let reqs = Option.get sl.committed in
+        sl.executed <- true;
+        Engine.charge ctx (t.env.exec_cost reqs);
+        (* Exactly-once execution: a request re-proposed across a view
+           change may appear in two committed blocks; the second
+           occurrence deterministically degrades to a no-op (every
+           replica shares the same client table state). *)
+        let is_duplicate (r : Types.request) =
+          r.client >= 0
+          &&
+          match Hashtbl.find_opt t.client_table r.client with
+          | Some (ts, _, _, _) -> ts >= r.timestamp
+          | None -> false
+        in
+        let ops =
+          List.map
+            (fun (r : Types.request) -> if is_duplicate r then "" else r.op)
+            reqs
+        in
+        let outputs = Sbft_store.Auth_store.execute_block t.store ~seq:next ~ops in
+        let digest = Sbft_store.Auth_store.digest t.store in
+        sl.exec_digest <- Some digest;
+        t.n_executed_blocks <- t.n_executed_blocks + 1;
+        note_progress t ctx;
+        (* Record replies for retransmission handling. *)
+        List.iteri
+          (fun index ((r : Types.request), value) ->
+            clear_outstanding t r;
+            if r.client >= 0 then begin
+              match Hashtbl.find_opt t.client_table r.client with
+              | Some (ts, _, _, _) when ts >= r.timestamp -> ()
+              | _ -> Hashtbl.replace t.client_table r.client (r.timestamp, value, next, index)
+            end)
+          (List.combine reqs outputs);
+        (* Periodic checkpoint snapshot for state transfer. *)
+        if next mod Config.checkpoint_interval config = 0 then
+          Sbft_store.Block_store.set_checkpoint t.blocks ~seq:next
+            ~snapshot:(Sbft_store.Auth_store.delayed_snapshot t.store);
+        (* sign-state: every block when execution acks are on, otherwise
+           only at checkpoint boundaries. *)
+        if config.Config.execution_acks || next mod Config.checkpoint_interval config = 0
+        then begin
+          Engine.charge ctx Cost_model.bls_share_sign;
+          (* A Byzantine replica may announce a bogus digest — its share
+             is then a valid signature on the wrong message and lands in
+             a separate bucket at the collector. *)
+          let digest =
+            match t.byz with
+            | Wrong_exec_digest -> Sbft_crypto.Sha256.digest "bogus-state"
+            | _ -> digest
+          in
+          let share =
+            match t.byz with
+            | Corrupt_shares -> Threshold.forge_invalid_share ~signer:(t.id + 1)
+            | _ ->
+                Threshold.share_sign t.my.Keys.pi_sk
+                  ~msg:(Types.pi_message ~seq:next ~digest)
+          in
+          List.iter
+            (fun e ->
+              send t ctx ~dst:e (Types.Sign_state { seq = next; digest; share }))
+            (Collectors.e_collectors ~config ~view:0 ~seq:next
+            @ [ primary_of t t.view ])
+        end;
+        (* Direct f+1 replies when execution acks are off. *)
+        if not config.Config.execution_acks then
+          List.iteri
+            (fun _index ((r : Types.request), value) ->
+              if r.client >= 0 then begin
+                (* Direct replies are signed server messages ([31]);
+                   this per-request signing cost is exactly what
+                   ingredient 3 removes. *)
+                Engine.charge ctx Cost_model.rsa_sign;
+                send t ctx ~dst:r.client
+                  (Types.Reply
+                     {
+                       view = t.view;
+                       replica = t.id;
+                       client = r.client;
+                       timestamp = r.timestamp;
+                       seq = next;
+                       value;
+                       signature = "";
+                     })
+              end)
+            (List.combine reqs outputs);
+        (* The E-collector may have combined π before executing. *)
+        maybe_send_acks t ctx sl
+      end
+    | _ -> continue := false
+  done;
+  if is_primary t then try_propose t ctx
+
+(* ------------------------------------------------------------------ *)
+(* Execution collection: sign-state -> full-execute-proof -> execute-ack *)
+
+and on_sign_state t ctx ~seq ~digest ~share =
+  let config = cfg t in
+  let sl = slot t seq in
+  if not sl.exec_proof_sent then begin
+    let bucket =
+      match Hashtbl.find_opt sl.pi_shares digest with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.replace sl.pi_shares digest b;
+          b
+    in
+    if
+      not
+        (List.exists (fun (_, s) -> s.Threshold.signer = share.Threshold.signer) !bucket)
+    then begin
+      bucket := (share.Threshold.signer, share) :: !bucket;
+      if List.length !bucket >= Config.pi_threshold config then begin
+        let e_list =
+          Collectors.e_collectors ~config ~view:0 ~seq @ [ primary_of t t.view ]
+        in
+        let rank = Option.value (Collectors.rank e_list t.id) ~default:0 in
+        let act ctx =
+          if (not sl.exec_proof_sent) && not (Hashtbl.mem t.checkpoint_pis seq) then begin
+            let k = Config.pi_threshold config in
+            Engine.charge ctx (Cost_model.bls_batch_verify k);
+            Engine.charge ctx (Cost_model.bls_combine k);
+            match
+              Threshold.combine (keys t).Keys.pi
+                ~msg:(Types.pi_message ~seq ~digest)
+                (List.map snd !bucket)
+            with
+            | Some pi ->
+                sl.exec_proof_sent <- true;
+                Hashtbl.replace t.checkpoint_pis seq (pi, digest);
+                trace t ctx "send:full-execute-proof" (Printf.sprintf "seq=%d" seq);
+                broadcast_replicas t ctx (Types.Full_execute_proof { seq; digest; pi });
+                maybe_send_acks t ctx sl
+            | None -> ()
+          end
+        in
+        let stagger = rank * config.Config.collector_stagger in
+        if stagger = 0 then act ctx
+        else ignore (Engine.set_timer t.env.engine ~node:t.id ~after:stagger act)
+      end
+    end
+  end
+
+and maybe_send_acks t ctx sl =
+  (* E-collector sends per-client acknowledgements once it both holds
+     π(d) and has executed the block itself (proofs come from its own
+     authenticated store). *)
+  let config = cfg t in
+  if
+    config.Config.execution_acks && sl.exec_proof_sent && sl.executed
+    && not sl.acks_sent
+  then begin
+    match (Hashtbl.find_opt t.checkpoint_pis sl.seq, sl.committed) with
+    | Some (pi, digest), Some reqs ->
+        sl.acks_sent <- true;
+        List.iteri
+          (fun index (r : Types.request) ->
+            if r.client >= 0 then begin
+              match
+                ( Sbft_store.Auth_store.prove_op t.store ~seq:sl.seq ~index,
+                  Sbft_store.Auth_store.output_at t.store ~seq:sl.seq ~index )
+              with
+              | Some proof, Some value ->
+                  Engine.charge ctx (Cost_model.merkle_prove (List.length reqs));
+                  send t ctx ~dst:r.client
+                    (Types.Execute_ack
+                       {
+                         view = t.view;
+                         seq = sl.seq;
+                         index;
+                         client = r.client;
+                         timestamp = r.timestamp;
+                         value;
+                         state_digest = digest;
+                         pi;
+                         proof;
+                       })
+              | _ -> ()
+            end)
+          reqs
+    | _ -> ()
+  end
+
+and on_full_execute_proof t ctx ~seq ~digest ~pi ~src =
+  Engine.charge ctx Cost_model.bls_verify;
+  if Threshold.verify (keys t).Keys.pi ~msg:(Types.pi_message ~seq ~digest) pi then begin
+    Hashtbl.replace t.checkpoint_pis seq (pi, digest);
+    if seq > t.stable then begin
+      t.stable <- seq;
+      let candidate = seq - Config.active_window (cfg t) in
+      if candidate > t.ls then t.ls <- candidate;
+      garbage_collect t
+    end;
+    note_progress t ctx;
+    (* Fell too far behind the certified execution frontier? *)
+    if seq > last_executed t + (cfg t).Config.win then
+      send t ctx ~dst:src (Types.Get_state { upto = seq; replica = t.id })
+  end
+
+and garbage_collect t =
+  let horizon = t.stable - (cfg t).Config.win in
+  if horizon > 0 then begin
+    let stale =
+      Hashtbl.fold (fun s _ acc -> if s < horizon then s :: acc else acc) t.slots []
+    in
+    List.iter (Hashtbl.remove t.slots) stale;
+    let stale_pis =
+      Hashtbl.fold
+        (fun s _ acc -> if s < horizon then s :: acc else acc)
+        t.checkpoint_pis []
+    in
+    List.iter (Hashtbl.remove t.checkpoint_pis) stale_pis;
+    Sbft_store.Block_store.prune_below t.blocks horizon;
+    Sbft_store.Auth_store.gc_below t.store ~seq:horizon
+  end
+
+(* Read-only queries (§IV): answered by one replica against its latest
+   π-certified state; the client verifies a Merkle proof against the
+   threshold-signed digest, so no f+1 agreement is needed. *)
+and on_query t ctx ~client ~qid ~query =
+  let seq = last_executed t in
+  match Hashtbl.find_opt t.checkpoint_pis seq with
+  | Some (pi, digest) when String.equal digest (Sbft_store.Auth_store.digest t.store)
+    -> (
+      match Sbft_store.Auth_store.prove_query t.store ~key:query with
+      | Some (value, proof) ->
+          Engine.charge ctx (Cost_model.merkle_prove 16);
+          send t ctx ~dst:client
+            (Types.Query_resp { client; qid; seq; digest; pi; value; proof })
+      | None -> ())
+  | _ -> () (* no certified state to answer from; the client retries *)
+
+(* ------------------------------------------------------------------ *)
+(* Block fetch and state transfer *)
+
+and request_block t ctx seq =
+  send t ctx ~dst:(primary_of t t.view) (Types.Get_block { seq; replica = t.id })
+
+and on_get_block t ctx ~seq ~replica =
+  match Hashtbl.find_opt t.slots seq with
+  | Some { pp = Some (view, reqs, _); _ } ->
+      send t ctx ~dst:replica (Types.Block_resp { seq; view; reqs })
+  | _ -> ()
+
+and on_block_resp t ctx ~seq ~view ~reqs =
+  let sl = slot t seq in
+  if sl.pp = None then begin
+    Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+    let h = Types.block_hash ~seq ~view ~reqs in
+    sl.pp <- Some (view, reqs, h);
+    try_pending_proofs t ctx sl
+  end
+
+and maybe_state_transfer t ctx seq =
+  if seq > last_executed t + (cfg t).Config.win then begin
+    let n = num_replicas t in
+    let peer = (t.id + 1 + Rng.int (Engine.rng t.env.engine) (n - 1)) mod n in
+    send t ctx ~dst:peer (Types.Get_state { upto = seq; replica = t.id })
+  end
+
+and on_get_state t ctx ~upto ~replica =
+  ignore upto;
+  match Sbft_store.Block_store.checkpoint t.blocks with
+  | Some (snap_seq, lazy_snapshot) -> (
+      let snapshot = Lazy.force lazy_snapshot in
+      match Hashtbl.find_opt t.checkpoint_pis snap_seq with
+      | Some (pi, digest) ->
+          let blocks = ref [] in
+          for s = snap_seq + 1 to last_executed t do
+            match Sbft_store.Block_store.find t.blocks s with
+            | Some e ->
+                let reqs =
+                  List.map
+                    (fun op ->
+                      { Types.client = -1; timestamp = 0; op; signature = "" })
+                    e.Sbft_store.Block_store.ops
+                in
+                blocks := (s, e.Sbft_store.Block_store.view, reqs) :: !blocks
+            | None -> ()
+          done;
+          send t ctx ~dst:replica
+            (Types.State_resp
+               { snapshot; snap_seq; pi; digest; blocks = List.rev !blocks })
+      | None -> ())
+  | None -> ()
+
+and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks =
+  if snap_seq > last_executed t then begin
+    Engine.charge ctx Cost_model.bls_verify;
+    if Threshold.verify (keys t).Keys.pi ~msg:(Types.pi_message ~seq:snap_seq ~digest) pi
+    then begin
+      Engine.charge ctx (Cost_model.sha256 (String.length snapshot));
+      match Sbft_store.Auth_store.load_snapshot t.store snapshot with
+      | Error _ -> ()
+      | Ok () ->
+          if String.equal (Sbft_store.Auth_store.digest t.store) digest then begin
+            trace t ctx "state-transfer" (Printf.sprintf "to=%d" snap_seq);
+            if snap_seq > t.stable then t.stable <- snap_seq;
+            if snap_seq > t.ls then t.ls <- snap_seq;
+            (* Adopt and replay the certified suffix. *)
+            List.iter
+              (fun (s, view, reqs) ->
+                if s = last_executed t + 1 then begin
+                  let sl = slot t s in
+                  sl.committed <- Some reqs;
+                  sl.executed <- false;
+                  ignore view;
+                  try_execute t ctx
+                end)
+              blocks
+          end
+          else t.failures_observed <- true
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View change *)
+
+and build_view_change t =
+  let config = cfg t in
+  if t.byz = Stale_view_change then
+    { Types.vc_replica = t.id; vc_view = t.view; vc_ls = 0; vc_checkpoint = None; vc_slots = [] }
+  else begin
+    let checkpoint =
+      if t.stable = 0 then None
+      else
+        Option.map (fun (pi, d) -> (pi, d)) (Hashtbl.find_opt t.checkpoint_pis t.stable)
+    in
+    let base = if checkpoint = None then 0 else t.stable in
+    let slots = ref [] in
+    for s = base + 1 to base + config.Config.win do
+      match Hashtbl.find_opt t.slots s with
+      | None -> ()
+      | Some sl ->
+          let slow =
+            match sl.slow_cert with
+            | Some (tau, tau_tau, view, reqs) ->
+                Types.Slow_committed { tau; tau_tau; view; reqs }
+            | None -> (
+                match sl.highest_prepare with
+                | Some (view, tau, reqs) -> Types.Slow_prepared { tau; view; reqs }
+                | None -> Types.No_commit)
+          in
+          let fast =
+            match sl.fast_cert with
+            | Some (sigma, view, reqs) -> Types.Fast_committed { sigma; view; reqs }
+            | None -> (
+                match sl.highest_preprepare with
+                | Some (view, share, reqs) -> Types.Fast_preprepared { share; view; reqs }
+                | None -> Types.No_preprepare)
+          in
+          if slow <> Types.No_commit || fast <> Types.No_preprepare then
+            slots := { Types.slot_seq = s; slow; fast } :: !slots
+    done;
+    {
+      Types.vc_replica = t.id;
+      vc_view = t.view;
+      vc_ls = base;
+      vc_checkpoint = checkpoint;
+      vc_slots = List.rev !slots;
+    }
+  end
+
+and start_view_change t ctx ~target_view =
+  if target_view > t.sent_vc_for then begin
+    t.sent_vc_for <- target_view;
+    t.in_view_change <- true;
+    t.failures_observed <- true;
+    trace t ctx "view-change" (Printf.sprintf "to=%d" target_view);
+    let vc = { (build_view_change t) with Types.vc_view = target_view - 1 } in
+    Engine.charge ctx Cost_model.rsa_sign;
+    (* Broadcast so that other replicas can join after f+1 complaints. *)
+    broadcast_replicas t ctx (Types.View_change vc)
+  end
+
+and on_view_change t ctx (vc : Types.view_change) =
+  let config = cfg t in
+  let target = vc.Types.vc_view + 1 in
+  if target > t.view then begin
+    Engine.charge ctx Cost_model.rsa_verify;
+    let tbl =
+      match Hashtbl.find_opt t.vc_msgs target with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 16 in
+          Hashtbl.replace t.vc_msgs target tbl;
+          tbl
+    in
+    if not (Hashtbl.mem tbl vc.Types.vc_replica) then begin
+      Hashtbl.replace tbl vc.Types.vc_replica vc;
+      (* Join a view change supported by f+1 distinct replicas. *)
+      let support = Hashtbl.length tbl in
+      if support >= config.Config.f + 1 && t.sent_vc_for < target then
+        start_view_change t ctx ~target_view:target;
+      (* The new primary forms the new view at 2f+2c+1 messages. *)
+      if
+        primary_of t target = t.id
+        && support >= Config.quorum_vc config
+        && t.view < target
+      then begin
+        let msgs = Hashtbl.fold (fun _ m acc -> m :: acc) tbl [] in
+        (* Validate, keep a quorum of valid messages. *)
+        Engine.charge ctx (List.length msgs * Cost_model.bls_verify);
+        let valid = List.filter (View_change.validate_message ~keys:(keys t)) msgs in
+        if List.length valid >= Config.quorum_vc config then begin
+          let quorum = List.filteri (fun i _ -> i < Config.quorum_vc config) valid in
+          trace t ctx "send:new-view" (Printf.sprintf "view=%d" target);
+          broadcast_replicas t ctx (Types.New_view { view = target; proofs = quorum });
+        end
+      end
+    end
+  end
+
+and on_new_view t ctx ~view ~proofs =
+  let config = cfg t in
+  if view > t.view then begin
+    (* Every replica validates the proofs and recomputes the safe values
+       for itself; the new-view message is self-certifying. *)
+    Engine.charge ctx (List.length proofs * (2 * Cost_model.bls_verify));
+    let valid = List.filter (View_change.validate_message ~keys:(keys t)) proofs in
+    if List.length valid >= Config.quorum_vc config then begin
+      let ls, decisions = View_change.compute ~keys:(keys t) ~new_view:view valid in
+      enter_view t ctx ~view;
+      if ls > last_executed t then maybe_state_transfer t ctx (ls + config.Config.win + 1);
+      List.iter
+        (fun (seq, decision) ->
+          if seq > t.ls then begin
+            let sl = slot t seq in
+            match decision with
+            | View_change.Decide_fast { sigma; reqs; view = pview } ->
+                let h = Types.block_hash ~seq ~view:pview ~reqs in
+                sl.pp <- Some (pview, reqs, h);
+                sl.fast_cert <- Some (sigma, pview, reqs);
+                commit t ctx sl ~reqs ~view:pview ~fast:true
+                  ~cert:(Sbft_store.Block_store.Fast (Threshold.signature_bytes sigma))
+            | View_change.Decide_slow { tau; tau_tau; reqs; view = pview } ->
+                let h = Types.block_hash ~seq ~view:pview ~reqs in
+                sl.pp <- Some (pview, reqs, h);
+                sl.slow_cert <- Some (tau, tau_tau, pview, reqs);
+                commit t ctx sl ~reqs ~view:pview ~fast:false
+                  ~cert:(Sbft_store.Block_store.Slow (Threshold.signature_bytes tau_tau))
+            | (View_change.Adopt _ | View_change.Fill_null)
+              when sl.committed = None ->
+                (* Adopt as a pre-prepare of the new view. *)
+                adopt_pre_prepare t ctx ~seq ~view
+                  ~reqs:(View_change.decision_reqs decision)
+            | View_change.Adopt _ | View_change.Fill_null -> ()
+          end)
+        decisions;
+      (* The new primary resumes proposing above the reconciled window. *)
+      if primary_of t view = t.id then begin
+        let top =
+          List.fold_left (fun acc (s, _) -> max acc s) ls decisions
+        in
+        t.next_seq <- max t.next_seq (top + 1);
+        try_propose t ctx
+      end
+    end
+  end
+
+and adopt_pre_prepare t ctx ~seq ~view ~reqs =
+  let sl = slot t seq in
+  let h = Types.block_hash ~seq ~view ~reqs in
+  sl.pp <- Some (view, reqs, h);
+  sl.sent_sign_share <- true;
+  Engine.charge ctx (2 * Cost_model.bls_share_sign);
+  let sigma_share = Threshold.share_sign t.my.Keys.sigma_sk ~msg:h in
+  let tau_share = Threshold.share_sign t.my.Keys.tau_sk ~msg:h in
+  sl.highest_preprepare <- Some (view, sigma_share, reqs);
+  let config = cfg t in
+  List.iter
+    (fun c ->
+      send t ctx ~dst:c
+        (Types.Sign_share { seq; view; sigma_share; tau_share; replica = t.id }))
+    (Collectors.slow_path_collectors ~config ~view ~seq)
+
+and enter_view t ctx ~view =
+  if view > t.view then begin
+    t.view <- view;
+    t.in_view_change <- false;
+    t.n_view_changes <- t.n_view_changes + 1;
+    t.vc_backoff <- 0;
+    note_progress t ctx;
+    Hashtbl.remove t.vc_msgs view;
+    (* Fresh view: per-view collection state of open slots resets. *)
+    Hashtbl.iter
+      (fun _ sl ->
+        if sl.committed = None then begin
+          sl.sigma_shares <- [];
+          sl.tau_shares <- [];
+          sl.commit_shares <- [];
+          sl.fast_sent <- false;
+          sl.prepare_sent <- false;
+          sl.slow_sent <- false;
+          sl.sent_sign_share <- false;
+          sl.sent_commit <- false;
+          sl.prepare_tau <- None
+        end)
+      t.slots;
+    trace t ctx "new-view" (Printf.sprintf "view=%d primary=%d" view (primary_of t view));
+    (* Re-drive requests that were in flight when the old view died. *)
+    let stale = Hashtbl.fold (fun _ r acc -> r :: acc) t.outstanding [] in
+    if is_primary t then
+      List.iter
+        (fun (r : Types.request) ->
+          if not (Hashtbl.mem t.pending_keys (r.Types.client, r.Types.timestamp)) then begin
+            Hashtbl.replace t.pending_keys (r.Types.client, r.Types.timestamp) ();
+            Queue.push r t.pending
+          end)
+        stale
+    else
+      List.iter
+        (fun r -> send t ctx ~dst:(primary_of t t.view) (Types.Request r))
+        stale;
+    if is_primary t then try_propose t ctx
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Liveness ticker *)
+
+and liveness_tick t ctx =
+  let config = cfg t in
+  let waiting = Hashtbl.length t.outstanding > 0 || not (Queue.is_empty t.pending) in
+  if waiting && not (Engine.is_crashed t.env.engine t.id) then begin
+    let timeout = config.Config.view_change_timeout * (1 lsl min 6 t.vc_backoff) in
+    if Engine.ctx_now ctx - t.last_progress > timeout then begin
+      t.vc_backoff <- t.vc_backoff + 1;
+      start_view_change t ctx ~target_view:(max (t.view + 1) (t.sent_vc_for + 1))
+    end
+  end
+
+let rec arm_liveness t =
+  ignore
+    (Engine.set_timer t.env.engine ~node:t.id
+       ~after:((cfg t).Config.view_change_timeout / 2)
+       (fun ctx ->
+         liveness_tick t ctx;
+         arm_liveness t))
+
+let start t ctx =
+  note_progress t ctx;
+  arm_liveness t

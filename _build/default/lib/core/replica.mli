@@ -1,0 +1,71 @@
+(** The SBFT replica state machine (§V).
+
+    One value of type {!t} is the full protocol state of one replica:
+    fast path (pre-prepare → sign-share → full-commit-proof), the
+    Linear-PBFT fallback (prepare → commit → full-commit-proof-slow),
+    in-order execution with the sign-state / full-execute-proof /
+    execute-ack pipeline, checkpointing and garbage collection, state
+    transfer, and the dual-mode view change.
+
+    Replicas are driven entirely by {!on_message} and timers they set
+    themselves; wiring to the simulated network is provided by the
+    {!Env} record (see {!Cluster} for standard construction). *)
+
+type env = {
+  engine : Sbft_sim.Engine.t;
+  trace : Sbft_sim.Trace.t;
+  keys : Keys.t;
+  send : Sbft_sim.Engine.ctx -> src:int -> dst:int -> Types.msg -> unit;
+      (** Transport: delivers [msg] to node [dst] (replica or client)
+          with size/latency accounting. *)
+  exec_cost : Types.request list -> Sbft_sim.Engine.time;
+      (** Virtual CPU cost of executing a block of this service's
+          operations (KV ≈ µs/op, EVM ≈ ms/tx). *)
+}
+
+type t
+
+val create : env:env -> my:Keys.replica_keys -> store:Sbft_store.Auth_store.t -> t
+
+val id : t -> int
+val view : t -> int
+val is_primary : t -> bool
+val last_executed : t -> int
+val last_stable : t -> int
+val state_digest : t -> string
+
+val store : t -> Sbft_store.Auth_store.t
+(** The replica's service state (inspection/examples). *)
+
+val on_message : t -> Sbft_sim.Engine.ctx -> src:int -> Types.msg -> unit
+
+val start : t -> Sbft_sim.Engine.ctx -> unit
+(** Arm initial timers (primary batch loop). Call once at time 0. *)
+
+(** {2 Introspection for tests and benchmarks} *)
+
+val committed_block : t -> int -> Types.request list option
+(** Requests committed at a sequence number, if any. *)
+
+val blocks_committed : t -> int
+val blocks_executed : t -> int
+val view_changes_completed : t -> int
+val fast_commits : t -> int
+val slow_commits : t -> int
+
+(** {2 Byzantine behaviours (tests only)} *)
+
+type byzantine =
+  | Honest
+  | Equivocating_primary
+      (** Sends different blocks to different replicas for the same
+          sequence number. *)
+  | Silent  (** Participates in nothing (crash-like, but still up). *)
+  | Corrupt_shares  (** Sends invalid signature shares. *)
+  | Wrong_exec_digest
+      (** Signs and announces a bogus state digest in sign-state (attacks
+          the execution collectors). *)
+  | Stale_view_change
+      (** Sends view-change messages with stale/partial information. *)
+
+val set_byzantine : t -> byzantine -> unit

@@ -1,0 +1,1 @@
+lib/crypto/field.ml: Bytes Char Format Int64 Sbft_sim String

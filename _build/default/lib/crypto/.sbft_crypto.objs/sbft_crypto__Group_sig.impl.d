@@ -1,0 +1,1 @@
+lib/crypto/group_sig.ml: Array Field List Sha256

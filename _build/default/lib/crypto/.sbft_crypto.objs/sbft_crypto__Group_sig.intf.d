@@ -1,0 +1,1 @@
+lib/crypto/group_sig.mli: Field Sbft_sim

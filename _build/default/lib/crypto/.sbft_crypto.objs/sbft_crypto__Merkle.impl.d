@@ -1,0 +1,1 @@
+lib/crypto/merkle.ml: Array Codec List Sbft_wire Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/merkle_map.ml: Char Codec List Option Sbft_wire Sha256 String

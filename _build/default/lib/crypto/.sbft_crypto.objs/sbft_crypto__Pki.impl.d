@@ -1,0 +1,1 @@
+lib/crypto/pki.ml: Bytes Hmac Sbft_sim

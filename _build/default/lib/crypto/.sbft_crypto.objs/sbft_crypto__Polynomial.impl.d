@@ -1,0 +1,1 @@
+lib/crypto/polynomial.ml: Array Field List

@@ -1,0 +1,1 @@
+lib/crypto/polynomial.mli: Field Sbft_sim

@@ -1,0 +1,1 @@
+lib/crypto/threshold.ml: Array Field Hashtbl List Polynomial Sha256 Shamir

@@ -1,0 +1,23 @@
+(** n-of-n "group signature" fast mode (paper §VIII).
+
+    When no failure has been detected recently, SBFT's collectors use a
+    BLS {e group} signature (an n-out-of-n multisignature) instead of a
+    k-of-n threshold signature: combination is a plain sum of shares —
+    much cheaper than Lagrange interpolation — at the cost of requiring
+    every signer.  The implementation mirrors {!Threshold} with additive
+    instead of polynomial shares. *)
+
+type t
+type signing_key
+type share = { signer : int; value : Field.t }
+type signature = Field.t
+
+val setup : Sbft_sim.Rng.t -> n:int -> t * signing_key array
+val n : t -> int
+val share_sign : signing_key -> msg:string -> share
+val share_verify : t -> msg:string -> share -> bool
+
+val combine : t -> msg:string -> share list -> signature option
+(** Requires a valid share from {e every} one of the [n] signers. *)
+
+val verify : t -> msg:string -> signature -> bool

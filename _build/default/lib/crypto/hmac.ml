@@ -1,0 +1,17 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key < block_size then
+    key ^ String.make (block_size - String.length key) '\x00'
+  else key
+
+let xor_with s c =
+  String.map (fun ch -> Char.chr (Char.code ch lxor c)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list [ xor_with key 0x36; msg ] in
+  Sha256.digest_list [ xor_with key 0x5c; inner ]
+
+let verify ~key msg ~tag = String.equal (mac ~key msg) tag

@@ -1,0 +1,7 @@
+(** HMAC-SHA256 (RFC 2104), used for authenticated channels and as the
+    basis of the simulated public-key signatures in {!Pki}. *)
+
+val mac : key:string -> string -> string
+(** 32-byte HMAC-SHA256 tag. *)
+
+val verify : key:string -> string -> tag:string -> bool

@@ -1,0 +1,110 @@
+(* Keccak-f[1600] over 25 Int64 lanes; rate 136 bytes for a 256-bit
+   output; multi-rate padding 0x01 .. 0x80 (pre-NIST, Ethereum flavor). *)
+
+let round_constants =
+  [|
+    0x0000000000000001L; 0x0000000000008082L; 0x800000000000808AL;
+    0x8000000080008000L; 0x000000000000808BL; 0x0000000080000001L;
+    0x8000000080008081L; 0x8000000000008009L; 0x000000000000008AL;
+    0x0000000000000088L; 0x0000000080008009L; 0x000000008000000AL;
+    0x000000008000808BL; 0x800000000000008BL; 0x8000000000008089L;
+    0x8000000000008003L; 0x8000000000008002L; 0x8000000000000080L;
+    0x000000000000800AL; 0x800000008000000AL; 0x8000000080008081L;
+    0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L;
+  |]
+
+let rotation_offsets =
+  [|
+    0; 1; 62; 28; 27; 36; 44; 6; 55; 20; 3; 10; 43; 25; 39; 41; 45; 15; 21; 8;
+    18; 2; 61; 56; 14;
+  |]
+
+let rotl64 x n =
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let keccak_f state =
+  let c = Array.make 5 0L and d = Array.make 5 0L in
+  let b = Array.make 25 0L in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor state.(x)
+          (Int64.logxor state.(x + 5)
+             (Int64.logxor state.(x + 10)
+                (Int64.logxor state.(x + 15) state.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+    done;
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + (5 * y)) <- Int64.logxor state.(x + (5 * y)) d.(x)
+      done
+    done;
+    (* rho + pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let src = x + (5 * y) in
+        let dst = y + (5 * (((2 * x) + (3 * y)) mod 5)) in
+        b.(dst) <- rotl64 state.(src) rotation_offsets.(src)
+      done
+    done;
+    (* chi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let i = x + (5 * y) in
+        state.(i) <-
+          Int64.logxor b.(i)
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+  done
+
+let rate = 136
+
+let digest_bytes data ~off ~len =
+  let state = Array.make 25 0L in
+  let absorb_block block boff =
+    for i = 0 to (rate / 8) - 1 do
+      let lane = ref 0L in
+      for j = 7 downto 0 do
+        lane :=
+          Int64.logor
+            (Int64.shift_left !lane 8)
+            (Int64.of_int (Char.code (Bytes.get block (boff + (8 * i) + j))))
+      done;
+      state.(i) <- Int64.logxor state.(i) !lane
+    done;
+    keccak_f state
+  in
+  let full_blocks = len / rate in
+  for b = 0 to full_blocks - 1 do
+    absorb_block data (off + (b * rate))
+  done;
+  (* Final padded block. *)
+  let remaining = len - (full_blocks * rate) in
+  let last = Bytes.make rate '\x00' in
+  Bytes.blit data (off + (full_blocks * rate)) last 0 remaining;
+  Bytes.set last remaining '\x01';
+  Bytes.set last (rate - 1)
+    (Char.chr (Char.code (Bytes.get last (rate - 1)) lor 0x80));
+  absorb_block last 0;
+  let out = Bytes.create 32 in
+  for i = 0 to 3 do
+    let lane = state.(i) in
+    for j = 0 to 7 do
+      Bytes.set out
+        ((8 * i) + j)
+        (Char.chr
+           (Int64.to_int (Int64.logand (Int64.shift_right_logical lane (8 * j)) 0xFFL)))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let digest s = digest_bytes (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)

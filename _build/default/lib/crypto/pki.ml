@@ -1,0 +1,18 @@
+type keypair = { id : int; secret : string }
+type public_key = { pk_id : int; pk_secret : string }
+type signature = string
+
+let generate rng ~id =
+  let b = Bytes.create 32 in
+  for i = 0 to 3 do
+    Bytes.set_int64_be b (8 * i) (Sbft_sim.Rng.int64 rng)
+  done;
+  { id; secret = Bytes.unsafe_to_string b }
+
+let public_key kp = { pk_id = kp.id; pk_secret = kp.secret }
+let key_id pk = pk.pk_id
+
+let sign kp msg = Hmac.mac ~key:kp.secret msg
+let verify pk msg s = Hmac.verify ~key:pk.pk_secret msg ~tag:s
+
+let signature_size = 256

@@ -1,0 +1,65 @@
+type t = Field.t array
+
+let of_coeffs c = Array.copy c
+let degree t = Array.length t - 1
+
+let random rng ~degree ~const =
+  Array.init (degree + 1) (fun i -> if i = 0 then const else Field.random rng)
+
+let eval t x =
+  let acc = ref Field.zero in
+  for i = Array.length t - 1 downto 0 do
+    acc := Field.add (Field.mul !acc x) t.(i)
+  done;
+  !acc
+
+let lagrange_at_zero points =
+  let xs = List.map fst points in
+  if List.exists (Field.equal Field.zero) xs then
+    invalid_arg "lagrange_at_zero: zero x-coordinate";
+  let rec check_distinct = function
+    | [] -> ()
+    | x :: rest ->
+        if List.exists (Field.equal x) rest then
+          invalid_arg "lagrange_at_zero: duplicate x-coordinate";
+        check_distinct rest
+  in
+  check_distinct xs;
+  (* value = sum_i y_i * prod_{j<>i} x_j / (x_j - x_i).
+     With N = prod_j x_j the i-th coefficient is N / (x_i * prod_{j<>i}
+     (x_j - x_i)); all k denominators are inverted together with
+     Montgomery's batch-inversion trick (3k multiplications + one field
+     inversion instead of O(k^2) inversions — this function dominates
+     collector cost at n ~ 200). *)
+  let pts = Array.of_list points in
+  let k = Array.length pts in
+  let numerator = Array.fold_left (fun acc (x, _) -> Field.mul acc x) Field.one pts in
+  let denoms =
+    Array.init k (fun i ->
+        let xi, _ = pts.(i) in
+        let p = ref xi in
+        for j = 0 to k - 1 do
+          if j <> i then begin
+            let xj, _ = pts.(j) in
+            p := Field.mul !p (Field.sub xj xi)
+          end
+        done;
+        !p)
+  in
+  (* Batch inversion: prefix products, one inversion, then unwind. *)
+  let prefix = Array.make (k + 1) Field.one in
+  for i = 0 to k - 1 do
+    prefix.(i + 1) <- Field.mul prefix.(i) denoms.(i)
+  done;
+  let inv_all = ref (Field.inv prefix.(k)) in
+  let inv_denoms = Array.make k Field.one in
+  for i = k - 1 downto 0 do
+    inv_denoms.(i) <- Field.mul !inv_all prefix.(i);
+    inv_all := Field.mul !inv_all denoms.(i)
+  done;
+  let acc = ref Field.zero in
+  for i = 0 to k - 1 do
+    let _, yi = pts.(i) in
+    acc := Field.add !acc (Field.mul yi (Field.mul numerator inv_denoms.(i)))
+  done;
+  !acc

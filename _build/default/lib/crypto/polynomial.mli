@@ -1,0 +1,20 @@
+(** Polynomials over {!Field}, as needed by Shamir secret sharing:
+    random polynomial generation, Horner evaluation, and Lagrange
+    interpolation at zero. *)
+
+type t
+(** Coefficients, lowest degree first. *)
+
+val of_coeffs : Field.t array -> t
+val degree : t -> int
+
+val random : Sbft_sim.Rng.t -> degree:int -> const:Field.t -> t
+(** Random polynomial of the given degree with constant term [const]. *)
+
+val eval : t -> Field.t -> Field.t
+
+val lagrange_at_zero : (Field.t * Field.t) list -> Field.t
+(** [lagrange_at_zero points] interpolates the unique polynomial through
+    [points = (x_i, y_i)] (distinct, nonzero [x_i]) and evaluates it at
+    0.  This is the share-combination step of the threshold scheme.
+    @raise Invalid_argument on duplicate or zero x-coordinates. *)

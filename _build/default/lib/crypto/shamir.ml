@@ -1,0 +1,15 @@
+type share = { index : int; value : Field.t }
+
+let deal rng ~secret ~threshold ~num_shares =
+  if threshold < 1 || threshold > num_shares then
+    invalid_arg "Shamir.deal: need 1 <= threshold <= num_shares";
+  let poly = Polynomial.random rng ~degree:(threshold - 1) ~const:secret in
+  Array.init num_shares (fun i ->
+      let index = i + 1 in
+      { index; value = Polynomial.eval poly (Field.of_int index) })
+
+let reconstruct shares =
+  let points =
+    List.map (fun s -> (Field.of_int s.index, s.value)) shares
+  in
+  Polynomial.lagrange_at_zero points

@@ -1,0 +1,78 @@
+type t = {
+  n : int;
+  k : int;
+  master : Field.t; (* verification key (simulation: equals the secret) *)
+  share_vks : Field.t array; (* per-signer verification keys, index signer-1 *)
+}
+
+type signing_key = { signer : int; secret_share : Field.t }
+
+type share = { signer : int; value : Field.t }
+
+type signature = Field.t
+
+let setup rng ~n ~k =
+  if k < 1 || k > n then invalid_arg "Threshold.setup: need 1 <= k <= n";
+  let master = Field.random rng in
+  let shares = Shamir.deal rng ~secret:master ~threshold:k ~num_shares:n in
+  let share_vks = Array.map (fun (s : Shamir.share) -> s.value) shares in
+  let keys =
+    Array.map
+      (fun (s : Shamir.share) -> { signer = s.index; secret_share = s.value })
+      shares
+  in
+  ({ n; k; master; share_vks }, keys)
+
+let n t = t.n
+let threshold t = t.k
+let signer_index (sk : signing_key) = sk.signer
+
+let hash_to_field msg = Field.of_digest (Sha256.digest msg)
+
+let share_sign (sk : signing_key) ~msg =
+  { signer = sk.signer; value = Field.mul sk.secret_share (hash_to_field msg) }
+
+let share_verify_h t ~h sh =
+  sh.signer >= 1 && sh.signer <= t.n
+  && Field.equal sh.value (Field.mul t.share_vks.(sh.signer - 1) h)
+
+let share_verify t ~msg sh = share_verify_h t ~h:(hash_to_field msg) sh
+
+let combine t ~msg shares =
+  (* Robust combination: drop invalid shares and duplicate signers, then
+     interpolate the first k valid ones.  The message hash is computed
+     once for the whole batch. *)
+  let h = hash_to_field msg in
+  let seen = Hashtbl.create 16 in
+  let valid =
+    List.filter
+      (fun sh ->
+        share_verify_h t ~h sh
+        && not (Hashtbl.mem seen sh.signer)
+        &&
+        (Hashtbl.add seen sh.signer ();
+         true))
+      shares
+  in
+  if List.length valid < t.k then None
+  else begin
+    let chosen = List.filteri (fun i _ -> i < t.k) valid in
+    let points =
+      List.map (fun sh -> (Field.of_int sh.signer, sh.value)) chosen
+    in
+    Some (Polynomial.lagrange_at_zero points)
+  end
+
+let combine_exn t ~msg shares =
+  match combine t ~msg shares with
+  | Some s -> s
+  | None -> failwith "Threshold.combine_exn: not enough valid shares"
+
+let verify t ~msg sig_ = Field.equal sig_ (Field.mul t.master (hash_to_field msg))
+
+let forge_invalid_share ~signer = { signer; value = Field.of_int 0xDEADBEEF }
+
+let signature_bytes (s : signature) = Field.to_bytes s
+
+let signature_size = 33
+let share_size = 37

@@ -1,0 +1,61 @@
+(** Robust k-of-n threshold signatures — the simulation stand-in for
+    threshold BLS over BN-P254 (paper §III).
+
+    Structure mirrors BLS threshold signatures exactly: the dealer Shamir-
+    shares a master secret [s]; signer [i]'s share on message [m] is
+    [s_i · H(m)] (multiplication in {!Field} playing the role of the
+    group exponentiation); any [k] valid shares combine by Lagrange
+    interpolation at zero into the unique signature [s · H(m)]; invalid
+    shares from malicious signers are detected per-signer and filtered
+    ("robustness").
+
+    {b Security caveat (documented substitution):} verification uses the
+    master secret as the verification key, so a party holding a verifier
+    handle could forge.  Inside the simulation the adversary is
+    protocol-level and never calls the signing API with keys it does not
+    own, so unforgeability is enforced by construction; the scheme's
+    {e interface, robustness semantics, sizes and costs} are what the
+    protocol logic and benchmarks depend on. *)
+
+type t
+(** Public parameters + verification keys for one scheme instance. *)
+
+type signing_key
+
+type share = { signer : int; value : Field.t }
+(** A signature share by 1-based signer [signer]. *)
+
+type signature = Field.t
+
+val setup : Sbft_sim.Rng.t -> n:int -> k:int -> t * signing_key array
+(** [setup rng ~n ~k] deals keys for signers [1..n] with threshold [k].
+    The returned array is indexed by [signer - 1]. *)
+
+val n : t -> int
+val threshold : t -> int
+val signer_index : signing_key -> int
+
+val share_sign : signing_key -> msg:string -> share
+val share_verify : t -> msg:string -> share -> bool
+
+val combine : t -> msg:string -> share list -> signature option
+(** Filters invalid shares and combines the first [k] valid ones;
+    [None] if fewer than [k] valid shares are present. *)
+
+val combine_exn : t -> msg:string -> share list -> signature
+
+val verify : t -> msg:string -> signature -> bool
+
+val forge_invalid_share : signer:int -> share
+(** A deliberately invalid share, used by Byzantine test behaviours to
+    exercise robustness. *)
+
+val signature_bytes : signature -> string
+(** Wire encoding of a combined signature (8 bytes of field element;
+    size accounting uses {!signature_size}). *)
+
+val signature_size : int
+(** 33 — the byte size charged on the wire, matching BLS on BN-P254. *)
+
+val share_size : int
+(** 33 + signer index overhead. *)

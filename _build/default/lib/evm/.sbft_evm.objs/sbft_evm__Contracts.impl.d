@@ -1,0 +1,1 @@
+lib/evm/contracts.ml: Asm String U256

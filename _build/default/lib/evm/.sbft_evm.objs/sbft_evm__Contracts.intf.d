@@ -1,0 +1,1 @@
+lib/evm/contracts.mli: Asm U256

@@ -1,0 +1,1 @@
+lib/evm/evm_service.ml: Gas Interpreter List Sbft_store State String Tx

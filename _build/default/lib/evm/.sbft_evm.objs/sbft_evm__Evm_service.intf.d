@@ -1,0 +1,1 @@
+lib/evm/evm_service.mli: Sbft_store

@@ -1,0 +1,1 @@
+lib/evm/interpreter.ml: Array Bytes Char Gas Keccak List Machine Opcode Printf Sbft_crypto State String U256

@@ -1,0 +1,1 @@
+lib/evm/interpreter.mli: State U256

@@ -1,0 +1,1 @@
+lib/evm/machine.ml: Array Bytes Char String U256

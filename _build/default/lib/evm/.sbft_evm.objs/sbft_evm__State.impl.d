@@ -1,0 +1,1 @@
+lib/evm/state.ml: Buffer Char Keccak Merkle_map Option Printf Sbft_crypto String U256

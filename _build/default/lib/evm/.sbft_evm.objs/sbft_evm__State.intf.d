@@ -1,0 +1,1 @@
+lib/evm/state.mli: Sbft_crypto U256

@@ -1,0 +1,1 @@
+lib/evm/tx.ml: Codec Format Fun List Option Sbft_wire State U256

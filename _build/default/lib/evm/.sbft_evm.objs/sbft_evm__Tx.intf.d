@@ -1,0 +1,1 @@
+lib/evm/tx.mli: Format U256

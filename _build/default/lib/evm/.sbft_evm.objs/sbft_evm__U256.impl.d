@@ -1,0 +1,1 @@
+lib/evm/u256.ml: Array Buffer Bytes Char Format Int64 Printf String

@@ -1,0 +1,84 @@
+type instr =
+  | Op of Opcode.t
+  | Push of U256.t
+  | Push_int of int
+  | Push_label of string
+  | Label of string
+  | Mark of string
+  | Raw of string
+
+let push_width v =
+  let b = U256.bits v in
+  if b = 0 then 1 else (b + 7) / 8
+
+let instr_size = function
+  | Op _ -> 1
+  | Push v -> 1 + push_width v
+  | Push_int v -> 1 + push_width (U256.of_int v)
+  | Push_label _ -> 3
+  | Label _ -> 1
+  | Mark _ -> 0
+  | Raw s -> String.length s
+
+let assemble instrs =
+  (* Pass 1: label offsets. *)
+  let labels = Hashtbl.create 16 in
+  let _ =
+    List.fold_left
+      (fun off i ->
+        (match i with
+        | Label l | Mark l ->
+            if Hashtbl.mem labels l then invalid_arg ("Asm: duplicate label " ^ l);
+            Hashtbl.replace labels l off
+        | _ -> ());
+        off + instr_size i)
+      0 instrs
+  in
+  (* Pass 2: emit. *)
+  let buf = Buffer.create 256 in
+  let emit_byte b = Buffer.add_char buf (Char.chr (b land 0xFF)) in
+  let emit_push v =
+    let w = push_width v in
+    emit_byte (Opcode.to_byte (PUSH w));
+    let raw = U256.to_bytes_be v in
+    Buffer.add_string buf (String.sub raw (32 - w) w)
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Op op -> emit_byte (Opcode.to_byte op)
+      | Push v -> emit_push v
+      | Push_int v -> emit_push (U256.of_int v)
+      | Push_label l -> (
+          match Hashtbl.find_opt labels l with
+          | None -> invalid_arg ("Asm: undefined label " ^ l)
+          | Some off ->
+              emit_byte (Opcode.to_byte (PUSH 2));
+              emit_byte (off lsr 8);
+              emit_byte off)
+      | Label _ -> emit_byte (Opcode.to_byte JUMPDEST)
+      | Mark _ -> ()
+      | Raw s -> Buffer.add_string buf s)
+    instrs;
+  Buffer.contents buf
+
+let disassemble code =
+  let buf = Buffer.create 256 in
+  let i = ref 0 in
+  let n = String.length code in
+  while !i < n do
+    let op = Opcode.of_byte (Char.code code.[!i]) in
+    Buffer.add_string buf (Printf.sprintf "%04x: %s" !i (Opcode.name op));
+    (match op with
+    | PUSH w ->
+        let avail = min w (n - !i - 1) in
+        Buffer.add_string buf " 0x";
+        for j = 0 to avail - 1 do
+          Buffer.add_string buf (Printf.sprintf "%02x" (Char.code code.[!i + 1 + j]))
+        done;
+        i := !i + w
+    | _ -> ());
+    Buffer.add_char buf '\n';
+    incr i
+  done;
+  Buffer.contents buf

@@ -1,0 +1,122 @@
+open Asm
+
+let word_of_address a = U256.of_bytes_be a
+
+(* Shared prologue: leave the 1-byte selector on the stack. *)
+let load_selector = [ Push_int 0; Op CALLDATALOAD; Push_int 248; Op SHR ]
+
+let revert_tail = [ Push_int 0; Push_int 0; Op REVERT ]
+
+(* Return the 32-byte word on top of the stack. *)
+let return_top =
+  [ Push_int 0; Op MSTORE; Push_int 32; Push_int 0; Op RETURN ]
+
+let deploy_wrapper ~ctor ~runtime =
+  assemble
+    (ctor
+    @ [
+        Push_int (String.length runtime);
+        Push_label "runtime_start";
+        Push_int 0;
+        Op CODECOPY;
+        Push_int (String.length runtime);
+        Push_int 0;
+        Op RETURN;
+        Mark "runtime_start";
+        Raw runtime;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Counter *)
+
+let counter_runtime =
+  assemble
+    (load_selector
+    @ [
+        Op (DUP 1); Op ISZERO; Push_label "increment"; Op JUMPI;
+        Push_int 1; Op EQ; Push_label "get"; Op JUMPI;
+      ]
+    @ revert_tail
+    @ [ Label "increment"; Op POP;
+        Push_int 0; Op SLOAD; Push_int 1; Op ADD;
+        Op (DUP 1); Push_int 0; Op SSTORE ]
+    @ return_top
+    @ [ Label "get"; Push_int 0; Op SLOAD ]
+    @ return_top)
+
+let counter_init = deploy_wrapper ~ctor:[] ~runtime:counter_runtime
+
+let counter_increment = "\x00"
+let counter_get = "\x01"
+
+(* ------------------------------------------------------------------ *)
+(* Token *)
+
+let token_runtime =
+  assemble
+    (load_selector
+    @ [
+        Op (DUP 1); Push_int 1; Op EQ; Push_label "transfer"; Op JUMPI;
+        Op (DUP 1); Push_int 2; Op EQ; Push_label "balance_of"; Op JUMPI;
+      ]
+    @ revert_tail
+    @ [
+        Label "transfer"; Op POP;
+        (* stack: [] -> [amount; to; caller_balance] *)
+        Push_int 33; Op CALLDATALOAD;
+        Push_int 1; Op CALLDATALOAD;
+        Op CALLER; Op SLOAD;
+        (* insufficient? caller_balance < amount *)
+        Op (DUP 3); Op (DUP 2); Op LT; Push_label "insufficient"; Op JUMPI;
+        (* balances[caller] = caller_balance - amount *)
+        Op (DUP 3); Op (SWAP 1); Op SUB; Op CALLER; Op SSTORE;
+        (* balances[to] += amount ; stack: [amount; to] *)
+        Op (DUP 1); Op SLOAD; Op (DUP 3); Op ADD; Op (SWAP 1); Op SSTORE;
+        Op POP;
+        Push_int 1;
+      ]
+    @ return_top
+    @ [ Label "balance_of"; Op POP; Push_int 1; Op CALLDATALOAD; Op SLOAD ]
+    @ return_top
+    @ [ Label "insufficient" ]
+    @ revert_tail)
+
+let token_init ~supply =
+  deploy_wrapper
+    ~ctor:[ Push supply; Op CALLER; Op SSTORE ]
+    ~runtime:token_runtime
+
+let token_transfer ~to_ ~amount =
+  "\x01" ^ U256.to_bytes_be (word_of_address to_) ^ U256.to_bytes_be amount
+
+let token_balance_of ~addr = "\x02" ^ U256.to_bytes_be (word_of_address addr)
+
+(* ------------------------------------------------------------------ *)
+(* Escrow *)
+
+let escrow_runtime =
+  assemble
+    (load_selector
+    @ [
+        Op (DUP 1); Op ISZERO; Push_label "contribute"; Op JUMPI;
+        Op (DUP 1); Push_int 1; Op EQ; Push_label "total"; Op JUMPI;
+        Op (DUP 1); Push_int 2; Op EQ; Push_label "of"; Op JUMPI;
+      ]
+    @ revert_tail
+    @ [
+        Label "contribute"; Op POP;
+        Push_int 0; Op SLOAD; Op CALLVALUE; Op ADD;
+        Op (DUP 1); Push_int 0; Op SSTORE;
+        Op CALLER; Op SLOAD; Op CALLVALUE; Op ADD; Op CALLER; Op SSTORE;
+      ]
+    @ return_top
+    @ [ Label "total"; Op POP; Push_int 0; Op SLOAD ]
+    @ return_top
+    @ [ Label "of"; Op POP; Push_int 1; Op CALLDATALOAD; Op SLOAD ]
+    @ return_top)
+
+let escrow_init = deploy_wrapper ~ctor:[] ~runtime:escrow_runtime
+
+let escrow_contribute = "\x00"
+let escrow_total = "\x01"
+let escrow_contribution_of ~addr = "\x02" ^ U256.to_bytes_be (word_of_address addr)

@@ -1,0 +1,61 @@
+let g_zero = 0
+let g_base = 2
+let g_verylow = 3
+let g_low = 5
+let g_mid = 8
+let g_high = 10
+let g_jumpdest = 1
+let g_balance = 400
+let g_sload = 200
+let g_sstore_set = 20000
+let g_sstore_reset = 5000
+let g_sha3 = 30
+let g_sha3_word = 6
+let g_copy_word = 3
+let g_log = 375
+let g_log_topic = 375
+let g_log_byte = 8
+let g_call = 700
+let g_call_value = 9000
+let g_create = 32000
+let g_code_deposit_byte = 200
+let g_tx = 21000
+let g_tx_create = 53000
+let g_tx_data_zero = 4
+let g_tx_data_nonzero = 68
+let g_exp = 10
+let g_exp_byte = 50
+
+let memory_cost words = (3 * words) + (words * words / 512)
+
+let intrinsic ~is_create ~data =
+  let base = if is_create then g_tx_create else g_tx in
+  String.fold_left
+    (fun acc c -> acc + if c = '\x00' then g_tx_data_zero else g_tx_data_nonzero)
+    base data
+
+let static_cost (op : Opcode.t) =
+  match op with
+  | STOP | RETURN | REVERT -> g_zero
+  | ADDRESS | ORIGIN | CALLER | CALLVALUE | CALLDATASIZE | CODESIZE | GASPRICE
+  | COINBASE | TIMESTAMP | NUMBER | RETURNDATASIZE | POP | PC | MSIZE | GAS ->
+      g_base
+  | ADD | SUB | NOT | LT | GT | SLT | SGT | EQ | ISZERO | AND | OR | XOR | BYTE
+  | SHL | SHR | SAR | CALLDATALOAD | MLOAD | MSTORE | MSTORE8 | PUSH _ | DUP _
+  | SWAP _ ->
+      g_verylow
+  | MUL | DIV | SDIV | MOD | SMOD | SIGNEXTEND | SELFBALANCE -> g_low
+  | ADDMOD | MULMOD | JUMP -> g_mid
+  | JUMPI -> g_high
+  | JUMPDEST -> g_jumpdest
+  | BALANCE | EXTCODESIZE | EXTCODEHASH -> g_balance
+  | EXTCODECOPY -> g_balance
+  | SLOAD -> g_sload
+  | SSTORE -> 0 (* dynamic *)
+  | SHA3 -> g_sha3
+  | CALLDATACOPY | CODECOPY | RETURNDATACOPY -> g_verylow
+  | EXP -> g_exp
+  | LOG n -> g_log + (n * g_log_topic)
+  | CALL | STATICCALL | DELEGATECALL -> g_call
+  | CREATE -> g_create
+  | INVALID _ -> 0

@@ -1,0 +1,96 @@
+exception Stack_overflow_evm
+exception Stack_underflow_evm
+
+module Stack = struct
+  type t = { mutable data : U256.t array; mutable len : int }
+
+  let limit = 1024
+
+  let create () = { data = Array.make 64 U256.zero; len = 0 }
+
+  let depth t = t.len
+
+  let push t v =
+    if t.len >= limit then raise Stack_overflow_evm;
+    if t.len = Array.length t.data then begin
+      let nd = Array.make (min limit (2 * Array.length t.data)) U256.zero in
+      Array.blit t.data 0 nd 0 t.len;
+      t.data <- nd
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let pop t =
+    if t.len = 0 then raise Stack_underflow_evm;
+    t.len <- t.len - 1;
+    t.data.(t.len)
+
+  let peek t i =
+    if i >= t.len then raise Stack_underflow_evm;
+    t.data.(t.len - 1 - i)
+
+  let dup t n =
+    if n < 1 || n > t.len then raise Stack_underflow_evm;
+    push t t.data.(t.len - n)
+
+  let swap t n =
+    if n < 1 || n + 1 > t.len then raise Stack_underflow_evm;
+    let top = t.len - 1 in
+    let other = t.len - 1 - n in
+    let tmp = t.data.(top) in
+    t.data.(top) <- t.data.(other);
+    t.data.(other) <- tmp
+end
+
+module Memory = struct
+  type t = { mutable data : Bytes.t; mutable words : int }
+
+  let create () = { data = Bytes.make 256 '\x00'; words = 0 }
+
+  let size_words t = t.words
+
+  let ensure_capacity t bytes_needed =
+    if Bytes.length t.data < bytes_needed then begin
+      let ncap = ref (Bytes.length t.data) in
+      while !ncap < bytes_needed do
+        ncap := !ncap * 2
+      done;
+      let nd = Bytes.make !ncap '\x00' in
+      Bytes.blit t.data 0 nd 0 (Bytes.length t.data);
+      t.data <- nd
+    end
+
+  let expand t ~offset ~len =
+    if len > 0 then begin
+      let needed_words = (offset + len + 31) / 32 in
+      if needed_words > t.words then begin
+        ensure_capacity t (needed_words * 32);
+        t.words <- needed_words
+      end
+    end
+
+  let load_word t off =
+    expand t ~offset:off ~len:32;
+    U256.of_bytes_be (Bytes.sub_string t.data off 32)
+
+  let store_word t off v =
+    expand t ~offset:off ~len:32;
+    Bytes.blit_string (U256.to_bytes_be v) 0 t.data off 32
+
+  let store_byte t off b =
+    expand t ~offset:off ~len:1;
+    Bytes.set t.data off (Char.chr (b land 0xFF))
+
+  let load_slice t ~offset ~len =
+    if len = 0 then ""
+    else begin
+      expand t ~offset ~len;
+      Bytes.sub_string t.data offset len
+    end
+
+  let store_slice t ~offset s =
+    if String.length s > 0 then begin
+      expand t ~offset ~len:(String.length s);
+      Bytes.blit_string s 0 t.data offset (String.length s)
+    end
+end

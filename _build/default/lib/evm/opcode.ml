@@ -1,0 +1,100 @@
+type t =
+  | STOP
+  | ADD | MUL | SUB | DIV | SDIV | MOD | SMOD | ADDMOD | MULMOD | EXP | SIGNEXTEND
+  | LT | GT | SLT | SGT | EQ | ISZERO | AND | OR | XOR | NOT | BYTE | SHL | SHR | SAR
+  | SHA3
+  | ADDRESS | BALANCE | ORIGIN | CALLER | CALLVALUE | CALLDATALOAD | CALLDATASIZE
+  | CALLDATACOPY | CODESIZE | CODECOPY | GASPRICE | RETURNDATASIZE | RETURNDATACOPY
+  | EXTCODESIZE | EXTCODECOPY | EXTCODEHASH
+  | COINBASE | TIMESTAMP | NUMBER | SELFBALANCE
+  | POP | MLOAD | MSTORE | MSTORE8 | SLOAD | SSTORE | JUMP | JUMPI | PC | MSIZE | GAS
+  | JUMPDEST
+  | PUSH of int
+  | DUP of int
+  | SWAP of int
+  | LOG of int
+  | CREATE | CALL | STATICCALL | DELEGATECALL | RETURN | REVERT
+  | INVALID of int
+
+let of_byte b =
+  match b with
+  | 0x00 -> STOP
+  | 0x01 -> ADD | 0x02 -> MUL | 0x03 -> SUB | 0x04 -> DIV | 0x05 -> SDIV
+  | 0x06 -> MOD | 0x07 -> SMOD | 0x08 -> ADDMOD | 0x09 -> MULMOD | 0x0a -> EXP
+  | 0x0b -> SIGNEXTEND
+  | 0x10 -> LT | 0x11 -> GT | 0x12 -> SLT | 0x13 -> SGT | 0x14 -> EQ
+  | 0x15 -> ISZERO | 0x16 -> AND | 0x17 -> OR | 0x18 -> XOR | 0x19 -> NOT
+  | 0x1a -> BYTE | 0x1b -> SHL | 0x1c -> SHR | 0x1d -> SAR
+  | 0x20 -> SHA3
+  | 0x30 -> ADDRESS | 0x31 -> BALANCE | 0x32 -> ORIGIN | 0x33 -> CALLER
+  | 0x34 -> CALLVALUE | 0x35 -> CALLDATALOAD | 0x36 -> CALLDATASIZE
+  | 0x37 -> CALLDATACOPY | 0x38 -> CODESIZE | 0x39 -> CODECOPY | 0x3a -> GASPRICE
+  | 0x3b -> EXTCODESIZE | 0x3c -> EXTCODECOPY | 0x3f -> EXTCODEHASH
+  | 0x3d -> RETURNDATASIZE | 0x3e -> RETURNDATACOPY
+  | 0x41 -> COINBASE | 0x42 -> TIMESTAMP | 0x43 -> NUMBER | 0x47 -> SELFBALANCE
+  | 0x50 -> POP | 0x51 -> MLOAD | 0x52 -> MSTORE | 0x53 -> MSTORE8
+  | 0x54 -> SLOAD | 0x55 -> SSTORE | 0x56 -> JUMP | 0x57 -> JUMPI
+  | 0x58 -> PC | 0x59 -> MSIZE | 0x5a -> GAS | 0x5b -> JUMPDEST
+  | b when b >= 0x60 && b <= 0x7f -> PUSH (b - 0x5f)
+  | b when b >= 0x80 && b <= 0x8f -> DUP (b - 0x7f)
+  | b when b >= 0x90 && b <= 0x9f -> SWAP (b - 0x8f)
+  | b when b >= 0xa0 && b <= 0xa4 -> LOG (b - 0xa0)
+  | 0xf0 -> CREATE | 0xf1 -> CALL | 0xfa -> STATICCALL | 0xf4 -> DELEGATECALL
+  | 0xf3 -> RETURN | 0xfd -> REVERT
+  | b -> INVALID b
+
+let to_byte = function
+  | STOP -> 0x00
+  | ADD -> 0x01 | MUL -> 0x02 | SUB -> 0x03 | DIV -> 0x04 | SDIV -> 0x05
+  | MOD -> 0x06 | SMOD -> 0x07 | ADDMOD -> 0x08 | MULMOD -> 0x09 | EXP -> 0x0a
+  | SIGNEXTEND -> 0x0b
+  | LT -> 0x10 | GT -> 0x11 | SLT -> 0x12 | SGT -> 0x13 | EQ -> 0x14
+  | ISZERO -> 0x15 | AND -> 0x16 | OR -> 0x17 | XOR -> 0x18 | NOT -> 0x19
+  | BYTE -> 0x1a | SHL -> 0x1b | SHR -> 0x1c | SAR -> 0x1d
+  | SHA3 -> 0x20
+  | ADDRESS -> 0x30 | BALANCE -> 0x31 | ORIGIN -> 0x32 | CALLER -> 0x33
+  | CALLVALUE -> 0x34 | CALLDATALOAD -> 0x35 | CALLDATASIZE -> 0x36
+  | CALLDATACOPY -> 0x37 | CODESIZE -> 0x38 | CODECOPY -> 0x39 | GASPRICE -> 0x3a
+  | RETURNDATASIZE -> 0x3d | RETURNDATACOPY -> 0x3e
+  | EXTCODESIZE -> 0x3b | EXTCODECOPY -> 0x3c | EXTCODEHASH -> 0x3f
+  | COINBASE -> 0x41 | TIMESTAMP -> 0x42 | NUMBER -> 0x43 | SELFBALANCE -> 0x47
+  | POP -> 0x50 | MLOAD -> 0x51 | MSTORE -> 0x52 | MSTORE8 -> 0x53
+  | SLOAD -> 0x54 | SSTORE -> 0x55 | JUMP -> 0x56 | JUMPI -> 0x57
+  | PC -> 0x58 | MSIZE -> 0x59 | GAS -> 0x5a | JUMPDEST -> 0x5b
+  | PUSH n -> 0x5f + n
+  | DUP n -> 0x7f + n
+  | SWAP n -> 0x8f + n
+  | LOG n -> 0xa0 + n
+  | CREATE -> 0xf0 | CALL -> 0xf1 | STATICCALL -> 0xfa | DELEGATECALL -> 0xf4
+  | RETURN -> 0xf3 | REVERT -> 0xfd
+  | INVALID b -> b
+
+let name = function
+  | STOP -> "STOP"
+  | ADD -> "ADD" | MUL -> "MUL" | SUB -> "SUB" | DIV -> "DIV" | SDIV -> "SDIV"
+  | MOD -> "MOD" | SMOD -> "SMOD" | ADDMOD -> "ADDMOD" | MULMOD -> "MULMOD"
+  | EXP -> "EXP" | SIGNEXTEND -> "SIGNEXTEND"
+  | LT -> "LT" | GT -> "GT" | SLT -> "SLT" | SGT -> "SGT" | EQ -> "EQ"
+  | ISZERO -> "ISZERO" | AND -> "AND" | OR -> "OR" | XOR -> "XOR" | NOT -> "NOT"
+  | BYTE -> "BYTE" | SHL -> "SHL" | SHR -> "SHR" | SAR -> "SAR"
+  | SHA3 -> "SHA3"
+  | ADDRESS -> "ADDRESS" | BALANCE -> "BALANCE" | ORIGIN -> "ORIGIN"
+  | CALLER -> "CALLER" | CALLVALUE -> "CALLVALUE" | CALLDATALOAD -> "CALLDATALOAD"
+  | CALLDATASIZE -> "CALLDATASIZE" | CALLDATACOPY -> "CALLDATACOPY"
+  | CODESIZE -> "CODESIZE" | CODECOPY -> "CODECOPY" | GASPRICE -> "GASPRICE"
+  | RETURNDATASIZE -> "RETURNDATASIZE" | RETURNDATACOPY -> "RETURNDATACOPY"
+  | EXTCODESIZE -> "EXTCODESIZE" | EXTCODECOPY -> "EXTCODECOPY"
+  | EXTCODEHASH -> "EXTCODEHASH"
+  | COINBASE -> "COINBASE" | TIMESTAMP -> "TIMESTAMP" | NUMBER -> "NUMBER"
+  | SELFBALANCE -> "SELFBALANCE"
+  | POP -> "POP" | MLOAD -> "MLOAD" | MSTORE -> "MSTORE" | MSTORE8 -> "MSTORE8"
+  | SLOAD -> "SLOAD" | SSTORE -> "SSTORE" | JUMP -> "JUMP" | JUMPI -> "JUMPI"
+  | PC -> "PC" | MSIZE -> "MSIZE" | GAS -> "GAS" | JUMPDEST -> "JUMPDEST"
+  | PUSH n -> Printf.sprintf "PUSH%d" n
+  | DUP n -> Printf.sprintf "DUP%d" n
+  | SWAP n -> Printf.sprintf "SWAP%d" n
+  | LOG n -> Printf.sprintf "LOG%d" n
+  | CREATE -> "CREATE" | CALL -> "CALL" | STATICCALL -> "STATICCALL"
+  | DELEGATECALL -> "DELEGATECALL"
+  | RETURN -> "RETURN" | REVERT -> "REVERT"
+  | INVALID b -> Printf.sprintf "INVALID(0x%02x)" b

@@ -1,0 +1,24 @@
+(** EVM opcode set (the subset the paper's workloads exercise, which is
+    the vast majority of the Homestead/Byzantium instruction set). *)
+
+type t =
+  | STOP
+  | ADD | MUL | SUB | DIV | SDIV | MOD | SMOD | ADDMOD | MULMOD | EXP | SIGNEXTEND
+  | LT | GT | SLT | SGT | EQ | ISZERO | AND | OR | XOR | NOT | BYTE | SHL | SHR | SAR
+  | SHA3
+  | ADDRESS | BALANCE | ORIGIN | CALLER | CALLVALUE | CALLDATALOAD | CALLDATASIZE
+  | CALLDATACOPY | CODESIZE | CODECOPY | GASPRICE | RETURNDATASIZE | RETURNDATACOPY
+  | EXTCODESIZE | EXTCODECOPY | EXTCODEHASH
+  | COINBASE | TIMESTAMP | NUMBER | SELFBALANCE
+  | POP | MLOAD | MSTORE | MSTORE8 | SLOAD | SSTORE | JUMP | JUMPI | PC | MSIZE | GAS
+  | JUMPDEST
+  | PUSH of int  (** [PUSH n], 1 ≤ n ≤ 32 *)
+  | DUP of int  (** [DUP n], 1 ≤ n ≤ 16 *)
+  | SWAP of int  (** [SWAP n], 1 ≤ n ≤ 16 *)
+  | LOG of int  (** [LOG n], 0 ≤ n ≤ 4 *)
+  | CREATE | CALL | STATICCALL | DELEGATECALL | RETURN | REVERT
+  | INVALID of int  (** any unassigned byte *)
+
+val of_byte : int -> t
+val to_byte : t -> int
+val name : t -> string

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Cluster Config Engine Format Fun List Printf Report Sbft_core Sbft_sim Sbft_store Sbft_workload Scenario Topology Trace Types

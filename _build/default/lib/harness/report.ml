@@ -1,0 +1,84 @@
+let hr = String.make 96 '-'
+
+let print_throughput_table ~title ~clients ~rows =
+  Printf.printf "\n%s\n%s\n" title hr;
+  Printf.printf "%-22s" "protocol";
+  List.iter (fun c -> Printf.printf "%12s" (Printf.sprintf "%d cl" c)) clients;
+  print_newline ();
+  List.iter
+    (fun (name, points) ->
+      Printf.printf "%-22s" name;
+      List.iter
+        (fun (p : Scenario.point) -> Printf.printf "%12.0f" p.Scenario.throughput_ops)
+        points;
+      print_newline ())
+    rows;
+  Printf.printf "%s\n(cells: operations/second)\n%!" hr
+
+let print_latency_table ~title ~clients ~rows =
+  Printf.printf "\n%s\n%s\n" title hr;
+  Printf.printf "%-22s" "protocol";
+  List.iter (fun c -> Printf.printf "%18s" (Printf.sprintf "%d cl" c)) clients;
+  print_newline ();
+  List.iter
+    (fun (name, points) ->
+      Printf.printf "%-22s" name;
+      List.iter
+        (fun (p : Scenario.point) ->
+          Printf.printf "%18s"
+            (Printf.sprintf "%.0fms@%.0f" p.Scenario.median_latency_ms
+               p.Scenario.throughput_ops))
+        points;
+      print_newline ())
+    rows;
+  Printf.printf "%s\n(cells: median latency @ throughput)\n%!" hr
+
+let print_points ~title points =
+  Printf.printf "\n%s\n%s\n" title hr;
+  Printf.printf "%-22s %8s %6s %9s %9s %9s %7s %5s %6s\n" "protocol" "clients" "fail"
+    "ops/s" "med ms" "mean ms" "fast%" "vc" "agree";
+  List.iter
+    (fun (p : Scenario.point) ->
+      let s = p.Scenario.scenario in
+      Printf.printf "%-22s %8d %6d %9.0f %9.1f %9.1f %6.0f%% %5d %6b\n"
+        (Scenario.protocol_name s.Scenario.protocol)
+        s.Scenario.num_clients s.Scenario.failures p.Scenario.throughput_ops
+        p.Scenario.median_latency_ms p.Scenario.mean_latency_ms
+        (100.0 *. p.Scenario.fast_fraction)
+        p.Scenario.view_changes p.Scenario.agreement)
+    points;
+  Printf.printf "%s\n%!" hr
+
+let csv_of_points points =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "protocol,f,workload,clients,failures,topology,ops_per_sec,median_ms,mean_ms,p90_ms,completed,messages,bytes,fast_fraction,view_changes,agreement\n";
+  List.iter
+    (fun (p : Scenario.point) ->
+      let s = p.Scenario.scenario in
+      let workload =
+        match s.Scenario.workload with
+        | Scenario.Kv { batching } -> if batching then "kv-batch" else "kv-nobatch"
+        | Scenario.Eth -> "eth"
+      in
+      let topo =
+        match s.Scenario.topology with
+        | `Lan -> "lan"
+        | `Continent -> "continent"
+        | `World -> "world"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%s,%d,%d,%s,%.1f,%.2f,%.2f,%.2f,%d,%d,%d,%.3f,%d,%b\n"
+           (Scenario.protocol_name s.Scenario.protocol)
+           s.Scenario.f workload s.Scenario.num_clients s.Scenario.failures topo
+           p.Scenario.throughput_ops p.Scenario.median_latency_ms
+           p.Scenario.mean_latency_ms p.Scenario.p90_latency_ms
+           p.Scenario.completed_requests p.Scenario.messages p.Scenario.bytes
+           p.Scenario.fast_fraction p.Scenario.view_changes p.Scenario.agreement))
+    points;
+  Buffer.contents b
+
+let write_csv ~path points =
+  let oc = open_out path in
+  output_string oc (csv_of_points points);
+  close_out oc

@@ -1,0 +1,18 @@
+(** Table and CSV rendering of benchmark points. *)
+
+val print_throughput_table :
+  title:string -> clients:int list -> rows:(string * Scenario.point list) list -> unit
+(** One row per protocol, one column per client count; cells show
+    ops/second. *)
+
+val print_latency_table :
+  title:string -> clients:int list -> rows:(string * Scenario.point list) list -> unit
+(** Same layout; cells show "latency_ms @ throughput" pairs (the axes of
+    the paper's Figure 3). *)
+
+val print_points : title:string -> Scenario.point list -> unit
+(** Generic long-format dump, one line per point. *)
+
+val csv_of_points : Scenario.point list -> string
+
+val write_csv : path:string -> Scenario.point list -> unit

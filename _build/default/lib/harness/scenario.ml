@@ -1,0 +1,190 @@
+open Sbft_sim
+open Sbft_core
+open Sbft_workload
+
+type protocol = PBFT | Linear_PBFT | Linear_PBFT_fast | SBFT of int
+
+let protocol_name = function
+  | PBFT -> "PBFT"
+  | Linear_PBFT -> "Linear-PBFT"
+  | Linear_PBFT_fast -> "Linear-PBFT+Fast"
+  | SBFT c -> Printf.sprintf "SBFT (c=%d)" c
+
+type workload = Kv of { batching : bool } | Eth
+
+type t = {
+  protocol : protocol;
+  f : int;
+  workload : workload;
+  num_clients : int;
+  failures : int;
+  topology : [ `Lan | `Continent | `World ];
+  warmup : Engine.time;
+  duration : Engine.time;
+  seed : int64;
+  cpu_scale : float;
+  tweak : Config.t -> Config.t;
+}
+
+let default ?(failures = 0) ?(topology = `Continent) ?(warmup = Engine.ms 750)
+    ?(duration = Engine.ms 1500) ?(seed = 1L) ?(cpu_scale = 0.5) ?(tweak = Fun.id)
+    ~protocol ~f ~workload ~num_clients () =
+  { protocol; f; workload; num_clients; failures; topology; warmup; duration; seed;
+    cpu_scale; tweak }
+
+type point = {
+  scenario : t;
+  throughput_ops : float;
+  median_latency_ms : float;
+  mean_latency_ms : float;
+  p90_latency_ms : float;
+  completed_requests : int;
+  messages : int;
+  bytes : int;
+  fast_fraction : float;
+  view_changes : int;
+  agreement : bool;
+  host_seconds : float;
+}
+
+let ops_per_request = function
+  | Kv { batching } -> Kv_workload.ops_per_request ~batching
+  | Eth -> Eth_workload.txs_per_chunk
+
+let config_of t =
+  let base =
+    match t.protocol with
+    | PBFT | SBFT _ ->
+        let c = match t.protocol with SBFT c -> c | _ -> 0 in
+        Config.sbft ~f:t.f ~c
+    | Linear_PBFT -> Config.linear_pbft ~f:t.f
+    | Linear_PBFT_fast -> Config.linear_pbft_fast ~f:t.f
+  in
+  (* The paper adapts the fast-path fallback timer from network
+     profiling; here it scales with the topology's latency spread. *)
+  let fast_path_timeout =
+    match t.topology with
+    | `Lan -> Engine.ms 20
+    | `Continent -> Engine.ms 150
+    | `World -> Engine.ms 450
+  in
+  let stagger = fast_path_timeout / 3 in
+  t.tweak
+    { base with Config.fast_path_timeout; collector_stagger = stagger }
+
+let topology_of = function
+  | `Lan -> fun ~num_nodes -> Topology.lan ~num_nodes
+  | `Continent -> fun ~num_nodes -> Topology.continent ~num_nodes
+  | `World -> fun ~num_nodes -> Topology.world ~num_nodes
+
+let service_of = function
+  | Kv _ -> Kv_workload.service
+  | Eth -> Eth_workload.service
+
+let make_op_of workload ~client i =
+  match workload with
+  | Kv { batching } -> Kv_workload.make_op ~batching ~client i
+  | Eth -> Eth_workload.make_chunk ~client i
+
+(* Crash the highest-numbered backups (never the initial primary, so
+   failure experiments measure fault {e tolerance}, not fail-over; the
+   paper's failure runs behave the same way). *)
+let crash_set ~n ~failures = List.init failures (fun i -> n - 1 - i)
+
+let log_point t (p : point) =
+  Printf.eprintf
+    "[scenario] %-18s f=%d cl=%-3d fail=%-2d %-10s -> %8.0f ops/s %6.1f ms (host %.0fs, heap %dMB)\n%!"
+    (protocol_name t.protocol) t.f t.num_clients t.failures
+    (match t.workload with
+    | Kv { batching = true } -> "kv-batch"
+    | Kv { batching = false } -> "kv-nobatch"
+    | Eth -> "eth")
+    p.throughput_ops p.median_latency_ms p.host_seconds
+    (Gc.((quick_stat ()).heap_words) * 8 / 1_048_576)
+
+let run t =
+  let host0 = Sys.time () in
+  let config = config_of t in
+  let topology = topology_of t.topology in
+  let service = service_of t.workload in
+  let horizon = t.warmup + t.duration in
+  let point ~throughput ~latency ~completed ~messages ~bytes ~fast_fraction
+      ~view_changes ~agreement =
+    let reqs_per_sec =
+      Stats.Throughput.rate throughput ~from_:t.warmup ~until:horizon
+    in
+    {
+      scenario = t;
+      throughput_ops = reqs_per_sec *. float_of_int (ops_per_request t.workload);
+      median_latency_ms = Stats.Latency.median_ms latency;
+      mean_latency_ms = Stats.Latency.mean_ms latency;
+      p90_latency_ms = Stats.Latency.percentile_ms latency 0.9;
+      completed_requests = completed;
+      messages;
+      bytes;
+      fast_fraction;
+      view_changes;
+      agreement;
+      host_seconds = Sys.time () -. host0;
+    }
+  in
+  match t.protocol with
+  | PBFT ->
+      let open Sbft_pbft in
+      let cluster =
+        Pbft_cluster.create ~seed:t.seed ~cpu_scale:t.cpu_scale ~config
+          ~num_clients:t.num_clients ~topology ~service ()
+      in
+      Pbft_cluster.crash_replicas cluster
+        (crash_set ~n:(Config.n cluster.Pbft_cluster.config) ~failures:t.failures);
+      Pbft_cluster.start_clients cluster ~requests_per_client:max_int
+        ~make_op:(make_op_of t.workload);
+      Pbft_cluster.run_for cluster horizon;
+      point ~throughput:cluster.Pbft_cluster.throughput
+        ~latency:cluster.Pbft_cluster.latency
+        ~completed:(Pbft_cluster.total_completed cluster)
+        ~messages:(Network.messages_sent cluster.Pbft_cluster.network)
+        ~bytes:(Network.bytes_sent cluster.Pbft_cluster.network)
+        ~fast_fraction:0.0
+        ~view_changes:
+          (Array.fold_left
+             (fun acc r -> max acc (Pbft_replica.view_changes_completed r))
+             0 cluster.Pbft_cluster.replicas)
+        ~agreement:(Pbft_cluster.agreement_ok cluster)
+      |> fun p ->
+      log_point t p;
+      Gc.compact ();
+      p
+  | _ ->
+      let cluster =
+        Cluster.create ~seed:t.seed ~cpu_scale:t.cpu_scale ~config
+          ~num_clients:t.num_clients ~topology ~service ()
+      in
+      Cluster.crash_replicas cluster
+        (crash_set ~n:(Config.n config) ~failures:t.failures);
+      Cluster.start_clients cluster ~requests_per_client:max_int
+        ~make_op:(make_op_of t.workload);
+      Cluster.run_for cluster horizon;
+      let fast, slow =
+        Array.fold_left
+          (fun (f_, s) r ->
+            if Engine.is_crashed cluster.Cluster.engine (Replica.id r) then (f_, s)
+            else (f_ + Replica.fast_commits r, s + Replica.slow_commits r))
+          (0, 0) cluster.Cluster.replicas
+      in
+      point ~throughput:cluster.Cluster.throughput ~latency:cluster.Cluster.latency
+        ~completed:(Cluster.total_completed cluster)
+        ~messages:(Network.messages_sent cluster.Cluster.network)
+        ~bytes:(Network.bytes_sent cluster.Cluster.network)
+        ~fast_fraction:
+          (if fast + slow = 0 then 0.0
+           else float_of_int fast /. float_of_int (fast + slow))
+        ~view_changes:
+          (Array.fold_left
+             (fun acc r -> max acc (Replica.view_changes_completed r))
+             0 cluster.Cluster.replicas)
+        ~agreement:(Cluster.agreement_ok cluster)
+      |> fun p ->
+      log_point t p;
+      Gc.compact ();
+      p

@@ -1,0 +1,68 @@
+(** Benchmark scenario runner: one call = one data point of the paper's
+    evaluation (a protocol variant × workload × client count × failure
+    count × topology), measured over a warmed-up window of virtual
+    time. *)
+
+type protocol =
+  | PBFT  (** scale-optimized PBFT baseline, n = 3f+1 *)
+  | Linear_PBFT  (** ingredient 1 *)
+  | Linear_PBFT_fast  (** ingredients 1+2 *)
+  | SBFT of int  (** ingredients 1–3 (+4): the argument is c *)
+
+val protocol_name : protocol -> string
+
+type workload =
+  | Kv of { batching : bool }
+  | Eth
+
+type t = {
+  protocol : protocol;
+  f : int;
+  workload : workload;
+  num_clients : int;
+  failures : int;  (** backup replicas crashed from the start *)
+  topology : [ `Lan | `Continent | `World ];
+  warmup : Sbft_sim.Engine.time;
+  duration : Sbft_sim.Engine.time;  (** measured window after warmup *)
+  seed : int64;
+  cpu_scale : float;
+      (** CPU speed factor; 0.5 models the ≈2 cores/replica of the
+          paper's testbed packing. *)
+  tweak : Sbft_core.Config.t -> Sbft_core.Config.t;
+      (** Final configuration hook, used by ablations (group signatures,
+          collector staggering, fixed batching, ...). *)
+}
+
+val default :
+  ?failures:int ->
+  ?topology:[ `Lan | `Continent | `World ] ->
+  ?warmup:Sbft_sim.Engine.time ->
+  ?duration:Sbft_sim.Engine.time ->
+  ?seed:int64 ->
+  ?cpu_scale:float ->
+  ?tweak:(Sbft_core.Config.t -> Sbft_core.Config.t) ->
+  protocol:protocol ->
+  f:int ->
+  workload:workload ->
+  num_clients:int ->
+  unit ->
+  t
+
+type point = {
+  scenario : t;
+  throughput_ops : float;  (** operations (not requests) per second *)
+  median_latency_ms : float;
+  mean_latency_ms : float;
+  p90_latency_ms : float;
+  completed_requests : int;
+  messages : int;
+  bytes : int;
+  fast_fraction : float;  (** fraction of blocks committed on the fast path *)
+  view_changes : int;
+  agreement : bool;
+  host_seconds : float;
+}
+
+val run : t -> point
+
+val ops_per_request : workload -> int

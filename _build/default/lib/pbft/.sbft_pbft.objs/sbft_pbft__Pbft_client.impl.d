@@ -1,0 +1,1 @@
+lib/pbft/pbft_client.ml: Cost_model Engine List Pbft_replica Pbft_types Pki Sbft_core Sbft_crypto Sbft_sim String

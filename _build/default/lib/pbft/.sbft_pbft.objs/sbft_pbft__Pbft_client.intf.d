@@ -1,0 +1,1 @@
+lib/pbft/pbft_client.mli: Pbft_replica Pbft_types Sbft_crypto Sbft_sim

@@ -1,0 +1,1 @@
+lib/pbft/pbft_cluster.ml: Array Engine List Network Pbft_client Pbft_replica Pbft_types Rng Sbft_core Sbft_sim Sbft_store Stats String Trace

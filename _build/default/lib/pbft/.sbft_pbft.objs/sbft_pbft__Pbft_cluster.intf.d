@@ -1,0 +1,1 @@
+lib/pbft/pbft_cluster.mli: Pbft_client Pbft_replica Sbft_core Sbft_sim

@@ -1,0 +1,1 @@
+lib/pbft/pbft_replica.ml: Cost_model Engine Hashtbl List Option Pbft_types Printf Queue Sbft_core Sbft_crypto Sbft_sim Sbft_store String Trace

@@ -1,0 +1,1 @@
+lib/pbft/pbft_replica.mli: Pbft_types Sbft_core Sbft_sim Sbft_store

@@ -1,0 +1,1 @@
+lib/pbft/pbft_types.ml: Codec List Sbft_core Sbft_crypto Sbft_wire String

@@ -1,0 +1,497 @@
+open Sbft_sim
+open Sbft_crypto
+module Types = Sbft_core.Types
+module Config = Sbft_core.Config
+module Keys = Sbft_core.Keys
+module Batching = Sbft_core.Batching
+
+type env = {
+  engine : Engine.t;
+  trace : Trace.t;
+  keys : Keys.t;
+  send : Engine.ctx -> src:int -> dst:int -> Pbft_types.msg -> unit;
+  exec_cost : Pbft_types.request list -> Engine.time;
+}
+
+type slot = {
+  seq : int;
+  mutable pp : (int * Types.request list * string) option;
+  mutable prepares : (int, unit) Hashtbl.t;
+  mutable commits : (int, unit) Hashtbl.t;
+  mutable sent_prepare : bool;
+  mutable sent_commit : bool;
+  mutable prepared : bool;
+  mutable committed : Types.request list option;
+  mutable executed : bool;
+}
+
+let new_slot seq =
+  {
+    seq;
+    pp = None;
+    prepares = Hashtbl.create 8;
+    commits = Hashtbl.create 8;
+    sent_prepare = false;
+    sent_commit = false;
+    prepared = false;
+    committed = None;
+    executed = false;
+  }
+
+type t = {
+  env : env;
+  id : int;
+  store : Sbft_store.Auth_store.t;
+  mutable view : int;
+  mutable next_seq : int;
+  mutable ls : int;
+  slots : (int, slot) Hashtbl.t;
+  pending : Types.request Queue.t;
+  pending_keys : (int * int, unit) Hashtbl.t;
+  client_table : (int, int * string * int) Hashtbl.t;
+  checkpoints : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* seq -> voters *)
+  batching : Batching.t;
+  mutable batch_timer_armed : bool;
+  outstanding : (int * int, Types.request) Hashtbl.t;
+  mutable last_progress : Engine.time;
+  mutable vc_backoff : int;
+  mutable sent_vc_for : int;
+  vc_msgs : (int, (int, (int * int * Types.request list) list) Hashtbl.t) Hashtbl.t;
+  mutable n_committed : int;
+  mutable n_view_changes : int;
+}
+
+let cfg t = t.env.keys.Keys.config
+let n_replicas t = Config.n (cfg t)
+let quorum t = (2 * (cfg t).Config.f) + 1
+
+let create ~env ~id ~store =
+  {
+    env;
+    id;
+    store;
+    view = 0;
+    next_seq = 1;
+    ls = 0;
+    slots = Hashtbl.create 128;
+    pending = Queue.create ();
+    pending_keys = Hashtbl.create 64;
+    client_table = Hashtbl.create 64;
+    checkpoints = Hashtbl.create 8;
+    batching = Batching.create env.keys.Keys.config;
+    batch_timer_armed = false;
+    outstanding = Hashtbl.create 64;
+    last_progress = 0;
+    vc_backoff = 0;
+    sent_vc_for = 0;
+    vc_msgs = Hashtbl.create 4;
+    n_committed = 0;
+    n_view_changes = 0;
+  }
+
+let id t = t.id
+let view t = t.view
+let primary_of t v = v mod n_replicas t
+let is_primary t = primary_of t t.view = t.id
+let last_executed t = Sbft_store.Auth_store.last_executed t.store
+let state_digest t = Sbft_store.Auth_store.digest t.store
+let blocks_committed t = t.n_committed
+let view_changes_completed t = t.n_view_changes
+
+let committed_block t seq =
+  match Hashtbl.find_opt t.slots seq with Some s -> s.committed | None -> None
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+      let s = new_slot seq in
+      Hashtbl.replace t.slots seq s;
+      s
+
+let send t ctx ~dst msg = t.env.send ctx ~src:t.id ~dst msg
+
+(* All-to-all broadcast with one RSA signature by the sender; every
+   receiver pays one verification (charged on receipt). *)
+let broadcast t ctx msg =
+  Engine.charge ctx Cost_model.rsa_sign;
+  for r = 0 to n_replicas t - 1 do
+    send t ctx ~dst:r msg
+  done
+
+let note_progress t ctx = t.last_progress <- Engine.ctx_now ctx
+
+let mark_outstanding t (r : Types.request) =
+  if r.Types.client >= 0 then Hashtbl.replace t.outstanding (r.Types.client, r.Types.timestamp) r
+
+let trace t ctx kind detail =
+  Trace.emit t.env.trace ~time:(Engine.ctx_now ctx) ~node:t.id ~kind ~detail
+
+let rec on_message t ctx ~src msg =
+  ignore src;
+  match msg with
+  | Pbft_types.Request r -> on_request t ctx r
+  | Pbft_types.Pre_prepare { seq; view; reqs } ->
+      Engine.charge ctx Cost_model.rsa_verify;
+      on_pre_prepare t ctx ~seq ~view ~reqs
+  | Pbft_types.Prepare { seq; view; h; replica } ->
+      Engine.charge ctx Cost_model.rsa_verify;
+      on_prepare t ctx ~seq ~view ~h ~replica
+  | Pbft_types.Commit { seq; view; h; replica } ->
+      Engine.charge ctx Cost_model.rsa_verify;
+      on_commit t ctx ~seq ~view ~h ~replica
+  | Pbft_types.Checkpoint { seq; digest; replica } ->
+      Engine.charge ctx Cost_model.rsa_verify;
+      on_checkpoint t ctx ~seq ~digest ~replica
+  | Pbft_types.View_change { view; ls; prepared; replica } ->
+      Engine.charge ctx Cost_model.rsa_verify;
+      on_view_change t ctx ~view ~ls ~prepared ~replica
+  | Pbft_types.New_view { view; pre_prepares } ->
+      Engine.charge ctx Cost_model.rsa_verify;
+      on_new_view t ctx ~view ~pre_prepares
+  | Pbft_types.Reply _ -> ()
+
+and on_request t ctx (r : Types.request) =
+  match Hashtbl.find_opt t.client_table r.Types.client with
+  | Some (ts, value, seq) when ts >= r.Types.timestamp ->
+      Engine.charge ctx Cost_model.rsa_sign;
+      send t ctx ~dst:r.Types.client
+        (Pbft_types.Reply
+           { view = t.view; replica = t.id; client = r.Types.client; timestamp = ts; seq; value })
+  | _ ->
+      if is_primary t then begin
+        if not (Hashtbl.mem t.pending_keys (r.Types.client, r.Types.timestamp)) then begin
+          Engine.charge ctx Cost_model.rsa_verify;
+          if Keys.verify_request t.env.keys r then begin
+            Hashtbl.replace t.pending_keys (r.Types.client, r.Types.timestamp) ();
+            Queue.push r t.pending;
+            Batching.observe_pending t.batching (Queue.length t.pending);
+            mark_outstanding t r;
+            try_propose t ctx
+          end
+        end
+      end
+      else if not (Hashtbl.mem t.outstanding (r.Types.client, r.Types.timestamp)) then begin
+        mark_outstanding t r;
+        send t ctx ~dst:(primary_of t t.view) (Pbft_types.Request r)
+      end
+
+and inflight t =
+  let le = last_executed t in
+  let count = ref 0 in
+  for s = le + 1 to t.next_seq - 1 do
+    match Hashtbl.find_opt t.slots s with
+    | Some sl when sl.committed <> None -> ()
+    | _ -> incr count
+  done;
+  !count
+
+and try_propose t ctx =
+  if is_primary t then begin
+    let config = cfg t in
+    let target = Batching.batch_size t.batching in
+    let can () =
+      (not (Queue.is_empty t.pending))
+      && t.next_seq <= t.ls + config.Config.win
+      && inflight t < Batching.max_concurrent config
+    in
+    while can () && Queue.length t.pending >= target do
+      propose t ctx target
+    done;
+    if can () && not t.batch_timer_armed then begin
+      t.batch_timer_armed <- true;
+      ignore
+        (Engine.set_timer t.env.engine ~node:t.id ~after:config.Config.batch_timeout
+           (fun ctx ->
+             t.batch_timer_armed <- false;
+             if is_primary t && not (Queue.is_empty t.pending)
+                && t.next_seq <= t.ls + config.Config.win
+                && inflight t < Batching.max_concurrent config
+             then begin
+               propose t ctx (Queue.length t.pending);
+               try_propose t ctx
+             end))
+    end
+  end
+
+and propose t ctx batch =
+  let batch = min batch (min (Queue.length t.pending) (cfg t).Config.max_batch) in
+  if batch > 0 then begin
+    let reqs = List.init batch (fun _ -> Queue.pop t.pending) in
+    List.iter
+      (fun (r : Types.request) -> Hashtbl.remove t.pending_keys (r.Types.client, r.Types.timestamp))
+      reqs;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+    trace t ctx "send:pre-prepare" (Printf.sprintf "seq=%d batch=%d" seq batch);
+    broadcast t ctx (Pbft_types.Pre_prepare { seq; view = t.view; reqs })
+  end
+
+and on_pre_prepare t ctx ~seq ~view ~reqs =
+  let config = cfg t in
+  let sl = slot t seq in
+  if
+    view = t.view && sl.pp = None && seq > t.ls && seq <= t.ls + config.Config.win
+  then begin
+    let real = List.filter (fun (r : Types.request) -> r.Types.client >= 0) reqs in
+    Engine.charge ctx (List.length real * Cost_model.rsa_verify);
+    if List.for_all (fun r -> Keys.verify_request t.env.keys r) real then begin
+      Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+      let h = Pbft_types.block_hash ~seq ~view ~reqs in
+      sl.pp <- Some (view, reqs, h);
+      List.iter (mark_outstanding t) real;
+      if not sl.sent_prepare then begin
+        sl.sent_prepare <- true;
+        broadcast t ctx (Pbft_types.Prepare { seq; view; h; replica = t.id })
+      end;
+      check_prepared t ctx sl
+    end
+  end
+
+and check_prepared t ctx sl =
+  match sl.pp with
+  | Some (view, _, _) when view = t.view ->
+      if
+        (not sl.prepared)
+        && Hashtbl.length sl.prepares >= quorum t - 1 (* pre-prepare counts as one *)
+      then begin
+        sl.prepared <- true;
+        if not sl.sent_commit then begin
+          sl.sent_commit <- true;
+          match sl.pp with
+          | Some (_, _, h) ->
+              broadcast t ctx (Pbft_types.Commit { seq = sl.seq; view; h; replica = t.id })
+          | None -> ()
+        end
+      end;
+      check_committed t ctx sl
+  | _ -> ()
+
+and on_prepare t ctx ~seq ~view ~h ~replica =
+  if view = t.view && seq > t.ls && seq <= t.ls + (cfg t).Config.win then begin
+    let sl = slot t seq in
+    let matches = match sl.pp with Some (_, _, h') -> String.equal h h' | None -> true in
+    if matches && not (Hashtbl.mem sl.prepares replica) then begin
+      Hashtbl.replace sl.prepares replica ();
+      check_prepared t ctx sl
+    end
+  end
+
+and on_commit t ctx ~seq ~view ~h ~replica =
+  if view = t.view && seq > t.ls && seq <= t.ls + (cfg t).Config.win then begin
+    let sl = slot t seq in
+    let matches = match sl.pp with Some (_, _, h') -> String.equal h h' | None -> true in
+    if matches && not (Hashtbl.mem sl.commits replica) then begin
+      Hashtbl.replace sl.commits replica ();
+      check_committed t ctx sl
+    end
+  end
+
+and check_committed t ctx sl =
+  match sl.pp with
+  | Some (_, reqs, _)
+    when sl.committed = None && sl.prepared && Hashtbl.length sl.commits >= quorum t ->
+      sl.committed <- Some reqs;
+      t.n_committed <- t.n_committed + 1;
+      note_progress t ctx;
+      Engine.charge ctx (Cost_model.persist_block (Types.requests_bytes reqs));
+      trace t ctx "commit" (Printf.sprintf "seq=%d" sl.seq);
+      try_execute t ctx;
+      if is_primary t then try_propose t ctx
+  | _ -> ()
+
+and try_execute t ctx =
+  let config = cfg t in
+  let continue = ref true in
+  while !continue do
+    let next = last_executed t + 1 in
+    match Hashtbl.find_opt t.slots next with
+    | Some sl when sl.committed <> None && not sl.executed ->
+        let reqs = Option.get sl.committed in
+        sl.executed <- true;
+        Engine.charge ctx (t.env.exec_cost reqs);
+        let is_dup (r : Types.request) =
+          r.Types.client >= 0
+          &&
+          match Hashtbl.find_opt t.client_table r.Types.client with
+          | Some (ts, _, _) -> ts >= r.Types.timestamp
+          | None -> false
+        in
+        let ops = List.map (fun (r : Types.request) -> if is_dup r then "" else r.Types.op) reqs in
+        let outputs = Sbft_store.Auth_store.execute_block t.store ~seq:next ~ops in
+        note_progress t ctx;
+        List.iter
+          (fun ((r : Types.request), value) ->
+            Hashtbl.remove t.outstanding (r.Types.client, r.Types.timestamp);
+            if r.Types.client >= 0 then begin
+              (match Hashtbl.find_opt t.client_table r.Types.client with
+              | Some (ts, _, _) when ts >= r.Types.timestamp -> ()
+              | _ -> Hashtbl.replace t.client_table r.Types.client (r.Types.timestamp, value, next));
+              Engine.charge ctx Cost_model.rsa_sign;
+              send t ctx ~dst:r.Types.client
+                (Pbft_types.Reply
+                   {
+                     view = t.view;
+                     replica = t.id;
+                     client = r.Types.client;
+                     timestamp = r.Types.timestamp;
+                     seq = next;
+                     value;
+                   })
+            end)
+          (List.combine reqs outputs);
+        (* Periodic checkpoint: all-to-all digest votes (the quadratic
+           protocol SBFT's ingredient 3 replaces). *)
+        if next mod Config.checkpoint_interval config = 0 then begin
+          Engine.charge ctx (Cost_model.sha256 64);
+          broadcast t ctx
+            (Pbft_types.Checkpoint
+               { seq = next; digest = state_digest t; replica = t.id })
+        end
+    | _ -> continue := false
+  done;
+  if is_primary t then try_propose t ctx
+
+and on_checkpoint t ctx ~seq ~digest ~replica =
+  ignore digest;
+  let voters =
+    match Hashtbl.find_opt t.checkpoints seq with
+    | Some v -> v
+    | None ->
+        let v = Hashtbl.create 8 in
+        Hashtbl.replace t.checkpoints seq v;
+        v
+  in
+  if not (Hashtbl.mem voters replica) then begin
+    Hashtbl.replace voters replica ();
+    if Hashtbl.length voters >= quorum t && seq > t.ls then begin
+      t.ls <- seq;
+      note_progress t ctx;
+      (* GC everything below the stable checkpoint. *)
+      let stale = Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.slots [] in
+      List.iter (Hashtbl.remove t.slots) stale;
+      Sbft_store.Auth_store.gc_below t.store ~seq
+    end
+  end
+
+(* --------------------------- view change --------------------------- *)
+
+and start_view_change t ctx ~target_view =
+  if target_view > t.sent_vc_for then begin
+    t.sent_vc_for <- target_view;
+    trace t ctx "view-change" (Printf.sprintf "to=%d" target_view);
+    let prepared =
+      Hashtbl.fold
+        (fun seq sl acc ->
+          if sl.prepared && seq > t.ls then
+            match sl.pp with Some (v, reqs, _) -> (seq, v, reqs) :: acc | None -> acc
+          else acc)
+        t.slots []
+    in
+    broadcast t ctx
+      (Pbft_types.View_change { view = target_view - 1; ls = t.ls; prepared; replica = t.id })
+  end
+
+and on_view_change t ctx ~view ~ls ~prepared ~replica =
+  ignore ls;
+  let target = view + 1 in
+  if target > t.view then begin
+    let tbl =
+      match Hashtbl.find_opt t.vc_msgs target with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 8 in
+          Hashtbl.replace t.vc_msgs target tbl;
+          tbl
+    in
+    if not (Hashtbl.mem tbl replica) then begin
+      Hashtbl.replace tbl replica prepared;
+      if Hashtbl.length tbl >= (cfg t).Config.f + 1 && t.sent_vc_for < target then
+        start_view_change t ctx ~target_view:target;
+      if primary_of t target = t.id && Hashtbl.length tbl >= quorum t then begin
+        (* Re-propose the highest-view prepared block per slot. *)
+        let best : (int, int * Types.request list) Hashtbl.t = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun _ certs ->
+            List.iter
+              (fun (seq, v, reqs) ->
+                match Hashtbl.find_opt best seq with
+                | Some (v', _) when v' >= v -> ()
+                | _ -> Hashtbl.replace best seq (v, reqs))
+              certs)
+          tbl;
+        let pre_prepares =
+          Hashtbl.fold (fun seq (_, reqs) acc -> (seq, reqs) :: acc) best []
+          |> List.sort compare
+        in
+        trace t ctx "send:new-view" (Printf.sprintf "view=%d" target);
+        broadcast t ctx (Pbft_types.New_view { view = target; pre_prepares })
+      end
+    end
+  end
+
+and on_new_view t ctx ~view ~pre_prepares =
+  if view > t.view then begin
+    t.view <- view;
+    t.n_view_changes <- t.n_view_changes + 1;
+    t.vc_backoff <- 0;
+    note_progress t ctx;
+    (* Reset per-view state of open slots. *)
+    Hashtbl.iter
+      (fun _ sl ->
+        if sl.committed = None then begin
+          sl.pp <- None;
+          Hashtbl.reset sl.prepares;
+          Hashtbl.reset sl.commits;
+          sl.sent_prepare <- false;
+          sl.sent_commit <- false;
+          sl.prepared <- false
+        end)
+      t.slots;
+    let top = ref t.ls in
+    List.iter
+      (fun (seq, reqs) ->
+        if seq > !top then top := seq;
+        if seq > t.ls then on_pre_prepare t ctx ~seq ~view ~reqs)
+      pre_prepares;
+    if is_primary t then begin
+      t.next_seq <- max t.next_seq (!top + 1);
+      (* Re-drive requests stranded by the old view. *)
+      Hashtbl.iter
+        (fun key r ->
+          if not (Hashtbl.mem t.pending_keys key) then begin
+            Hashtbl.replace t.pending_keys key ();
+            Queue.push r t.pending
+          end)
+        t.outstanding;
+      try_propose t ctx
+    end
+    else
+      Hashtbl.iter
+        (fun _ r -> send t ctx ~dst:(primary_of t t.view) (Pbft_types.Request r))
+        t.outstanding
+  end
+
+and liveness_tick t ctx =
+  let config = cfg t in
+  let waiting = Hashtbl.length t.outstanding > 0 || not (Queue.is_empty t.pending) in
+  if waiting then begin
+    let timeout = config.Config.view_change_timeout * (1 lsl min 6 t.vc_backoff) in
+    if Engine.ctx_now ctx - t.last_progress > timeout then begin
+      t.vc_backoff <- t.vc_backoff + 1;
+      start_view_change t ctx ~target_view:(max (t.view + 1) (t.sent_vc_for + 1))
+    end
+  end
+
+let rec arm_liveness t =
+  ignore
+    (Engine.set_timer t.env.engine ~node:t.id
+       ~after:((cfg t).Config.view_change_timeout / 2)
+       (fun ctx ->
+         liveness_tick t ctx;
+         arm_liveness t))
+
+let start t ctx =
+  note_progress t ctx;
+  arm_liveness t

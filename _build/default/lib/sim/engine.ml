@@ -1,0 +1,165 @@
+type time = int
+
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let ms_f x = int_of_float (x *. 1_000_000.)
+let sec x = x * 1_000_000_000
+let sec_f x = int_of_float (x *. 1_000_000_000.)
+
+let to_ms t = float_of_int t /. 1_000_000.
+let to_sec t = float_of_int t /. 1_000_000_000.
+
+type node = {
+  id : int;
+  mutable cpu_free_at : time;
+  mutable crashed : bool;
+  mutable cpu_scale : float;
+  pending : pending_work Queue.t;
+  mutable drain_at : time; (* time of the scheduled drain event, or -1 *)
+}
+
+and pending_work = Work : (ctx_ -> unit) -> pending_work
+
+and ctx_ = { eng : t_; node : node; mutable cpu_now : time }
+
+and t_ = {
+  mutable now : time;
+  mutable seq : int;
+  events : (unit -> unit) Heap.t;
+  nodes : node array;
+  rng : Rng.t;
+  mutable executed : int;
+}
+
+type t = t_
+type ctx = ctx_
+
+type timer = { mutable cancelled : bool }
+
+let create ~num_nodes ~seed () =
+  {
+    now = 0;
+    seq = 0;
+    events = Heap.create ();
+    nodes =
+      Array.init num_nodes (fun id ->
+          {
+            id;
+            cpu_free_at = 0;
+            crashed = false;
+            cpu_scale = 1.0;
+            pending = Queue.create ();
+            drain_at = -1;
+          });
+    rng = Rng.create seed;
+    executed = 0;
+  }
+
+let num_nodes t = Array.length t.nodes
+let now t = t.now
+let rng t = t.rng
+
+let node t i = t.nodes.(i)
+
+let crash t i = (node t i).crashed <- true
+
+let recover t i =
+  let nd = node t i in
+  nd.crashed <- false;
+  nd.cpu_free_at <- t.now;
+  Queue.clear nd.pending;
+  nd.drain_at <- -1
+
+let is_crashed t i = (node t i).crashed
+let set_cpu_scale t i s = (node t i).cpu_scale <- s
+
+let schedule t ~at f =
+  let at = if at < t.now then t.now else at in
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~key0:at ~key1:t.seq f
+
+(* Per-node FIFO CPU queue: each arriving work item enqueues; a single
+   "drain" event per node runs items back-to-back as the CPU frees up,
+   so a busy CPU costs O(1) events per handler instead of a requeue
+   storm. *)
+let rec drain t nd () =
+  nd.drain_at <- -1;
+  if not nd.crashed then begin
+    while (not (Queue.is_empty nd.pending)) && nd.cpu_free_at <= t.now do
+      let (Work f) = Queue.pop nd.pending in
+      let c = { eng = t; node = nd; cpu_now = (if nd.cpu_free_at > t.now then nd.cpu_free_at else t.now) } in
+      f c;
+      if c.cpu_now > nd.cpu_free_at then nd.cpu_free_at <- c.cpu_now
+    done;
+    if not (Queue.is_empty nd.pending) then begin
+      nd.drain_at <- nd.cpu_free_at;
+      schedule t ~at:nd.cpu_free_at (drain t nd)
+    end
+  end
+  else Queue.clear nd.pending
+
+let arrive t nd f =
+  if not nd.crashed then begin
+    Queue.push (Work f) nd.pending;
+    if nd.drain_at < 0 then begin
+      let at = if nd.cpu_free_at > t.now then nd.cpu_free_at else t.now in
+      nd.drain_at <- at;
+      if at <= t.now then drain t nd () else schedule t ~at (drain t nd)
+    end
+  end
+
+let dispatch t ~dst ~at f =
+  let nd = node t dst in
+  schedule t ~at (fun () -> arrive t nd f)
+
+let set_timer t ~node:i ~after f =
+  let tm = { cancelled = false } in
+  let wrapped c = if not tm.cancelled then f c in
+  dispatch t ~dst:i ~at:(t.now + after) wrapped;
+  tm
+
+let cancel_timer tm = tm.cancelled <- true
+
+let self c = c.node.id
+let ctx_now c = c.cpu_now
+
+let charge c dt =
+  let scaled =
+    if c.node.cpu_scale = 1.0 then dt
+    else int_of_float (float_of_int dt *. c.node.cpu_scale)
+  in
+  c.cpu_now <- c.cpu_now + scaled
+
+let engine c = c.eng
+
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_key t.events with
+    | Some (at, _) when at <= deadline -> (
+        match Heap.pop_min t.events with
+        | Some (at, _, f) ->
+            t.now <- (if at > t.now then at else t.now);
+            t.executed <- t.executed + 1;
+            f ()
+        | None -> continue := false)
+    | _ -> continue := false
+  done;
+  if deadline > t.now then t.now <- deadline
+
+let run_all ?(max_events = max_int) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.pop_min t.events with
+    | Some (at, _, f) ->
+        t.now <- (if at > t.now then at else t.now);
+        t.executed <- t.executed + 1;
+        decr budget;
+        f ()
+    | None -> continue := false
+  done
+
+let events_executed t = t.executed
+let pending_events t = Heap.size t.events

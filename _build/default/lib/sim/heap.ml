@@ -1,0 +1,72 @@
+type 'a entry = { k0 : int; k1 : int; v : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let less a b = a.k0 < b.k0 || (a.k0 = b.k0 && a.k1 < b.k1)
+
+let grow t e =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let nd = Array.make ncap e in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end
+
+let push t ~key0 ~key1 v =
+  let e = { k0 = key0; k1 = key1; v } in
+  grow t e;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* sift up *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    less t.data.(!i) t.data.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = t.data.(!i) in
+    t.data.(!i) <- t.data.(p);
+    t.data.(p) <- tmp;
+    i := p
+  done
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (root.k0, root.k1, root.v)
+  end
+
+let peek_key t = if t.len = 0 then None else Some (t.data.(0).k0, t.data.(0).k1)
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0

@@ -1,0 +1,26 @@
+(** Array-backed binary min-heap keyed by [(int, int)] pairs compared
+    lexicographically.
+
+    The simulator keys events by [(virtual time, insertion sequence)]:
+    the second component makes event ordering deterministic and FIFO
+    among events scheduled for the same instant. *)
+
+type 'a t
+
+(** [create ()] returns an empty heap. *)
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push h ~key0 ~key1 v] inserts [v] with key [(key0, key1)]. *)
+val push : 'a t -> key0:int -> key1:int -> 'a -> unit
+
+(** [pop_min h] removes and returns [(key0, key1, v)] with the smallest
+    key, or [None] when the heap is empty. *)
+val pop_min : 'a t -> (int * int * 'a) option
+
+(** [peek_key h] returns the smallest key without removing it. *)
+val peek_key : 'a t -> (int * int) option
+
+val clear : 'a t -> unit

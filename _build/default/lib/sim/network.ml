@@ -1,0 +1,89 @@
+type t = {
+  topology : Topology.t;
+  bytes_per_ns : float;
+  mutable drop_prob : float;
+  per_msg_overhead_bytes : int;
+  recv_overhead : Engine.time;
+  mutable partition : int array option;
+  down_links : (int * int, unit) Hashtbl.t;
+  extra_delay : (int * int, Engine.time) Hashtbl.t;
+  nic_free_at : (int, Engine.time) Hashtbl.t;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_dropped : int;
+}
+
+let create ?(bandwidth_gbps = 10.0) ?(drop_prob = 0.0)
+    ?(per_msg_overhead_bytes = 80) ?(recv_overhead = Engine.us 30) ~topology () =
+  {
+    topology;
+    bytes_per_ns = bandwidth_gbps *. 1e9 /. 8.0 /. 1e9;
+    drop_prob;
+    per_msg_overhead_bytes;
+    recv_overhead;
+    partition = None;
+    down_links = Hashtbl.create 16;
+    extra_delay = Hashtbl.create 16;
+    nic_free_at = Hashtbl.create 64;
+    messages_sent = 0;
+    bytes_sent = 0;
+    messages_dropped = 0;
+  }
+
+let topology t = t.topology
+
+let blocked t ~src ~dst =
+  Hashtbl.mem t.down_links (src, dst)
+  ||
+  match t.partition with
+  | None -> false
+  | Some groups -> groups.(src) <> groups.(dst)
+
+let send t eng ~src ~dst ~size ~at f =
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + size;
+  let dropped =
+    blocked t ~src ~dst
+    || (t.drop_prob > 0.0 && src <> dst && Rng.bool (Engine.rng eng) t.drop_prob)
+  in
+  if dropped then t.messages_dropped <- t.messages_dropped + 1
+  else begin
+    let wire_bytes = size + t.per_msg_overhead_bytes in
+    let serialize = int_of_float (float_of_int wire_bytes /. t.bytes_per_ns) in
+    (* Sender NIC is a FIFO: departures are serialized by bandwidth. *)
+    let nic_free = try Hashtbl.find t.nic_free_at src with Not_found -> 0 in
+    let start = if at > nic_free then at else nic_free in
+    let departure = start + serialize in
+    Hashtbl.replace t.nic_free_at src departure;
+    let latency =
+      if src = dst then Engine.us 5
+      else Topology.sample_latency t.topology (Engine.rng eng) ~src ~dst
+    in
+    let extra = try Hashtbl.find t.extra_delay (src, dst) with Not_found -> 0 in
+    let arrival = departure + latency + extra in
+    let recv_overhead = t.recv_overhead in
+    Engine.dispatch eng ~dst ~at:arrival (fun c ->
+        Engine.charge c recv_overhead;
+        f c)
+  end
+
+let set_partition t ~groups = t.partition <- groups
+
+let set_link t ~src ~dst ~up =
+  if up then Hashtbl.remove t.down_links (src, dst)
+  else Hashtbl.replace t.down_links (src, dst) ()
+
+let set_extra_delay t ~src ~dst d =
+  if d = 0 then Hashtbl.remove t.extra_delay (src, dst)
+  else Hashtbl.replace t.extra_delay (src, dst) d
+
+let set_drop_prob t p = t.drop_prob <- p
+
+let messages_sent t = t.messages_sent
+let bytes_sent t = t.bytes_sent
+let messages_dropped t = t.messages_dropped
+
+let reset_counters t =
+  t.messages_sent <- 0;
+  t.bytes_sent <- 0;
+  t.messages_dropped <- 0

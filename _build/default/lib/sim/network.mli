@@ -1,0 +1,56 @@
+(** Message transport over a {!Topology}: latency + jitter, per-node NIC
+    bandwidth (serialization delay for large messages and broadcast
+    fan-out), probabilistic drops, link/partition failures, and a hook
+    for adversarial per-link delays.
+
+    The network does not know about message {i types}; protocol layers
+    pass a closure to run at the destination together with the message's
+    wire size.  A per-message receive overhead (kernel + TLS record
+    processing) is charged on the destination CPU before the handler
+    runs. *)
+
+type t
+
+val create :
+  ?bandwidth_gbps:float ->
+  ?drop_prob:float ->
+  ?per_msg_overhead_bytes:int ->
+  ?recv_overhead:Engine.time ->
+  topology:Topology.t ->
+  unit ->
+  t
+(** Defaults: 10 Gbit/s NICs, no drops, 80 bytes framing overhead
+    (TCP/IP + TLS record), 30 µs receive overhead per message (kernel
+    TCP + TLS record processing of a 2018 software stack — the cost that
+    makes quadratic message complexity hurt at n ≈ 200). *)
+
+val topology : t -> Topology.t
+
+(** [send t eng ~src ~dst ~size ~at f] transmits a [size]-byte message,
+    departing node [src] at time [at] (its NIC may delay departure),
+    and runs [f] on [dst]'s CPU at arrival.  Messages between a node and
+    itself are delivered after a minimal loopback delay. *)
+val send :
+  t -> Engine.t -> src:int -> dst:int -> size:int -> at:Engine.time ->
+  (Engine.ctx -> unit) -> unit
+
+(** {2 Fault injection} *)
+
+val set_partition : t -> groups:int array option -> unit
+(** [set_partition t ~groups:(Some g)] drops every message between nodes
+    in different groups ([g.(node)] is the node's group); [None] heals. *)
+
+val set_link : t -> src:int -> dst:int -> up:bool -> unit
+(** Take a directed link down (messages silently dropped) or back up. *)
+
+val set_extra_delay : t -> src:int -> dst:int -> Engine.time -> unit
+(** Adversarial fixed extra delay on a directed link (0 clears it). *)
+
+val set_drop_prob : t -> float -> unit
+
+(** {2 Accounting} *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val messages_dropped : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,60 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): a tiny, fast, splittable PRNG
+   with excellent statistical quality for simulation purposes. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix Int64.(add seed golden_gamma) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the conversion to OCaml's 63-bit int stays
+     non-negative; modulo bias is negligible for bounds far below 2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t =
+  (* 53 high bits -> [0, 1) *)
+  let v = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float v *. (1.0 /. 9007199254740992.0)
+
+let bool t p = float t < p
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let exponential t ~mean =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.mean *. log (nonzero ())
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,1 @@
+lib/storage/auth_store.ml: Array Codec Hashtbl List Merkle Merkle_map Option Printf Sbft_crypto Sbft_wire Sha256 String

@@ -1,0 +1,1 @@
+lib/storage/auth_store.mli: Lazy Sbft_crypto

@@ -1,0 +1,1 @@
+lib/storage/block_store.ml: Hashtbl Lazy List String

@@ -1,0 +1,1 @@
+lib/storage/kv_op.ml: Codec Format Fun List Option Sbft_wire String

@@ -1,0 +1,1 @@
+lib/storage/kv_op.mli: Format

@@ -1,0 +1,1 @@
+lib/storage/kv_service.ml: Auth_store Kv_op List Option Sbft_crypto

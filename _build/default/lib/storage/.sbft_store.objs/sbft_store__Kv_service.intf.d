@@ -1,0 +1,1 @@
+lib/storage/kv_service.mli: Auth_store

@@ -1,0 +1,106 @@
+(** Authenticated service state: the paper's §IV data-authentication
+    interface, generic over the service's operation semantics.
+
+    An {!t} executes decision blocks sequentially against a
+    {!Sbft_crypto.Merkle_map} state.  After executing block [s] it can
+    produce the digest [d = digest(D_s)] and two kinds of proofs:
+
+    - {b operation proofs} — [proof(o, l, s, D, val)]: [o] was executed
+      as the [l]-th operation of block [s] and returned [val], relative
+      to the state whose digest is [d].  These back the single-message
+      execute-acks SBFT sends to clients.
+    - {b query proofs} — [proof(q, s, D, val)]: at state [D_s], key [k]
+      holds value [v].  These let a client read from a single replica.
+
+    The digest binds the state root, the block's operation-tree root and
+    the sequence number: [d_s = H(tag ‖ s ‖ state_root ‖ ops_root_s)].
+    Proof verification ({!verify_op_proof}, {!verify_query_proof}) is a
+    pure function of the digest, so clients need no state. *)
+
+type apply = Sbft_crypto.Merkle_map.t -> string -> Sbft_crypto.Merkle_map.t * string
+(** Service semantics: [apply state op] returns the new state and the
+    operation's output value.  Must be deterministic. *)
+
+type t
+
+val create : apply:apply -> unit -> t
+
+(** {2 Shared execution cache}
+
+    In a simulated deployment every honest replica executes the same
+    deterministic block sequence.  A cluster-wide cache memoizes
+    [execute_block] results keyed by (sequence, pre-state root,
+    operations digest), so the host computes each block once and all
+    replicas share the resulting persistent state structurally.  This is
+    a pure simulation optimization: per-replica {e virtual} CPU time is
+    still charged by the protocol layer, and a replica whose state
+    diverges (different pre-state root) misses the cache and executes
+    for real. *)
+
+type cache
+
+val new_cache : unit -> cache
+
+val set_cache : t -> cache -> unit
+(** Install a shared cache (call before executing any block). *)
+
+val last_executed : t -> int
+(** Sequence number of the last executed block; 0 before any. *)
+
+val clone : t -> t
+(** Independent copy sharing the (persistent) state structurally; used
+    to stamp out per-replica stores from one bootstrapped genesis. *)
+
+val bootstrap : t -> ops:string list -> unit
+(** Applies genesis operations directly to the state without recording
+    a decision block.  Deterministic setup (accounts, contract
+    deployments) so replicas start from identical non-empty states.
+    @raise Invalid_argument after any block has been executed. *)
+
+val state : t -> Sbft_crypto.Merkle_map.t
+
+val execute_block : t -> seq:int -> ops:string list -> string list
+(** Executes the block's operations in order; returns their outputs.
+    @raise Invalid_argument unless [seq = last_executed + 1]. *)
+
+val digest : t -> string
+(** Digest of the state after the last executed block. *)
+
+val digest_at : t -> seq:int -> string option
+(** Digest after block [seq], if still retained (see {!gc_below}). *)
+
+val output_at : t -> seq:int -> index:int -> string option
+val ops_at : t -> seq:int -> string list option
+
+val prove_op : t -> seq:int -> index:int -> string option
+(** Serialized operation proof, or [None] if [seq] was garbage-collected
+    or [index] out of range. *)
+
+val prove_query : t -> key:string -> (string * string) option
+(** [(value, proof)] for a present key at the current state. *)
+
+val verify_op_proof :
+  digest:string -> seq:int -> index:int -> op:string -> value:string ->
+  proof:string -> bool
+(** Pure client-side verification (the [verify(d, o, val, s, l, P)] of
+    §IV). *)
+
+val verify_query_proof :
+  digest:string -> seq:int -> key:string -> value:string -> proof:string -> bool
+
+val gc_below : t -> seq:int -> unit
+(** Drop retained per-block proof material for blocks [< seq]. *)
+
+val snapshot : t -> string
+(** Serialized current state + sequence number, for state transfer.
+    Digest-stable: restoring yields the same state digest. *)
+
+val delayed_snapshot : t -> string Lazy.t
+(** Captures the current state immediately but serializes only when
+    forced (checkpoints are retained often, served rarely). *)
+
+val load_snapshot : t -> string -> (unit, string) result
+(** Replaces the store's state with the snapshot's. *)
+
+val snapshot_digest_info : string -> (int * string) option
+(** [(seq, ops_root)] carried by a snapshot, without loading it. *)

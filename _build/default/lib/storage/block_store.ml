@@ -1,0 +1,36 @@
+type certificate = Fast of string | Slow of string
+
+type entry = { seq : int; view : int; ops : string list; cert : certificate }
+
+type t = {
+  blocks : (int, entry) Hashtbl.t;
+  mutable highest : int;
+  mutable checkpoint : (int * string Lazy.t) option;
+}
+
+let create () = { blocks = Hashtbl.create 256; highest = 0; checkpoint = None }
+
+let add t e =
+  if not (Hashtbl.mem t.blocks e.seq) then begin
+    Hashtbl.replace t.blocks e.seq e;
+    if e.seq > t.highest then t.highest <- e.seq
+  end
+
+let find t seq = Hashtbl.find_opt t.blocks seq
+let mem t seq = Hashtbl.mem t.blocks seq
+let highest t = t.highest
+
+let prune_below t seq =
+  let stale = Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.blocks [] in
+  List.iter (Hashtbl.remove t.blocks) stale
+
+let set_checkpoint t ~seq ~snapshot =
+  match t.checkpoint with
+  | Some (s, _) when s >= seq -> ()
+  | _ -> t.checkpoint <- Some (seq, snapshot)
+
+let checkpoint t = t.checkpoint
+
+let entry_size e =
+  let cert_size = match e.cert with Fast s | Slow s -> String.length s in
+  List.fold_left (fun acc op -> acc + String.length op + 4) (16 + cert_size) e.ops

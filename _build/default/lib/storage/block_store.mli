@@ -1,0 +1,40 @@
+(** Ledger of committed decision blocks with commit certificates.
+
+    Each replica persists committed blocks (the paper writes them to
+    RocksDB); the block store also serves state transfer: a lagging
+    replica fetches a checkpoint snapshot plus the blocks after it.
+    Retention is bounded by the checkpoint protocol via {!prune_below}. *)
+
+type certificate =
+  | Fast of string  (** σ(h) combined signature bytes *)
+  | Slow of string  (** τ(τ(h)) combined signature bytes *)
+
+type entry = {
+  seq : int;
+  view : int;
+  ops : string list;
+  cert : certificate;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> entry -> unit
+(** Idempotent per sequence number (first write wins). *)
+
+val find : t -> int -> entry option
+val mem : t -> int -> bool
+val highest : t -> int
+(** Highest stored sequence number; 0 when empty. *)
+
+val prune_below : t -> int -> unit
+
+val set_checkpoint : t -> seq:int -> snapshot:string Lazy.t -> unit
+(** Retains the latest stable checkpoint snapshot (serialized only when
+    first served). *)
+
+val checkpoint : t -> (int * string Lazy.t) option
+
+val entry_size : entry -> int
+(** Approximate persisted size in bytes (for disk-cost accounting). *)

@@ -1,0 +1,60 @@
+open Sbft_wire
+
+type t =
+  | Put of { key : string; value : string }
+  | Get of { key : string }
+  | Batch of t list
+  | Noop
+
+let rec write w op =
+  match op with
+  | Put { key; value } ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.str w key;
+      Codec.Writer.str w value
+  | Get { key } ->
+      Codec.Writer.u8 w 2;
+      Codec.Writer.str w key
+  | Batch ops ->
+      Codec.Writer.u8 w 3;
+      Codec.Writer.list w (write w) ops
+  | Noop -> Codec.Writer.u8 w 0
+
+let encode op =
+  let w = Codec.Writer.create () in
+  write w op;
+  Codec.Writer.contents w
+
+let rec read r =
+  match Codec.Reader.u8 r with
+  | 1 ->
+      let key = Codec.Reader.str r in
+      let value = Codec.Reader.str r in
+      Some (Put { key; value })
+  | 2 -> Some (Get { key = Codec.Reader.str r })
+  | 3 ->
+      let ops = Codec.Reader.list r read in
+      if List.exists Option.is_none ops then None
+      else Some (Batch (List.filter_map Fun.id ops))
+  | 0 -> Some Noop
+  | _ -> None
+
+let decode s =
+  match read (Codec.Reader.of_string s) with
+  | v -> v
+  | exception Codec.Reader.Truncated -> None
+
+let rec count = function
+  | Put _ | Get _ | Noop -> 1
+  | Batch ops -> List.fold_left (fun acc op -> acc + count op) 0 ops
+
+let rec pp fmt = function
+  | Put { key; value } -> Format.fprintf fmt "put(%s=%s)" key value
+  | Get { key } -> Format.fprintf fmt "get(%s)" key
+  | Batch ops ->
+      Format.fprintf fmt "batch[%a]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp)
+        ops
+  | Noop -> Format.fprintf fmt "noop"
+
+let encoded_size op = String.length (encode op)

@@ -1,0 +1,25 @@
+(** Operations of the replicated key-value service and their canonical
+    wire encoding.
+
+    Replication treats operations as opaque byte strings; this module is
+    the concrete KV "service language" used by the paper's
+    micro-benchmarks (random [Put]s, optionally batched 64 to a
+    request). *)
+
+type t =
+  | Put of { key : string; value : string }
+  | Get of { key : string }
+  | Batch of t list
+      (** Several operations submitted as one request — the paper's
+          batching mode packs 64 puts per client request. *)
+  | Noop  (** The "null" operation a view change fills empty slots with. *)
+
+val count : t -> int
+(** Number of primitive operations (a batch counts its elements). *)
+
+val encode : t -> string
+val decode : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val encoded_size : t -> int

@@ -1,0 +1,17 @@
+(** The replicated key-value service: {!Kv_op} semantics as an
+    {!Auth_store.apply} function, plus convenience constructors. *)
+
+val apply : Auth_store.apply
+(** [Put] stores and returns ["ok"]; [Get] returns the value or [""];
+    [Noop] and undecodable operations return [""] without touching the
+    state (undecodable operations cannot abort the state machine — all
+    replicas must stay in lock step). *)
+
+val create : unit -> Auth_store.t
+(** Fresh authenticated store running the KV service. *)
+
+val put : key:string -> value:string -> string
+(** Encoded [Put] operation. *)
+
+val get : key:string -> string
+val noop : string

@@ -1,0 +1,87 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+  let u32 b v =
+    u8 b (v lsr 24);
+    u8 b (v lsr 16);
+    u8 b (v lsr 8);
+    u8 b v
+
+  let u64 b v =
+    u32 b (v lsr 32);
+    u32 b (v land 0xFFFFFFFF)
+
+  let rec varint b v =
+    if v < 0 then invalid_arg "Codec.varint: negative";
+    if v < 0x80 then u8 b v
+    else begin
+      u8 b (0x80 lor (v land 0x7F));
+      varint b (v lsr 7)
+    end
+
+  let str b s =
+    varint b (String.length s);
+    Buffer.add_string b s
+
+  let raw b s = Buffer.add_string b s
+
+  let list b f xs =
+    varint b (List.length xs);
+    List.iter f xs
+
+  let contents = Buffer.contents
+  let length = Buffer.length
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Truncated
+
+  let of_string data = { data; pos = 0 }
+
+  let u8 r =
+    if r.pos >= String.length r.data then raise Truncated;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u32 r =
+    let a = u8 r in
+    let b = u8 r in
+    let c = u8 r in
+    let d = u8 r in
+    (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+  let u64 r =
+    let hi = u32 r in
+    let lo = u32 r in
+    (hi lsl 32) lor lo
+
+  let varint r =
+    let rec go shift acc =
+      let b = u8 r in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let raw r n =
+    if r.pos + n > String.length r.data then raise Truncated;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let str r =
+    let n = varint r in
+    raw r n
+
+  let list r f =
+    let n = varint r in
+    List.init n (fun _ -> f r)
+
+  let at_end r = r.pos = String.length r.data
+end

@@ -1,0 +1,1 @@
+lib/workloads/eth_workload.ml: Char Contracts Evm_service Lazy List Printf Sbft_core Sbft_crypto Sbft_evm Sbft_store State String Tx U256

@@ -1,0 +1,1 @@
+lib/workloads/eth_workload.mli: Sbft_core Sbft_sim

@@ -1,0 +1,1 @@
+lib/workloads/kv_workload.ml: Char Kv_op List Printf Sbft_core Sbft_crypto Sbft_store String

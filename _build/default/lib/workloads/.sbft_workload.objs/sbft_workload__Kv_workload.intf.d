@@ -1,0 +1,1 @@
+lib/workloads/kv_workload.mli: Sbft_core Sbft_sim

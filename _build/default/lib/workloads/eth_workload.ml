@@ -1,0 +1,121 @@
+open Sbft_evm
+
+let num_accounts = 200
+let num_tokens = 5
+let txs_per_chunk = 50
+
+(* Deterministic addresses. *)
+let account i =
+  String.sub (Sbft_crypto.Keccak.digest (Printf.sprintf "eth-account-%d" i)) 12 20
+
+let deployer = account 0
+
+(* Contract addresses are a function of (deployer, nonce); genesis
+   deploys tokens at nonces 0..num_tokens-1 and the escrow next. *)
+let token_address i = State.contract_address ~sender:deployer ~nonce:i
+let escrow_address = State.contract_address ~sender:deployer ~nonce:num_tokens
+
+let token_supply = U256.of_int 1_000_000_000
+
+let genesis_ops =
+  let faucets =
+    List.init num_accounts (fun i ->
+        Tx.Faucet { account = account i; amount = U256.of_int 1_000_000 })
+  in
+  let deploys =
+    List.init num_tokens (fun _ ->
+        Tx.Create
+          {
+            sender = deployer;
+            value = U256.zero;
+            init_code = Contracts.token_init ~supply:token_supply;
+            gas = 10_000_000;
+          })
+    @ [
+        Tx.Create
+          {
+            sender = deployer;
+            value = U256.zero;
+            init_code = Contracts.escrow_init;
+            gas = 10_000_000;
+          };
+      ]
+  in
+  (* Seed every account with a balance on every token. *)
+  let distributions =
+    List.concat
+      (List.init num_tokens (fun tk ->
+           List.init num_accounts (fun i ->
+               Tx.Call
+                 {
+                   sender = deployer;
+                   to_ = token_address tk;
+                   value = U256.zero;
+                   data =
+                     Contracts.token_transfer ~to_:(account i)
+                       ~amount:(U256.of_int 1_000_000);
+                   gas = 200_000;
+                 })))
+  in
+  List.map Tx.encode (faucets @ deploys @ distributions)
+
+let mix client i j =
+  let h = Sbft_crypto.Sha256.digest (Printf.sprintf "eth-%d-%d-%d" client i j) in
+  Char.code h.[0] lor (Char.code h.[1] lsl 8) lor (Char.code h.[2] lsl 16)
+
+(* Transaction mix mirroring the paper's trace: ~1% creations, the rest
+   dominated by token transfers with some escrow contributions. *)
+let make_tx ~client ~req j =
+  let v = mix client req j in
+  let sender = account (v mod num_accounts) in
+  match v mod 100 with
+  | 0 ->
+      Tx.Create
+        { sender; value = U256.zero; init_code = Contracts.counter_init; gas = 5_000_000 }
+  | x when x < 15 ->
+      Tx.Call
+        {
+          sender;
+          to_ = escrow_address;
+          value = U256.of_int (1 + (v mod 50));
+          data = Contracts.escrow_contribute;
+          gas = 200_000;
+        }
+  | _ ->
+      let tk = token_address (v mod num_tokens) in
+      let recipient = account ((v / 7) mod num_accounts) in
+      Tx.Call
+        {
+          sender;
+          to_ = tk;
+          value = U256.zero;
+          data = Contracts.token_transfer ~to_:recipient ~amount:(U256.of_int (1 + (v mod 100)));
+          gas = 200_000;
+        }
+
+let make_chunk ~client i =
+  Tx.encode (Tx.Chunk (List.init txs_per_chunk (fun j -> make_tx ~client ~req:i j)))
+
+let chunk_tx_count op =
+  match Tx.decode op with Some tx -> Tx.count tx | None -> 0
+
+let exec_cost reqs =
+  List.fold_left
+    (fun acc (r : Sbft_core.Types.request) ->
+      acc + (chunk_tx_count r.Sbft_core.Types.op * Sbft_crypto.Cost_model.evm_execute_tx))
+    0 reqs
+
+(* Genesis is deterministic, so it is executed once per process and the
+   per-replica stores are clones sharing the persistent state. *)
+let genesis_store =
+  lazy
+    (let store = Evm_service.create () in
+     Sbft_store.Auth_store.bootstrap store ~ops:genesis_ops;
+     store)
+
+let service =
+  {
+    Sbft_core.Cluster.make_store =
+      (fun () -> Sbft_store.Auth_store.clone (Lazy.force genesis_store));
+    exec_cost;
+  }

@@ -1,0 +1,563 @@
+(* Tests for the cryptographic substrate: official test vectors for
+   SHA-256 / Keccak-256 / HMAC, algebraic properties of the field (qcheck),
+   Shamir reconstruction, threshold/group signature semantics including
+   robustness against invalid shares, and Merkle structures. *)
+
+open Sbft_crypto
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let rng () = Sbft_sim.Rng.create 2024L
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256: FIPS 180-4 vectors *)
+
+let test_sha256_vectors () =
+  check_str "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex (Sha256.digest ""));
+  check_str "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex (Sha256.digest "abc"));
+  check_str "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  check_str "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (Sha256.digest (String.make 1_000_000 'a')))
+
+let test_sha256_incremental () =
+  (* Feeding in odd-sized chunks must match one-shot hashing. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  let sizes = [ 1; 7; 63; 64; 65; 100; 300; 400 ] in
+  List.iter
+    (fun sz ->
+      let take = min sz (String.length msg - !pos) in
+      Sha256.feed ctx (String.sub msg !pos take);
+      pos := !pos + take)
+    sizes;
+  Sha256.feed ctx (String.sub msg !pos (String.length msg - !pos));
+  check_str "incremental = one-shot" (Sha256.hex (Sha256.digest msg))
+    (Sha256.hex (Sha256.finalize ctx))
+
+let test_sha256_length_boundaries () =
+  (* Around the 55/56/64-byte padding boundaries. *)
+  List.iter
+    (fun len ->
+      let m = String.make len 'x' in
+      let d1 = Sha256.digest m in
+      let ctx = Sha256.init () in
+      Sha256.feed ctx m;
+      check_str (Printf.sprintf "len %d" len) (Sha256.hex d1)
+        (Sha256.hex (Sha256.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 127; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* Keccak-256: Ethereum-flavor vectors *)
+
+let test_keccak_vectors () =
+  check_str "empty" "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+    (Sha256.hex (Keccak.digest ""));
+  check_str "abc" "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+    (Sha256.hex (Keccak.digest "abc"));
+  check_str "fox"
+    "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"
+    (Sha256.hex (Keccak.digest "The quick brown fox jumps over the lazy dog"))
+
+let test_keccak_rate_boundaries () =
+  (* 135/136/137 bytes cross the sponge-rate boundary; just check
+     determinism and distinctness. *)
+  let d135 = Keccak.digest (String.make 135 'a') in
+  let d136 = Keccak.digest (String.make 136 'a') in
+  let d137 = Keccak.digest (String.make 137 'a') in
+  check "distinct" true (d135 <> d136 && d136 <> d137);
+  check_str "deterministic" (Sha256.hex d136)
+    (Sha256.hex (Keccak.digest (String.make 136 'a')))
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-SHA256: RFC 4231 vectors *)
+
+let test_hmac_vectors () =
+  check_str "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sha256.hex (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There"));
+  check_str "rfc4231 case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.hex (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"))
+
+let test_hmac_verify () =
+  let tag = Hmac.mac ~key:"k" "msg" in
+  check "accepts" true (Hmac.verify ~key:"k" "msg" ~tag);
+  check "rejects wrong msg" false (Hmac.verify ~key:"k" "msg2" ~tag);
+  check "rejects wrong key" false (Hmac.verify ~key:"k2" "msg" ~tag)
+
+(* ------------------------------------------------------------------ *)
+(* Field: algebra (qcheck) *)
+
+let field_gen =
+  QCheck2.Gen.map (fun i -> Field.of_int64 (Int64.abs i)) QCheck2.Gen.int64
+
+let qtest name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:500 gen prop)
+
+let field_props =
+  [
+    qtest "add comm" QCheck2.Gen.(pair field_gen field_gen) (fun (a, b) ->
+        Field.equal (Field.add a b) (Field.add b a));
+    qtest "mul comm" QCheck2.Gen.(pair field_gen field_gen) (fun (a, b) ->
+        Field.equal (Field.mul a b) (Field.mul b a));
+    qtest "add assoc" QCheck2.Gen.(triple field_gen field_gen field_gen)
+      (fun (a, b, c) ->
+        Field.equal (Field.add a (Field.add b c)) (Field.add (Field.add a b) c));
+    qtest "mul assoc" QCheck2.Gen.(triple field_gen field_gen field_gen)
+      (fun (a, b, c) ->
+        Field.equal (Field.mul a (Field.mul b c)) (Field.mul (Field.mul a b) c));
+    qtest "distributive" QCheck2.Gen.(triple field_gen field_gen field_gen)
+      (fun (a, b, c) ->
+        Field.equal
+          (Field.mul a (Field.add b c))
+          (Field.add (Field.mul a b) (Field.mul a c)));
+    qtest "sub inverse of add" QCheck2.Gen.(pair field_gen field_gen) (fun (a, b) ->
+        Field.equal (Field.sub (Field.add a b) b) a);
+    qtest "neg" field_gen (fun a -> Field.equal (Field.add a (Field.neg a)) Field.zero);
+    qtest "inv" field_gen (fun a ->
+        Field.equal a Field.zero || Field.equal (Field.mul a (Field.inv a)) Field.one);
+    qtest "bytes roundtrip" field_gen (fun a ->
+        Field.equal a (Field.of_bytes (Field.to_bytes a)));
+    qtest "pow matches repeated mul" field_gen (fun a ->
+        let m5 = Field.mul a (Field.mul a (Field.mul a (Field.mul a a))) in
+        Field.equal (Field.pow a 5L) m5);
+  ]
+
+let test_field_edge_cases () =
+  check "p reduces to 0" true (Field.equal (Field.of_int64 Field.p) Field.zero);
+  check "p+1 reduces to 1" true
+    (Field.equal (Field.of_int64 (Int64.add Field.p 1L)) Field.one);
+  check "max int64" true
+    (let v = Field.of_int64 Int64.max_int in
+     Int64.compare (Field.to_int64 v) Field.p < 0);
+  check "mul by zero" true (Field.equal (Field.mul (Field.of_int 12345) Field.zero) Field.zero);
+  check "of_digest nonzero" true
+    (not (Field.equal (Field.of_digest (Sha256.digest "x")) Field.zero))
+
+let test_field_known_products () =
+  (* (2^60) * 2 = 2^61 = p + 1 ≡ 1. *)
+  let two_pow_60 = Field.pow (Field.of_int 2) 60L in
+  check "2^60 * 2 = 1" true (Field.equal (Field.mul two_pow_60 (Field.of_int 2)) Field.one);
+  (* Fermat: a^(p-1) = 1. *)
+  let a = Field.of_int 123456789 in
+  check "fermat" true (Field.equal (Field.pow a (Int64.sub Field.p 1L)) Field.one)
+
+(* ------------------------------------------------------------------ *)
+(* Polynomial / Shamir *)
+
+let test_polynomial_eval () =
+  (* 3 + 2x + x^2 at x = 5 -> 38 *)
+  let p = Polynomial.of_coeffs [| Field.of_int 3; Field.of_int 2; Field.of_int 1 |] in
+  check "horner" true (Field.equal (Polynomial.eval p (Field.of_int 5)) (Field.of_int 38))
+
+let test_lagrange_recovers_constant () =
+  let r = rng () in
+  let const = Field.of_int 777 in
+  let p = Polynomial.random r ~degree:3 ~const in
+  let points =
+    List.map (fun x -> (Field.of_int x, Polynomial.eval p (Field.of_int x))) [ 1; 3; 5; 9 ]
+  in
+  check "interpolates" true (Field.equal (Polynomial.lagrange_at_zero points) const)
+
+let test_lagrange_rejects_bad_points () =
+  check "zero x" true
+    (try
+       ignore (Polynomial.lagrange_at_zero [ (Field.zero, Field.one) ]);
+       false
+     with Invalid_argument _ -> true);
+  check "dup x" true
+    (try
+       ignore
+         (Polynomial.lagrange_at_zero
+            [ (Field.one, Field.one); (Field.one, Field.of_int 2) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_shamir_roundtrip () =
+  let r = rng () in
+  let secret = Field.random r in
+  let shares = Shamir.deal r ~secret ~threshold:5 ~num_shares:12 in
+  (* Any 5 shares reconstruct. *)
+  let subset = [ shares.(0); shares.(3); shares.(7); shares.(8); shares.(11) ] in
+  check "reconstruct" true (Field.equal (Shamir.reconstruct subset) secret);
+  (* 4 shares give garbage (overwhelmingly). *)
+  let small = [ shares.(0); shares.(3); shares.(7); shares.(8) ] in
+  check "under threshold" false (Field.equal (Shamir.reconstruct small) secret)
+
+let test_shamir_invalid_params () =
+  let r = rng () in
+  check "threshold > n" true
+    (try
+       ignore (Shamir.deal r ~secret:Field.one ~threshold:5 ~num_shares:4);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Threshold signatures *)
+
+let test_threshold_basic () =
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:7 ~k:5 in
+  let msg = "decision block 42" in
+  let shares = Array.to_list (Array.map (fun k -> Threshold.share_sign k ~msg) keys) in
+  (match Threshold.combine scheme ~msg shares with
+  | Some s -> check "verifies" true (Threshold.verify scheme ~msg s)
+  | None -> Alcotest.fail "combine failed");
+  (* Exactly k shares suffice. *)
+  let k_shares = List.filteri (fun i _ -> i < 5) shares in
+  match Threshold.combine scheme ~msg k_shares with
+  | Some s ->
+      check "k shares verify" true (Threshold.verify scheme ~msg s);
+      check "wrong msg rejected" false (Threshold.verify scheme ~msg:"other" s)
+  | None -> Alcotest.fail "combine with k shares failed"
+
+let test_threshold_insufficient () =
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:7 ~k:5 in
+  let msg = "m" in
+  let shares =
+    List.filteri (fun i _ -> i < 4)
+      (Array.to_list (Array.map (fun k -> Threshold.share_sign k ~msg) keys))
+  in
+  check "under threshold" true (Threshold.combine scheme ~msg shares = None)
+
+let test_threshold_robustness () =
+  (* k valid shares mixed with invalid/duplicate ones still combine. *)
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:7 ~k:5 in
+  let msg = "m" in
+  let valid =
+    List.filteri (fun i _ -> i < 5)
+      (Array.to_list (Array.map (fun k -> Threshold.share_sign k ~msg) keys))
+  in
+  let forged = [ Threshold.forge_invalid_share ~signer:6; Threshold.forge_invalid_share ~signer:7 ] in
+  let dup = [ List.hd valid ] in
+  (match Threshold.combine scheme ~msg (forged @ dup @ valid) with
+  | Some s -> check "robust combine" true (Threshold.verify scheme ~msg s)
+  | None -> Alcotest.fail "robust combine failed");
+  (* 4 valid + forged junk must NOT combine. *)
+  let four = List.filteri (fun i _ -> i < 4) valid in
+  check "forged cannot fill threshold" true
+    (Threshold.combine scheme ~msg (forged @ four) = None)
+
+let test_threshold_share_verify () =
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:4 ~k:3 in
+  let msg = "m" in
+  let sh = Threshold.share_sign keys.(2) ~msg in
+  check "valid share" true (Threshold.share_verify scheme ~msg sh);
+  check "wrong msg" false (Threshold.share_verify scheme ~msg:"m2" sh);
+  check "forged" false
+    (Threshold.share_verify scheme ~msg (Threshold.forge_invalid_share ~signer:1))
+
+let test_threshold_cross_scheme_isolation () =
+  (* A signature under one scheme instance must not verify under another. *)
+  let r = rng () in
+  let s1, k1 = Threshold.setup r ~n:4 ~k:3 in
+  let s2, _ = Threshold.setup r ~n:4 ~k:3 in
+  let msg = "m" in
+  let shares = Array.to_list (Array.map (fun k -> Threshold.share_sign k ~msg) k1) in
+  let sig1 = Threshold.combine_exn s1 ~msg shares in
+  check "isolated" false (Threshold.verify s2 ~msg sig1)
+
+let threshold_props =
+  [
+    qtest "combine any k-subset" QCheck2.Gen.(pair (int_range 1 20) (int_range 0 1000))
+      (fun (k_extra, seed) ->
+        let r = Sbft_sim.Rng.create (Int64.of_int (seed + 17)) in
+        let k = 1 + (k_extra mod 6) in
+        let n = k + (seed mod 5) in
+        let scheme, keys = Threshold.setup r ~n ~k in
+        let msg = Printf.sprintf "msg-%d" seed in
+        let all = Array.map (fun key -> Threshold.share_sign key ~msg) keys in
+        let idx = Array.init n (fun i -> i) in
+        Sbft_sim.Rng.shuffle r idx;
+        let subset = List.init k (fun i -> all.(idx.(i))) in
+        match Threshold.combine scheme ~msg subset with
+        | Some s -> Threshold.verify scheme ~msg s
+        | None -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Group signatures *)
+
+let test_group_sig () =
+  let r = rng () in
+  let scheme, keys = Group_sig.setup r ~n:5 in
+  let msg = "block" in
+  let shares = Array.to_list (Array.map (fun k -> Group_sig.share_sign k ~msg) keys) in
+  (match Group_sig.combine scheme ~msg shares with
+  | Some s ->
+      check "verifies" true (Group_sig.verify scheme ~msg s);
+      check "wrong msg" false (Group_sig.verify scheme ~msg:"x" s)
+  | None -> Alcotest.fail "combine failed");
+  (* n-1 shares are not enough. *)
+  let missing = List.tl shares in
+  check "needs all n" true (Group_sig.combine scheme ~msg missing = None)
+
+let test_group_sig_share_verify () =
+  let r = rng () in
+  let scheme, keys = Group_sig.setup r ~n:3 in
+  let sh = Group_sig.share_sign keys.(0) ~msg:"m" in
+  check "valid" true (Group_sig.share_verify scheme ~msg:"m" sh);
+  check "invalid msg" false (Group_sig.share_verify scheme ~msg:"w" sh)
+
+(* ------------------------------------------------------------------ *)
+(* PKI *)
+
+let test_pki () =
+  let r = rng () in
+  let kp1 = Pki.generate r ~id:1 and kp2 = Pki.generate r ~id:2 in
+  let s = Pki.sign kp1 "hello" in
+  check "verifies" true (Pki.verify (Pki.public_key kp1) "hello" s);
+  check "wrong msg" false (Pki.verify (Pki.public_key kp1) "bye" s);
+  check "wrong key" false (Pki.verify (Pki.public_key kp2) "hello" s);
+  Alcotest.(check int) "key id" 1 (Pki.key_id (Pki.public_key kp1))
+
+(* ------------------------------------------------------------------ *)
+(* Merkle tree *)
+
+let test_merkle_roundtrip () =
+  let leaves = List.init 13 (fun i -> Printf.sprintf "op-%d" i) in
+  let t = Merkle.build leaves in
+  Alcotest.(check int) "num leaves" 13 (Merkle.num_leaves t);
+  List.iteri
+    (fun i leaf ->
+      let proof = Merkle.prove t i in
+      check (Printf.sprintf "leaf %d verifies" i) true
+        (Merkle.verify ~root:(Merkle.root t) ~leaf proof);
+      check "wrong leaf fails" false
+        (Merkle.verify ~root:(Merkle.root t) ~leaf:"bogus" proof))
+    leaves
+
+let test_merkle_single_and_empty () =
+  let t1 = Merkle.build [ "only" ] in
+  let p = Merkle.prove t1 0 in
+  check "single leaf" true (Merkle.verify ~root:(Merkle.root t1) ~leaf:"only" p);
+  let t0 = Merkle.build [] in
+  check "empty root defined" true (String.length (Merkle.root t0) = 32)
+
+let test_merkle_tamper_detection () =
+  let t = Merkle.build [ "a"; "b"; "c"; "d" ] in
+  let ta = Merkle.build [ "a"; "b"; "x"; "d" ] in
+  check "roots differ" false (String.equal (Merkle.root t) (Merkle.root ta));
+  (* Proof from the tampered tree fails against the honest root. *)
+  let p = Merkle.prove ta 2 in
+  check "cross verify fails" false (Merkle.verify ~root:(Merkle.root t) ~leaf:"x" p)
+
+let merkle_props =
+  [
+    qtest "all proofs verify for random sizes" QCheck2.Gen.(int_range 1 64)
+      (fun n ->
+        let leaves = List.init n (fun i -> Printf.sprintf "leaf%d" i) in
+        let t = Merkle.build leaves in
+        List.for_all
+          (fun i -> Merkle.verify ~root:(Merkle.root t) ~leaf:(List.nth leaves i) (Merkle.prove t i))
+          (List.init n (fun i -> i)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Merkle map *)
+
+let test_merkle_map_basic () =
+  let m = Merkle_map.empty in
+  let m = Merkle_map.set m ~key:"alice" ~value:"10" in
+  let m = Merkle_map.set m ~key:"bob" ~value:"20" in
+  Alcotest.(check int) "cardinal" 2 (Merkle_map.cardinal m);
+  Alcotest.(check (option string)) "get alice" (Some "10") (Merkle_map.get m "alice");
+  Alcotest.(check (option string)) "get carol" None (Merkle_map.get m "carol");
+  let m2 = Merkle_map.set m ~key:"alice" ~value:"15" in
+  Alcotest.(check int) "overwrite keeps cardinal" 2 (Merkle_map.cardinal m2);
+  Alcotest.(check (option string)) "updated" (Some "15") (Merkle_map.get m2 "alice");
+  (* Persistence: old version unchanged. *)
+  Alcotest.(check (option string)) "old version" (Some "10") (Merkle_map.get m "alice")
+
+let test_merkle_map_digest_changes () =
+  let m = Merkle_map.set Merkle_map.empty ~key:"k" ~value:"v" in
+  let m2 = Merkle_map.set m ~key:"k" ~value:"v2" in
+  check "digest reflects value" false (String.equal (Merkle_map.root m) (Merkle_map.root m2))
+
+let test_merkle_map_proofs () =
+  let m = ref Merkle_map.empty in
+  for i = 0 to 99 do
+    m := Merkle_map.set !m ~key:(Printf.sprintf "key%d" i) ~value:(Printf.sprintf "val%d" i)
+  done;
+  let root = Merkle_map.root !m in
+  for i = 0 to 99 do
+    let key = Printf.sprintf "key%d" i in
+    match Merkle_map.prove !m key with
+    | None -> Alcotest.fail "missing proof"
+    | Some p ->
+        check "proof verifies" true
+          (Merkle_map.verify ~root ~key ~value:(Printf.sprintf "val%d" i) p);
+        check "wrong value fails" false (Merkle_map.verify ~root ~key ~value:"evil" p)
+  done;
+  check "absent key" true (Merkle_map.prove !m "nope" = None)
+
+let test_merkle_map_remove () =
+  let m = ref Merkle_map.empty in
+  for i = 0 to 19 do
+    m := Merkle_map.set !m ~key:(string_of_int i) ~value:"v"
+  done;
+  let with_all = !m in
+  for i = 10 to 19 do
+    m := Merkle_map.remove !m (string_of_int i)
+  done;
+  Alcotest.(check int) "cardinal" 10 (Merkle_map.cardinal !m);
+  check "removed" true (Merkle_map.get !m "15" = None);
+  check "kept" true (Merkle_map.get !m "5" = Some "v");
+  (* Canonical shape: root after removals equals root of fresh build. *)
+  let fresh = ref Merkle_map.empty in
+  for i = 0 to 9 do
+    fresh := Merkle_map.set !fresh ~key:(string_of_int i) ~value:"v"
+  done;
+  check_str "canonical root" (Sha256.hex (Merkle_map.root !fresh))
+    (Sha256.hex (Merkle_map.root !m));
+  check "remove absent is noop" true
+    (Merkle_map.root (Merkle_map.remove with_all "zzz") = Merkle_map.root with_all)
+
+let test_merkle_map_fold () =
+  let m =
+    List.fold_left
+      (fun m (k, v) -> Merkle_map.set m ~key:k ~value:v)
+      Merkle_map.empty
+      [ ("a", "1"); ("b", "2"); ("c", "3") ]
+  in
+  let bindings = Merkle_map.fold (fun k v acc -> (k, v) :: acc) m [] in
+  Alcotest.(check int) "three bindings" 3 (List.length bindings);
+  check "contains b" true (List.mem ("b", "2") bindings)
+
+let merkle_map_props =
+  [
+    qtest "insertion order does not change root"
+      QCheck2.Gen.(int_range 0 1000)
+      (fun seed ->
+        let r = Sbft_sim.Rng.create (Int64.of_int seed) in
+        let n = 1 + Sbft_sim.Rng.int r 30 in
+        let keys = Array.init n (fun i -> Printf.sprintf "k%d" i) in
+        let build order =
+          Array.fold_left
+            (fun m k -> Merkle_map.set m ~key:k ~value:("v" ^ k))
+            Merkle_map.empty order
+        in
+        let m1 = build keys in
+        let shuffled = Array.copy keys in
+        Sbft_sim.Rng.shuffle r shuffled;
+        let m2 = build shuffled in
+        String.equal (Merkle_map.root m1) (Merkle_map.root m2));
+    qtest "set/remove sequences stay canonical"
+      QCheck2.Gen.(int_range 0 500)
+      (fun seed ->
+        let r = Sbft_sim.Rng.create (Int64.of_int (seed * 31)) in
+        let m = ref Merkle_map.empty in
+        let reference = Hashtbl.create 16 in
+        for _ = 1 to 40 do
+          let k = Printf.sprintf "k%d" (Sbft_sim.Rng.int r 12) in
+          if Sbft_sim.Rng.bool r 0.3 then begin
+            m := Merkle_map.remove !m k;
+            Hashtbl.remove reference k
+          end
+          else begin
+            let v = Printf.sprintf "v%d" (Sbft_sim.Rng.int r 100) in
+            m := Merkle_map.set !m ~key:k ~value:v;
+            Hashtbl.replace reference k v
+          end
+        done;
+        let fresh =
+          Hashtbl.fold (fun k v acc -> Merkle_map.set acc ~key:k ~value:v) reference
+            Merkle_map.empty
+        in
+        String.equal (Merkle_map.root fresh) (Merkle_map.root !m)
+        && Merkle_map.cardinal !m = Hashtbl.length reference);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost model sanity *)
+
+let test_cost_model_monotone () =
+  check "batch verify grows" true
+    (Cost_model.bls_batch_verify 10 < Cost_model.bls_batch_verify 100);
+  check "combine grows" true (Cost_model.bls_combine 10 < Cost_model.bls_combine 100);
+  check "group cheaper than threshold" true
+    (Cost_model.group_combine 100 < Cost_model.bls_combine 100);
+  check "rsa sign dominates verify" true (Cost_model.rsa_verify < Cost_model.rsa_sign);
+  check "all positive" true
+    (List.for_all (fun x -> x > 0)
+       [
+         Cost_model.bls_share_sign; Cost_model.bls_share_verify; Cost_model.bls_verify;
+         Cost_model.rsa_sign; Cost_model.rsa_verify; Cost_model.sha256 100;
+         Cost_model.hmac 100; Cost_model.merkle_build 10; Cost_model.kv_execute_op;
+         Cost_model.persist_block 1000; Cost_model.evm_execute_tx;
+       ])
+
+let () =
+  Alcotest.run "sbft_crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+          Alcotest.test_case "length boundaries" `Quick test_sha256_length_boundaries;
+        ] );
+      ( "keccak",
+        [
+          Alcotest.test_case "vectors" `Quick test_keccak_vectors;
+          Alcotest.test_case "rate boundaries" `Quick test_keccak_rate_boundaries;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "vectors" `Quick test_hmac_vectors;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "field",
+        [
+          Alcotest.test_case "edge cases" `Quick test_field_edge_cases;
+          Alcotest.test_case "known products" `Quick test_field_known_products;
+        ]
+        @ field_props );
+      ( "shamir",
+        [
+          Alcotest.test_case "polynomial eval" `Quick test_polynomial_eval;
+          Alcotest.test_case "lagrange constant" `Quick test_lagrange_recovers_constant;
+          Alcotest.test_case "lagrange bad points" `Quick test_lagrange_rejects_bad_points;
+          Alcotest.test_case "roundtrip" `Quick test_shamir_roundtrip;
+          Alcotest.test_case "invalid params" `Quick test_shamir_invalid_params;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "basic" `Quick test_threshold_basic;
+          Alcotest.test_case "insufficient" `Quick test_threshold_insufficient;
+          Alcotest.test_case "robustness" `Quick test_threshold_robustness;
+          Alcotest.test_case "share verify" `Quick test_threshold_share_verify;
+          Alcotest.test_case "scheme isolation" `Quick test_threshold_cross_scheme_isolation;
+        ]
+        @ threshold_props );
+      ( "group_sig",
+        [
+          Alcotest.test_case "basic" `Quick test_group_sig;
+          Alcotest.test_case "share verify" `Quick test_group_sig_share_verify;
+        ] );
+      ("pki", [ Alcotest.test_case "sign/verify" `Quick test_pki ]);
+      ( "merkle",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_merkle_roundtrip;
+          Alcotest.test_case "single/empty" `Quick test_merkle_single_and_empty;
+          Alcotest.test_case "tamper" `Quick test_merkle_tamper_detection;
+        ]
+        @ merkle_props );
+      ( "merkle_map",
+        [
+          Alcotest.test_case "basic" `Quick test_merkle_map_basic;
+          Alcotest.test_case "digest changes" `Quick test_merkle_map_digest_changes;
+          Alcotest.test_case "proofs" `Quick test_merkle_map_proofs;
+          Alcotest.test_case "remove" `Quick test_merkle_map_remove;
+          Alcotest.test_case "fold" `Quick test_merkle_map_fold;
+        ]
+        @ merkle_map_props );
+      ("cost_model", [ Alcotest.test_case "monotone" `Quick test_cost_model_monotone ]);
+    ]

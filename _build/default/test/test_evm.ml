@@ -1,0 +1,707 @@
+(* Tests for the EVM substrate: 256-bit arithmetic (including qcheck
+   cross-checks against native ints), machine components, world state,
+   the assembler, the interpreter opcode-by-opcode, the hand-assembled
+   contracts, and the transaction-level service. *)
+
+open Sbft_evm
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let qtest name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:500 gen prop)
+
+let u = U256.of_int
+let addr_a = State.address_of_hex "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+let addr_b = State.address_of_hex "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+let addr_c = State.address_of_hex "cccccccccccccccccccccccccccccccccccccccc"
+
+(* ------------------------------------------------------------------ *)
+(* U256 *)
+
+let test_u256_basic () =
+  check "zero" true (U256.is_zero U256.zero);
+  check "one" true (U256.equal U256.one (u 1));
+  check "add" true (U256.equal (U256.add (u 2) (u 3)) (u 5));
+  check "sub" true (U256.equal (U256.sub (u 7) (u 3)) (u 4));
+  check "mul" true (U256.equal (U256.mul (u 6) (u 7)) (u 42));
+  check "div" true (U256.equal (U256.div (u 42) (u 5)) (u 8));
+  check "rem" true (U256.equal (U256.rem (u 42) (u 5)) (u 2));
+  check "div by zero" true (U256.is_zero (U256.div (u 42) U256.zero));
+  check "rem by zero" true (U256.is_zero (U256.rem (u 42) U256.zero))
+
+let test_u256_wraparound () =
+  check "max + 1 = 0" true (U256.is_zero (U256.add U256.max_value U256.one));
+  check "0 - 1 = max" true (U256.equal (U256.sub U256.zero U256.one) U256.max_value);
+  check "neg 1 = max" true (U256.equal (U256.neg U256.one) U256.max_value);
+  (* (2^255) * 2 = 0 mod 2^256 *)
+  let two255 = U256.shift_left U256.one 255 in
+  check "2^255 * 2 wraps" true (U256.is_zero (U256.mul two255 (u 2)))
+
+let test_u256_big_values () =
+  (* (2^128 - 1)^2 = 2^256 - 2^129 + 1 *)
+  let m128 = U256.sub (U256.shift_left U256.one 128) U256.one in
+  let sq = U256.mul m128 m128 in
+  let expected = U256.add (U256.sub U256.zero (U256.shift_left U256.one 129)) U256.one in
+  check "(2^128-1)^2" true (U256.equal sq expected);
+  (* Division recovers the factor. *)
+  check "sq / m128 = m128" true (U256.equal (U256.div sq m128) m128);
+  check "sq mod m128 = 0" true (U256.is_zero (U256.rem sq m128))
+
+let test_u256_div_large_divisor () =
+  (* Divisor above 2^255 exercises the shift-overflow path. *)
+  let big = U256.logor (U256.shift_left U256.one 255) (u 12345) in
+  check "max / big = 1" true (U256.equal (U256.div U256.max_value big) U256.one);
+  check "rem consistent" true
+    (U256.equal U256.max_value (U256.add (U256.mul big U256.one) (U256.rem U256.max_value big)))
+
+let test_u256_signed () =
+  let minus_one = U256.neg U256.one in
+  let minus_six = U256.neg (u 6) in
+  check "sdiv -6 / 2 = -3" true (U256.equal (U256.sdiv minus_six (u 2)) (U256.neg (u 3)));
+  check "sdiv -6 / -2 = 3" true (U256.equal (U256.sdiv minus_six (U256.neg (u 2))) (u 3));
+  check "srem -7 mod 2 = -1" true (U256.equal (U256.srem (U256.neg (u 7)) (u 2)) minus_one);
+  check "slt -1 < 1" true (U256.slt minus_one U256.one);
+  check "sgt 1 > -1" true (U256.sgt U256.one minus_one);
+  check "not (lt) unsigned" false (U256.lt minus_one U256.one);
+  check "is_negative" true (U256.is_negative minus_one);
+  check "not negative" false (U256.is_negative (u 5))
+
+let test_u256_shifts () =
+  check "shl" true (U256.equal (U256.shift_left U256.one 8) (u 256));
+  check "shr" true (U256.equal (U256.shift_right (u 256) 8) U256.one);
+  check "shl 256 = 0" true (U256.is_zero (U256.shift_left U256.max_value 256));
+  check "shr cross limb" true
+    (U256.equal (U256.shift_right (U256.shift_left U256.one 100) 36) (U256.shift_left U256.one 64));
+  let minus_one = U256.neg U256.one in
+  check "sar of -1 = -1" true (U256.equal (U256.shift_right_arith minus_one 17) minus_one);
+  check "sar positive = shr" true
+    (U256.equal (U256.shift_right_arith (u 1024) 3) (U256.shift_right (u 1024) 3))
+
+let test_u256_bytes_hex () =
+  let v = U256.of_hex "0xdeadbeef" in
+  check "of_hex" true (U256.equal v (u 0xdeadbeef));
+  check_str "to_hex" "0xdeadbeef" (U256.to_hex v);
+  check_str "to_hex zero" "0x0" (U256.to_hex U256.zero);
+  check_int "bytes len" 32 (String.length (U256.to_bytes_be v));
+  check "roundtrip" true (U256.equal v (U256.of_bytes_be (U256.to_bytes_be v)));
+  check "short bytes pad left" true (U256.equal (U256.of_bytes_be "\x01\x00") (u 256))
+
+let test_u256_byte_signextend () =
+  let v = U256.of_hex "0x1122334455" in
+  check "byte 31 = 0x55" true (U256.equal (U256.byte 31 v) (u 0x55));
+  check "byte 27 = 0x11" true (U256.equal (U256.byte 27 v) (u 0x11));
+  check "byte 0 = 0" true (U256.is_zero (U256.byte 0 v));
+  check "byte 32 = 0" true (U256.is_zero (U256.byte 32 v));
+  (* sign_extend from byte 0 of 0xFF = -1 *)
+  check "signextend 0xff" true
+    (U256.equal (U256.sign_extend 0 (u 0xFF)) (U256.neg U256.one));
+  check "signextend positive" true (U256.equal (U256.sign_extend 0 (u 0x7F)) (u 0x7F));
+  check "signextend clears high" true
+    (U256.equal (U256.sign_extend 0 (u 0x17F)) (u 0x7F))
+
+let test_u256_modular () =
+  check "addmod" true (U256.equal (U256.addmod (u 10) (u 10) (u 8)) (u 4));
+  check "mulmod" true (U256.equal (U256.mulmod (u 10) (u 10) (u 8)) (u 4));
+  check "addmod zero mod" true (U256.is_zero (U256.addmod (u 1) (u 2) U256.zero));
+  (* addmod over 2^256: max + 2 mod 10; max = 2^256-1, 2^256+1 mod 10: 2^256 mod 10 = 6 -> 7 *)
+  check "addmod wraps correctly" true
+    (U256.equal (U256.addmod U256.max_value (u 2) (u 10)) (u 7));
+  (* mulmod with values that overflow 256 bits *)
+  let m128 = U256.sub (U256.shift_left U256.one 128) U256.one in
+  check "mulmod big" true
+    (U256.equal (U256.mulmod m128 m128 (u 97)) (U256.rem (U256.mul (U256.rem m128 (u 97)) (U256.rem m128 (u 97))) (u 97)));
+  (* mulmod with modulus above 2^255 *)
+  let bigm = U256.logor (U256.shift_left U256.one 255) U256.one in
+  let r = U256.mulmod m128 m128 bigm in
+  check "mulmod big modulus in range" true (U256.lt r bigm)
+
+let test_u256_exp () =
+  check "2^10" true (U256.equal (U256.exp (u 2) (u 10)) (u 1024));
+  check "x^0 = 1" true (U256.equal (U256.exp (u 12345) U256.zero) U256.one);
+  check "0^0 = 1" true (U256.equal (U256.exp U256.zero U256.zero) U256.one);
+  check "3^5" true (U256.equal (U256.exp (u 3) (u 5)) (u 243));
+  (* wrap: 2^256 = 0 *)
+  check "2^256 wraps to 0" true (U256.is_zero (U256.exp (u 2) (u 256)))
+
+let test_u256_conversions_edges () =
+  check "to_int_opt small" true (U256.to_int_opt (u 42) = Some 42);
+  check "to_int_opt max_int" true (U256.to_int_opt (u max_int) = Some max_int);
+  check "to_int_opt overflow" true (U256.to_int_opt U256.max_value = None);
+  check "to_int_opt high limb" true
+    (U256.to_int_opt (U256.shift_left U256.one 64) = None);
+  check_int "clamped overflow" max_int (U256.to_int_clamped U256.max_value);
+  (* of_hex odd length and prefix handling *)
+  check "of_hex odd" true (U256.equal (U256.of_hex "f") (u 15));
+  check "of_hex prefix" true (U256.equal (U256.of_hex "0x0") U256.zero);
+  check "of_hex 64 digits" true
+    (U256.equal (U256.of_hex (String.make 64 'f')) U256.max_value);
+  check "of_hex too long rejected" true
+    (try
+       ignore (U256.of_hex (String.make 66 '1'));
+       false
+     with Invalid_argument _ -> true);
+  (* bits *)
+  check_int "bits zero" 0 (U256.bits U256.zero);
+  check_int "bits one" 1 (U256.bits U256.one);
+  check_int "bits 255" 8 (U256.bits (u 255));
+  check_int "bits max" 256 (U256.bits U256.max_value);
+  check_int "bits 2^128" 129 (U256.bits (U256.shift_left U256.one 128))
+
+let small_pair = QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1 1_000_000))
+
+let u256_props =
+  [
+    qtest "add matches int" small_pair (fun (a, b) ->
+        U256.equal (U256.add (u a) (u b)) (u (a + b)));
+    qtest "mul matches int" small_pair (fun (a, b) ->
+        U256.equal (U256.mul (u a) (u b)) (u (a * b)));
+    qtest "divrem matches int" small_pair (fun (a, b) ->
+        U256.equal (U256.div (u a) (u b)) (u (a / b))
+        && U256.equal (U256.rem (u a) (u b)) (u (a mod b)));
+    qtest "sub then add roundtrip" small_pair (fun (a, b) ->
+        U256.equal (U256.add (U256.sub (u a) (u b)) (u b)) (u a));
+    qtest "bytes roundtrip" QCheck2.Gen.(int_range 0 max_int) (fun a ->
+        U256.equal (u a) (U256.of_bytes_be (U256.to_bytes_be (u a))));
+    qtest "div mul rem identity (random words)"
+      QCheck2.Gen.(pair (int_range 1 1000) (int_range 1 1000))
+      (fun (s1, s2) ->
+        (* Pseudo-random 256-bit values from hashes. *)
+        let a = U256.of_bytes_be (Sbft_crypto.Sha256.digest (string_of_int s1)) in
+        let b = U256.of_bytes_be (Sbft_crypto.Sha256.digest (string_of_int (s2 + 7777))) in
+        if U256.is_zero b then true
+        else begin
+          let q = U256.div a b and r = U256.rem a b in
+          U256.lt r b && U256.equal a (U256.add (U256.mul q b) r)
+        end);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine *)
+
+let test_stack () =
+  let s = Machine.Stack.create () in
+  Machine.Stack.push s (u 1);
+  Machine.Stack.push s (u 2);
+  Machine.Stack.push s (u 3);
+  check_int "depth" 3 (Machine.Stack.depth s);
+  check "peek" true (U256.equal (Machine.Stack.peek s 0) (u 3));
+  Machine.Stack.dup s 3;
+  check "dup3" true (U256.equal (Machine.Stack.pop s) (u 1));
+  Machine.Stack.swap s 2;
+  check "swap2 top" true (U256.equal (Machine.Stack.pop s) (u 1));
+  check "swap2 bottom" true (U256.equal (Machine.Stack.peek s 1) (u 3));
+  check "underflow" true
+    (try
+       let s2 = Machine.Stack.create () in
+       ignore (Machine.Stack.pop s2);
+       false
+     with Machine.Stack_underflow_evm -> true);
+  check "overflow" true
+    (try
+       let s2 = Machine.Stack.create () in
+       for _ = 1 to 1025 do
+         Machine.Stack.push s2 U256.zero
+       done;
+       false
+     with Machine.Stack_overflow_evm -> true)
+
+let test_memory () =
+  let m = Machine.Memory.create () in
+  check_int "initial words" 0 (Machine.Memory.size_words m);
+  Machine.Memory.store_word m 0 (u 0xABCD);
+  check "load word" true (U256.equal (Machine.Memory.load_word m 0) (u 0xABCD));
+  check_int "one word" 1 (Machine.Memory.size_words m);
+  Machine.Memory.store_byte m 100 0xFF;
+  check_int "expanded" 4 (Machine.Memory.size_words m);
+  check_str "slice" "\xff" (Machine.Memory.load_slice m ~offset:100 ~len:1);
+  Machine.Memory.store_slice m ~offset:5 "hello";
+  check_str "slice roundtrip" "hello" (Machine.Memory.load_slice m ~offset:5 ~len:5);
+  (* Unaligned word read straddling stored data. *)
+  let w = Machine.Memory.load_word m 5 in
+  check "word starts with hello" true
+    (String.sub (U256.to_bytes_be w) 0 5 = "hello")
+
+(* ------------------------------------------------------------------ *)
+(* State *)
+
+let test_state () =
+  let s = Sbft_crypto.Merkle_map.empty in
+  check "zero balance" true (U256.is_zero (State.balance s addr_a));
+  let s = State.set_balance s addr_a (u 100) in
+  check "balance set" true (U256.equal (State.balance s addr_a) (u 100));
+  (match State.transfer s ~from_:addr_a ~to_:addr_b (u 30) with
+  | None -> Alcotest.fail "transfer failed"
+  | Some s ->
+      check "from debited" true (U256.equal (State.balance s addr_a) (u 70));
+      check "to credited" true (U256.equal (State.balance s addr_b) (u 30)));
+  check "insufficient" true (State.transfer s ~from_:addr_a ~to_:addr_b (u 1000) = None);
+  check "transfer zero always ok" true (State.transfer s ~from_:addr_c ~to_:addr_b U256.zero <> None);
+  let s = State.incr_nonce s addr_a in
+  let s = State.incr_nonce s addr_a in
+  check_int "nonce" 2 (State.nonce s addr_a);
+  let s = State.set_code s addr_c "\x60\x00" in
+  check_str "code" "\x60\x00" (State.code s addr_c);
+  let s = State.sstore s ~addr:addr_c ~slot:(u 5) (u 42) in
+  check "sload" true (U256.equal (State.sload s ~addr:addr_c ~slot:(u 5)) (u 42));
+  check "sload other slot" true (U256.is_zero (State.sload s ~addr:addr_c ~slot:(u 6)));
+  let s = State.sstore s ~addr:addr_c ~slot:(u 5) U256.zero in
+  check "sstore zero deletes" true (U256.is_zero (State.sload s ~addr:addr_c ~slot:(u 5)));
+  check "exists" true (State.account_exists s addr_c);
+  check "not exists" false (State.account_exists s (State.address_of_hex "1111111111111111111111111111111111111111"))
+
+let test_contract_address_deterministic () =
+  let a1 = State.contract_address ~sender:addr_a ~nonce:0 in
+  let a2 = State.contract_address ~sender:addr_a ~nonce:0 in
+  let a3 = State.contract_address ~sender:addr_a ~nonce:1 in
+  let a4 = State.contract_address ~sender:addr_b ~nonce:0 in
+  check_str "deterministic" a1 a2;
+  check "nonce matters" false (a1 = a3);
+  check "sender matters" false (a1 = a4);
+  check_int "20 bytes" 20 (String.length a1)
+
+(* ------------------------------------------------------------------ *)
+(* Asm *)
+
+let test_asm_push_widths () =
+  let code = Asm.assemble [ Push (u 0); Push (u 0xFF); Push (u 0x1FF); Push (u 0xFFFFFF) ] in
+  (* PUSH1 00, PUSH1 FF, PUSH2 01FF, PUSH3 FFFFFF *)
+  check_str "encoding" "\x60\x00\x60\xff\x61\x01\xff\x62\xff\xff\xff" code
+
+let test_asm_labels () =
+  let code =
+    Asm.assemble [ Push_label "end"; Op JUMP; Op STOP; Label "end"; Push_int 1 ]
+  in
+  (* PUSH2 0005 JUMP STOP JUMPDEST PUSH1 01 *)
+  check_str "label encoding" "\x61\x00\x05\x56\x00\x5b\x60\x01" code;
+  check "undefined label" true
+    (try
+       ignore (Asm.assemble [ Push_label "nope" ]);
+       false
+     with Invalid_argument _ -> true);
+  check "duplicate label" true
+    (try
+       ignore (Asm.assemble [ Label "x"; Label "x" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_asm_disassemble () =
+  let d = Asm.disassemble (Asm.assemble [ Push_int 5; Op ADD; Op STOP ]) in
+  check "mentions PUSH1" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "PUSH1") d 0);
+       true
+     with Not_found -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter *)
+
+let ctx = Interpreter.default_context
+let empty = Sbft_crypto.Merkle_map.empty
+
+let run_code ?(state = empty) ?(value = U256.zero) ?(data = "") ?(gas = 1_000_000) code =
+  Interpreter.execute_code ~ctx ~state ~caller:addr_a ~address:addr_b ~value ~data ~gas
+    ~code
+
+(* Program returning the top of stack as a 32-byte word. *)
+let return_top_program body =
+  Asm.assemble
+    (body @ [ Asm.Push_int 0; Asm.Op MSTORE; Asm.Push_int 32; Asm.Push_int 0; Asm.Op RETURN ])
+
+let expect_word res expected =
+  check "success" true res.Interpreter.success;
+  check "word result" true (U256.equal (U256.of_bytes_be res.Interpreter.output) expected)
+
+let test_interp_arithmetic () =
+  expect_word (run_code (return_top_program [ Push_int 3; Push_int 2; Op ADD ])) (u 5);
+  (* SUB pops a then b, computes a-b: push b first. *)
+  expect_word (run_code (return_top_program [ Push_int 3; Push_int 10; Op SUB ])) (u 7);
+  expect_word (run_code (return_top_program [ Push_int 4; Push_int 20; Op DIV ])) (u 5);
+  expect_word
+    (run_code (return_top_program [ Push_int 10; Push_int 2; Op EXP ]))
+    (u 1024)
+
+let test_interp_comparison_logic () =
+  expect_word (run_code (return_top_program [ Push_int 5; Push_int 3; Op LT ])) U256.one;
+  expect_word (run_code (return_top_program [ Push_int 3; Push_int 5; Op LT ])) U256.zero;
+  expect_word (run_code (return_top_program [ Push_int 0; Op ISZERO ])) U256.one;
+  expect_word
+    (run_code (return_top_program [ Push_int 0b1100; Push_int 0b1010; Op AND ]))
+    (u 0b1000);
+  expect_word
+    (run_code (return_top_program [ Push_int 0b1100; Push_int 0b1010; Op XOR ]))
+    (u 0b0110)
+
+let test_interp_jumps () =
+  (* if 1 then 42 else 13 *)
+  let code =
+    return_top_program
+      [
+        Push_int 1; Push_label "then"; Op JUMPI; Push_int 13;
+        Push_label "done"; Op JUMP;
+        Label "then"; Push_int 42;
+        Label "done";
+      ]
+  in
+  expect_word (run_code code) (u 42);
+  (* Jump to a non-JUMPDEST fails. *)
+  let bad = Asm.assemble [ Asm.Push_int 0; Asm.Op JUMP ] in
+  let res = run_code bad in
+  check "bad jump fails" false res.Interpreter.success;
+  (* Jump into push data fails. *)
+  let into_push = Asm.assemble [ Asm.Push_int 2; Asm.Op JUMP; Asm.Push (u 0x5b) ] in
+  check "jump into push data fails" false (run_code into_push).Interpreter.success
+
+let test_interp_storage () =
+  let code =
+    return_top_program
+      [ Push_int 99; Push_int 7; Op SSTORE; Push_int 7; Op SLOAD ]
+  in
+  let res = run_code code in
+  expect_word res (u 99);
+  (* State change visible in result. *)
+  check "sstore persisted" true
+    (U256.equal (State.sload res.Interpreter.state ~addr:addr_b ~slot:(u 7)) (u 99))
+
+let test_interp_calldata_env () =
+  let data = U256.to_bytes_be (u 777) in
+  let res =
+    run_code ~data (return_top_program [ Push_int 0; Op CALLDATALOAD ])
+  in
+  expect_word res (u 777);
+  expect_word (run_code ~data (return_top_program [ Op CALLDATASIZE ])) (u 32);
+  expect_word
+    (run_code ~value:(u 55) (return_top_program [ Op CALLVALUE ]))
+    (u 55);
+  expect_word
+    (run_code (return_top_program [ Op CALLER ]))
+    (U256.of_bytes_be addr_a);
+  expect_word
+    (run_code (return_top_program [ Op ADDRESS ]))
+    (U256.of_bytes_be addr_b)
+
+let test_interp_sha3 () =
+  (* keccak256 of 32 zero bytes. *)
+  let res = run_code (return_top_program [ Push_int 32; Push_int 0; Op SHA3 ]) in
+  expect_word res (U256.of_bytes_be (Sbft_crypto.Keccak.digest (String.make 32 '\x00')))
+
+let test_interp_revert_and_oog () =
+  let rev =
+    run_code
+      (Asm.assemble
+         [ Asm.Push_int 42; Asm.Push_int 0; Asm.Op MSTORE;
+           Asm.Push_int 32; Asm.Push_int 0; Asm.Op REVERT ])
+  in
+  check "revert not success" false rev.Interpreter.success;
+  check "revert flagged" true rev.Interpreter.reverted;
+  check "revert output" true (U256.equal (U256.of_bytes_be rev.Interpreter.output) (u 42));
+  let oog = run_code ~gas:3 (Asm.assemble [ Asm.Push_int 1; Asm.Push_int 1; Asm.Op ADD ]) in
+  check "oog fails" false oog.Interpreter.success;
+  check "oog consumes gas" true (oog.Interpreter.gas_used >= 3);
+  let inv = run_code "\xfe" in
+  check "invalid opcode fails" false inv.Interpreter.success
+
+let test_interp_logs () =
+  let code =
+    Asm.assemble
+      [
+        Asm.Push_int 0xAB; Asm.Push_int 0; Asm.Op MSTORE;
+        Asm.Push_int 123 (* topic *);
+        Asm.Push_int 32 (* len *); Asm.Push_int 0 (* offset *);
+        Asm.Op (LOG 1); Asm.Op STOP;
+      ]
+  in
+  let res = run_code code in
+  check "success" true res.Interpreter.success;
+  match res.Interpreter.logs with
+  | [ { topics = [ t ]; data; address } ] ->
+      check "topic" true (U256.equal t (u 123));
+      check "data" true (U256.equal (U256.of_bytes_be data) (u 0xAB));
+      check_str "address" addr_b address
+  | _ -> Alcotest.fail "expected one log with one topic"
+
+let test_interp_gas_accounting () =
+  (* PUSH1(3) + PUSH1(3) + ADD(3) + implicit stop: 9 gas, plus nothing else. *)
+  let res = run_code (Asm.assemble [ Asm.Push_int 1; Asm.Push_int 2; Asm.Op ADD ]) in
+  check_int "gas exact" 9 res.Interpreter.gas_used;
+  (* Memory expansion charges: MSTORE at offset 0 = 1 word -> 3 gas. *)
+  let res2 =
+    run_code (Asm.assemble [ Asm.Push_int 1; Asm.Push_int 0; Asm.Op MSTORE ])
+  in
+  check_int "gas with memory" (3 + 3 + 3 + 3) res2.Interpreter.gas_used
+
+let test_interp_call () =
+  (* Callee: returns CALLVALUE. *)
+  let callee = return_top_program [ Asm.Op CALLVALUE ] in
+  let state = State.set_code empty addr_c callee in
+  let state = State.set_balance state addr_b (u 1000) in
+  (* Caller: CALL(gas=50000, to=addr_c, value=77, in=0/0, out=0/32), then
+     return the output word. *)
+  let caller_code =
+    Asm.assemble
+      [
+        Asm.Push_int 32 (* outLen *); Asm.Push_int 0 (* outOff *);
+        Asm.Push_int 0 (* inLen *); Asm.Push_int 0 (* inOff *);
+        Asm.Push_int 77 (* value *);
+        Asm.Push (U256.of_bytes_be addr_c) (* to *);
+        Asm.Push_int 50000 (* gas *);
+        Asm.Op CALL;
+        Asm.Op POP;
+        Asm.Push_int 32; Asm.Push_int 0; Asm.Op RETURN;
+      ]
+  in
+  let res = run_code ~state caller_code in
+  check "call success" true res.Interpreter.success;
+  check "output is value" true (U256.equal (U256.of_bytes_be res.Interpreter.output) (u 77));
+  check "value transferred" true
+    (U256.equal (State.balance res.Interpreter.state addr_c) (u 77));
+  check "caller debited" true
+    (U256.equal (State.balance res.Interpreter.state addr_b) (u 923))
+
+let test_interp_create_and_call () =
+  let state = State.set_balance empty addr_a (u 10) in
+  let res, created =
+    Interpreter.create ~ctx ~state ~caller:addr_a ~value:U256.zero
+      ~init_code:Contracts.counter_init ~gas:1_000_000
+  in
+  check "create success" true res.Interpreter.success;
+  check_str "deployed code" Contracts.counter_runtime
+    (State.code res.Interpreter.state created);
+  (* Call increment twice then get. *)
+  let s = ref res.Interpreter.state in
+  let call data =
+    let r =
+      Interpreter.call ~ctx ~state:!s ~caller:addr_a ~address:created ~value:U256.zero
+        ~data ~gas:100_000
+    in
+    check "call ok" true r.Interpreter.success;
+    s := r.Interpreter.state;
+    r.Interpreter.output
+  in
+  ignore (call Contracts.counter_increment);
+  ignore (call Contracts.counter_increment);
+  let out = call Contracts.counter_get in
+  check "counter = 2" true (U256.equal (U256.of_bytes_be out) (u 2))
+
+let test_interp_call_depth_and_63_64 () =
+  (* A contract that calls itself forever; must terminate via gas/depth. *)
+  let self_addr = addr_c in
+  let code =
+    Asm.assemble
+      [
+        Asm.Push_int 0; Asm.Push_int 0; Asm.Push_int 0; Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Push (U256.of_bytes_be self_addr);
+        Asm.Push_int 10_000_000; Asm.Op CALL;
+        Asm.Op STOP;
+      ]
+  in
+  let state = State.set_code empty self_addr code in
+  let res =
+    Interpreter.call ~ctx ~state ~caller:addr_a ~address:self_addr ~value:U256.zero
+      ~data:"" ~gas:200_000
+  in
+  (* Outer call succeeds (inner failures just push 0). *)
+  check "terminates" true res.Interpreter.success
+
+(* ------------------------------------------------------------------ *)
+(* Contracts via the service layer *)
+
+let apply_tx store tx =
+  match Sbft_store.Auth_store.execute_block store
+          ~seq:(Sbft_store.Auth_store.last_executed store + 1)
+          ~ops:[ Tx.encode tx ] with
+  | [ receipt ] -> Option.get (Tx.decode_receipt receipt)
+  | _ -> Alcotest.fail "expected one receipt"
+
+let test_token_end_to_end () =
+  let store = Evm_service.create () in
+  let rc = apply_tx store (Faucet { account = addr_a; amount = u 1_000_000 }) in
+  check "faucet ok" true rc.Tx.ok;
+  let rc =
+    apply_tx store
+      (Create { sender = addr_a; value = U256.zero;
+                init_code = Contracts.token_init ~supply:(u 1000); gas = 5_000_000 })
+  in
+  check "deploy ok" true rc.Tx.ok;
+  let token = rc.Tx.output in
+  check_int "address size" 20 (String.length token);
+  (* Transfer 250 to b. *)
+  let rc =
+    apply_tx store
+      (Call { sender = addr_a; to_ = token; value = U256.zero;
+              data = Contracts.token_transfer ~to_:addr_b ~amount:(u 250); gas = 500_000 })
+  in
+  check "transfer ok" true rc.Tx.ok;
+  (* Balances. *)
+  let balance_of who =
+    let rc =
+      apply_tx store
+        (Call { sender = addr_a; to_ = token; value = U256.zero;
+                data = Contracts.token_balance_of ~addr:who; gas = 500_000 })
+    in
+    check "balance query ok" true rc.Tx.ok;
+    U256.of_bytes_be rc.Tx.output
+  in
+  check "a has 750" true (U256.equal (balance_of addr_a) (u 750));
+  check "b has 250" true (U256.equal (balance_of addr_b) (u 250));
+  (* Overdraft reverts and leaves balances intact. *)
+  let rc =
+    apply_tx store
+      (Call { sender = addr_b; to_ = token; value = U256.zero;
+              data = Contracts.token_transfer ~to_:addr_a ~amount:(u 9999); gas = 500_000 })
+  in
+  check "overdraft rejected" false rc.Tx.ok;
+  check "b still 250" true (U256.equal (balance_of addr_b) (u 250))
+
+let test_escrow_end_to_end () =
+  let store = Evm_service.create () in
+  ignore (apply_tx store (Faucet { account = addr_a; amount = u 1000 }));
+  ignore (apply_tx store (Faucet { account = addr_b; amount = u 1000 }));
+  let rc =
+    apply_tx store
+      (Create { sender = addr_a; value = U256.zero; init_code = Contracts.escrow_init;
+                gas = 5_000_000 })
+  in
+  check "deploy ok" true rc.Tx.ok;
+  let escrow = rc.Tx.output in
+  let contribute sender amount =
+    apply_tx store
+      (Call { sender; to_ = escrow; value = u amount;
+              data = Contracts.escrow_contribute; gas = 500_000 })
+  in
+  check "contribute a" true (contribute addr_a 100).Tx.ok;
+  check "contribute b" true (contribute addr_b 300).Tx.ok;
+  check "contribute a again" true (contribute addr_a 50).Tx.ok;
+  let query data =
+    let rc =
+      apply_tx store
+        (Call { sender = addr_c; to_ = escrow; value = U256.zero; data; gas = 500_000 })
+    in
+    check "query ok" true rc.Tx.ok;
+    U256.of_bytes_be rc.Tx.output
+  in
+  check "total 450" true (U256.equal (query Contracts.escrow_total) (u 450));
+  check "a contributed 150" true
+    (U256.equal (query (Contracts.escrow_contribution_of ~addr:addr_a)) (u 150));
+  check "b contributed 300" true
+    (U256.equal (query (Contracts.escrow_contribution_of ~addr:addr_b)) (u 300));
+  (* Escrow account balance equals total contributions. *)
+  check "escrow balance" true
+    (U256.equal
+       (State.balance (Sbft_store.Auth_store.state store) escrow)
+       (u 450))
+
+let test_evm_service_determinism () =
+  (* Two replicas applying the same transaction blocks reach identical
+     state digests — the property the BFT execution layer relies on. *)
+  let run () =
+    let store = Evm_service.create () in
+    ignore (apply_tx store (Faucet { account = addr_a; amount = u 5000 }));
+    let rc =
+      apply_tx store
+        (Create { sender = addr_a; value = U256.zero;
+                  init_code = Contracts.token_init ~supply:(u 100); gas = 5_000_000 })
+    in
+    let token = rc.Tx.output in
+    for i = 1 to 5 do
+      ignore
+        (apply_tx store
+           (Call { sender = addr_a; to_ = token; value = U256.zero;
+                   data = Contracts.token_transfer ~to_:addr_b ~amount:(u i);
+                   gas = 500_000 }))
+    done;
+    Sbft_crypto.Sha256.hex (Sbft_store.Auth_store.digest store)
+  in
+  check_str "digests agree" (run ()) (run ())
+
+let test_evm_service_bad_tx () =
+  let store = Evm_service.create () in
+  let outs =
+    Sbft_store.Auth_store.execute_block store ~seq:1 ~ops:[ "garbage-not-a-tx" ]
+  in
+  match outs with
+  | [ receipt ] -> (
+      match Tx.decode_receipt receipt with
+      | Some rc -> check "bad tx rejected but consumed" false rc.Tx.ok
+      | None -> Alcotest.fail "receipt undecodable")
+  | _ -> Alcotest.fail "expected one output"
+
+let test_tx_roundtrip () =
+  let cases =
+    [
+      Tx.Create { sender = addr_a; value = u 5; init_code = "\x60\x00"; gas = 21000 };
+      Tx.Call { sender = addr_a; to_ = addr_b; value = U256.zero; data = "abc"; gas = 50000 };
+      Tx.Faucet { account = addr_c; amount = u 123 };
+    ]
+  in
+  List.iter
+    (fun tx ->
+      match Tx.decode (Tx.encode tx) with
+      | Some tx' -> check "roundtrip" true (tx = tx')
+      | None -> Alcotest.fail "decode failed")
+    cases;
+  check "garbage" true (Tx.decode "\x09nope" = None)
+
+let () =
+  Alcotest.run "sbft_evm"
+    [
+      ( "u256",
+        [
+          Alcotest.test_case "basic" `Quick test_u256_basic;
+          Alcotest.test_case "wraparound" `Quick test_u256_wraparound;
+          Alcotest.test_case "big values" `Quick test_u256_big_values;
+          Alcotest.test_case "large divisor" `Quick test_u256_div_large_divisor;
+          Alcotest.test_case "signed" `Quick test_u256_signed;
+          Alcotest.test_case "shifts" `Quick test_u256_shifts;
+          Alcotest.test_case "bytes/hex" `Quick test_u256_bytes_hex;
+          Alcotest.test_case "byte/signextend" `Quick test_u256_byte_signextend;
+          Alcotest.test_case "modular" `Quick test_u256_modular;
+          Alcotest.test_case "exp" `Quick test_u256_exp;
+          Alcotest.test_case "conversion edges" `Quick test_u256_conversions_edges;
+        ]
+        @ u256_props );
+      ( "machine",
+        [
+          Alcotest.test_case "stack" `Quick test_stack;
+          Alcotest.test_case "memory" `Quick test_memory;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "accounts" `Quick test_state;
+          Alcotest.test_case "contract address" `Quick test_contract_address_deterministic;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "push widths" `Quick test_asm_push_widths;
+          Alcotest.test_case "labels" `Quick test_asm_labels;
+          Alcotest.test_case "disassemble" `Quick test_asm_disassemble;
+        ] );
+      ( "interpreter",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_interp_arithmetic;
+          Alcotest.test_case "comparison/logic" `Quick test_interp_comparison_logic;
+          Alcotest.test_case "jumps" `Quick test_interp_jumps;
+          Alcotest.test_case "storage" `Quick test_interp_storage;
+          Alcotest.test_case "calldata/env" `Quick test_interp_calldata_env;
+          Alcotest.test_case "sha3" `Quick test_interp_sha3;
+          Alcotest.test_case "revert/oog" `Quick test_interp_revert_and_oog;
+          Alcotest.test_case "logs" `Quick test_interp_logs;
+          Alcotest.test_case "gas accounting" `Quick test_interp_gas_accounting;
+          Alcotest.test_case "call" `Quick test_interp_call;
+          Alcotest.test_case "create + counter" `Quick test_interp_create_and_call;
+          Alcotest.test_case "recursion bounded" `Quick test_interp_call_depth_and_63_64;
+        ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "token end-to-end" `Quick test_token_end_to_end;
+          Alcotest.test_case "escrow end-to-end" `Quick test_escrow_end_to_end;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "determinism" `Quick test_evm_service_determinism;
+          Alcotest.test_case "bad tx" `Quick test_evm_service_bad_tx;
+          Alcotest.test_case "tx roundtrip" `Quick test_tx_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,319 @@
+(* Opcode-level EVM interpreter tests, complementing test_evm.ml: signed
+   arithmetic and modular ops through bytecode, data-copy instructions,
+   introspection opcodes, logs with many topics, in-EVM CREATE and
+   STATICCALL, deep stack manipulation and edge cases of jump-destination
+   analysis. *)
+
+open Sbft_evm
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let u = U256.of_int
+let caller_addr = State.address_of_hex "1111111111111111111111111111111111111111"
+let self_addr = State.address_of_hex "2222222222222222222222222222222222222222"
+
+let ctx = Interpreter.default_context
+let empty = Sbft_crypto.Merkle_map.empty
+
+let run ?(state = empty) ?(value = U256.zero) ?(data = "") ?(gas = 1_000_000) instrs =
+  Interpreter.execute_code ~ctx ~state ~caller:caller_addr ~address:self_addr ~value
+    ~data ~gas ~code:(Asm.assemble instrs)
+
+let return_top body =
+  body @ [ Asm.Push_int 0; Asm.Op MSTORE; Asm.Push_int 32; Asm.Push_int 0; Asm.Op RETURN ]
+
+let word res =
+  check "success" true res.Interpreter.success;
+  U256.of_bytes_be res.Interpreter.output
+
+let expect_int instrs expected =
+  check "expected word" true (U256.equal (word (run (return_top instrs))) (u expected))
+
+let expect_word instrs expected =
+  check "expected word" true (U256.equal (word (run (return_top instrs))) expected)
+
+(* ------------------------------------------------------------------ *)
+
+let test_signed_arithmetic () =
+  (* SDIV: top = a, next = b -> a/b. -6 / 2 = -3. *)
+  let minus x = U256.neg (u x) in
+  expect_word [ Push (u 2); Push (minus 6); Op SDIV ] (minus 3);
+  expect_word [ Push (minus 2); Push (minus 6); Op SDIV ] (u 3);
+  expect_word [ Push (u 2); Push (minus 7); Op SMOD ] (minus 1);
+  (* SLT: -1 < 1. *)
+  expect_int [ Push (u 1); Push (minus 1); Op SLT ] 1;
+  expect_int [ Push (minus 1); Push (u 1); Op SGT ] 1;
+  (* SIGNEXTEND byte 0 of 0xFF -> -1. *)
+  expect_word [ Push (u 0xFF); Push (u 0); Op SIGNEXTEND ] (minus 1)
+
+let test_modular_ops () =
+  (* ADDMOD(a=10, b=10, m=8) = 4: stack [m; b; a]. *)
+  expect_int [ Push (u 8); Push (u 10); Push (u 10); Op ADDMOD ] 4;
+  expect_int [ Push (u 8); Push (u 10); Push (u 10); Op MULMOD ] 4;
+  expect_int [ Push (u 0); Push (u 10); Push (u 10); Op ADDMOD ] 0
+
+let test_byte_and_shifts () =
+  (* BYTE 31 of 0x1234 = 0x34. *)
+  expect_int [ Push (u 0x1234); Push (u 31); Op BYTE ] 0x34;
+  expect_int [ Push (u 0x1234); Push (u 30); Op BYTE ] 0x12;
+  expect_int [ Push (u 1); Push (u 4); Op SHL ] 16;
+  expect_int [ Push (u 16); Push (u 3); Op SHR ] 2;
+  expect_word [ Push (U256.neg (u 16)); Push (u 2); Op SAR ] (U256.neg (u 4))
+
+let test_calldatacopy () =
+  let data = "abcdefgh" in
+  (* Copy calldata[2..6) to memory offset 3, return first word. *)
+  let res =
+    run ~data
+      (return_top
+         [ Asm.Push_int 4; Asm.Push_int 2; Asm.Push_int 3; Asm.Op CALLDATACOPY;
+           Asm.Push_int 0; Asm.Op MLOAD ])
+  in
+  let w = word res in
+  let bytes = U256.to_bytes_be w in
+  Alcotest.(check string) "copied region" "\x00\x00\x00cdef\x00\x00" (String.sub bytes 0 9)
+
+let test_codecopy_and_codesize () =
+  let res = run (return_top [ Asm.Op CODESIZE ]) in
+  check "codesize positive" true (U256.to_int_clamped (word res) > 0);
+  (* CODECOPY: copy own first 2 bytes; out-of-range pads with zeros. *)
+  let res2 =
+    run
+      (return_top
+         [ Asm.Push_int 2; Asm.Push_int 0; Asm.Push_int 0; Asm.Op CODECOPY;
+           Asm.Push_int 0; Asm.Op MLOAD ])
+  in
+  let first = Char.code (U256.to_bytes_be (word res2)).[0] in
+  check_int "first code byte is PUSH1" 0x60 first
+
+let test_introspection () =
+  expect_int [ Asm.Op MSIZE ] 0;
+  (* PC at offset 0 is 0; after a push it is the push-width + 1. *)
+  expect_int [ Asm.Op PC ] 0;
+  let res = run (return_top [ Asm.Op GAS ]) in
+  check "gas remaining positive" true (U256.to_int_clamped (word res) > 0);
+  (* MSIZE grows to 2 words after touching offset 33. *)
+  expect_int [ Push (u 1); Push (u 33); Op MSTORE8; Op MSIZE ] 64
+
+let test_logs_many_topics () =
+  let res =
+    run
+      [ Asm.Push_int 4; Asm.Push_int 3; Asm.Push_int 2; Asm.Push_int 1;
+        Asm.Push_int 0; Asm.Push_int 0; Asm.Op (LOG 4); Asm.Op STOP ]
+  in
+  check "success" true res.Interpreter.success;
+  match res.Interpreter.logs with
+  | [ { topics; data; _ } ] ->
+      check_int "4 topics" 4 (List.length topics);
+      check "topic order" true
+        (List.map U256.to_int_clamped topics = [ 1; 2; 3; 4 ]);
+      check_int "no data" 0 (String.length data)
+  | _ -> Alcotest.fail "expected one log"
+
+let test_create_opcode () =
+  (* Init code returning a 1-byte runtime (0x00 = STOP): built in memory.
+     Init: PUSH1 0x00 PUSH1 0 MSTORE8; PUSH1 1 PUSH1 0 RETURN  *)
+  let init = Asm.assemble
+      [ Asm.Push_int 0x00; Asm.Push_int 0; Asm.Op MSTORE8;
+        Asm.Push_int 1; Asm.Push_int 0; Asm.Op RETURN ] in
+  let n = String.length init in
+  (* Parent: store init code into memory via CODECOPY from a Raw blob at
+     a label, then CREATE(value=0, offset, len) and return the address. *)
+  let parent =
+    [ Asm.Push_int n; Asm.Push_label "blob"; Asm.Push_int 0; Asm.Op CODECOPY;
+      Asm.Push_int n; Asm.Push_int 0; Asm.Push_int 0; Asm.Op CREATE ]
+  in
+  let res =
+    run ~gas:1_000_000
+      (return_top parent @ [ Asm.Mark "blob"; Asm.Raw init ])
+  in
+  let addr_word = word res in
+  check "created nonzero address" false (U256.is_zero addr_word);
+  let addr = String.sub (U256.to_bytes_be addr_word) 12 20 in
+  Alcotest.(check string) "deployed runtime" "\x00" (State.code res.Interpreter.state addr)
+
+let test_staticcall () =
+  (* Callee returns 7; STATICCALL forwards and copies the result. *)
+  let callee = Asm.assemble (return_top [ Asm.Push_int 7 ]) in
+  let callee_addr = State.address_of_hex "3333333333333333333333333333333333333333" in
+  let state = State.set_code empty callee_addr callee in
+  let res =
+    run ~state
+      (return_top
+         [ Asm.Push_int 32; Asm.Push_int 0; Asm.Push_int 0; Asm.Push_int 0;
+           Asm.Push (U256.of_bytes_be callee_addr); Asm.Push_int 100000;
+           Asm.Op STATICCALL; Asm.Op POP; Asm.Push_int 0; Asm.Op MLOAD ])
+  in
+  check "result is 7" true (U256.equal (word res) (u 7))
+
+let test_returndata () =
+  let callee = Asm.assemble (return_top [ Asm.Push_int 42 ]) in
+  let callee_addr = State.address_of_hex "4444444444444444444444444444444444444444" in
+  let state = State.set_code empty callee_addr callee in
+  let res =
+    run ~state
+      (return_top
+         [ Asm.Push_int 0; Asm.Push_int 0; Asm.Push_int 0; Asm.Push_int 0;
+           Asm.Push_int 0;
+           Asm.Push (U256.of_bytes_be callee_addr); Asm.Push_int 100000;
+           Asm.Op CALL; Asm.Op POP;
+           (* Copy the 32-byte return data explicitly. *)
+           Asm.Push_int 32; Asm.Push_int 0; Asm.Push_int 0; Asm.Op RETURNDATACOPY;
+           Asm.Push_int 0; Asm.Op MLOAD ])
+  in
+  check "returndatacopy" true (U256.equal (word res) (u 42));
+  (* RETURNDATASIZE before any call is 0. *)
+  expect_int [ Asm.Op RETURNDATASIZE ] 0;
+  (* Out-of-range RETURNDATACOPY is a hard failure. *)
+  let bad =
+    run ~state
+      [ Asm.Push_int 64; Asm.Push_int 0; Asm.Push_int 0; Asm.Op RETURNDATACOPY;
+        Asm.Op STOP ]
+  in
+  check "oob returndatacopy fails" false bad.Interpreter.success
+
+let test_extcode_ops () =
+  let callee = Asm.assemble [ Asm.Op STOP ] in
+  let callee_addr = State.address_of_hex "5555555555555555555555555555555555555555" in
+  let state = State.set_code empty callee_addr callee in
+  let push_addr = Asm.Push (U256.of_bytes_be callee_addr) in
+  (* EXTCODESIZE *)
+  let res = run ~state (return_top [ push_addr; Asm.Op EXTCODESIZE ]) in
+  check "extcodesize" true (U256.equal (word res) (u (String.length callee)));
+  (* Unknown account: size 0. *)
+  let res0 = run ~state (return_top [ Asm.Push_int 0x1234; Asm.Op EXTCODESIZE ]) in
+  check "extcodesize absent" true (U256.is_zero (word res0));
+  (* EXTCODEHASH = keccak(code) for existing accounts, 0 for absent. *)
+  let resh = run ~state (return_top [ push_addr; Asm.Op EXTCODEHASH ]) in
+  check "extcodehash" true
+    (U256.equal (word resh) (U256.of_bytes_be (Sbft_crypto.Keccak.digest callee)));
+  let resh0 = run ~state (return_top [ Asm.Push_int 0x9999; Asm.Op EXTCODEHASH ]) in
+  check "extcodehash absent" true (U256.is_zero (word resh0));
+  (* EXTCODECOPY the single byte. *)
+  let resc =
+    run ~state
+      (return_top
+         [ Asm.Push_int 1; Asm.Push_int 0; Asm.Push_int 0; push_addr;
+           Asm.Op EXTCODECOPY; Asm.Push_int 0; Asm.Op MLOAD ])
+  in
+  check "extcodecopy" true (U256.is_zero (word resc)) (* STOP = 0x00 *)
+
+let test_delegatecall () =
+  (* Library contract: writes CALLER into its slot 1 and returns
+     CALLVALUE; under DELEGATECALL the write must land in the CALLER's
+     storage and CALLER/CALLVALUE must be preserved from the parent. *)
+  let lib =
+    Asm.assemble
+      (return_top
+         [ Asm.Op CALLER; Asm.Push_int 1; Asm.Op SSTORE; Asm.Op CALLVALUE ])
+  in
+  let lib_addr = State.address_of_hex "6666666666666666666666666666666666666666" in
+  let state = State.set_code empty lib_addr lib in
+  let state = State.set_balance state caller_addr (u 1000) in
+  let parent =
+    return_top
+      [ Asm.Push_int 32; Asm.Push_int 0; Asm.Push_int 0; Asm.Push_int 0;
+        Asm.Push (U256.of_bytes_be lib_addr); Asm.Push_int 200_000;
+        Asm.Op DELEGATECALL; Asm.Op POP; Asm.Push_int 0; Asm.Op MLOAD ]
+  in
+  let res =
+    Interpreter.execute_code ~ctx ~state ~caller:caller_addr ~address:self_addr
+      ~value:(u 77) ~data:"" ~gas:1_000_000 ~code:(Asm.assemble parent)
+  in
+  check "success" true res.Interpreter.success;
+  (* CALLVALUE preserved through the delegate call. *)
+  check "callvalue preserved" true
+    (U256.equal (U256.of_bytes_be res.Interpreter.output) (u 77));
+  (* The SSTORE landed in the PARENT's storage, recording the PARENT's
+     caller. *)
+  check "storage in parent context" true
+    (U256.equal
+       (State.sload res.Interpreter.state ~addr:self_addr ~slot:(u 1))
+       (U256.of_bytes_be caller_addr));
+  check "library storage untouched" true
+    (U256.is_zero (State.sload res.Interpreter.state ~addr:lib_addr ~slot:(u 1)))
+
+let test_deep_stack_ops () =
+  (* Push 1..16, DUP16 duplicates the deepest (1). *)
+  let pushes = List.init 16 (fun i -> Asm.Push_int (i + 1)) in
+  expect_int (pushes @ [ Asm.Op (DUP 16) ]) 1;
+  (* SWAP16: top (17) swaps with the 17th (value 1). *)
+  let pushes17 = List.init 17 (fun i -> Asm.Push_int (i + 1)) in
+  expect_int (pushes17 @ [ Asm.Op (SWAP 16) ]) 1
+
+let test_balance_selfbalance () =
+  let state = State.set_balance empty self_addr (u 900) in
+  let res = run ~state (return_top [ Asm.Op SELFBALANCE ]) in
+  check "selfbalance" true (U256.equal (word res) (u 900));
+  let res2 =
+    run ~state (return_top [ Asm.Push (U256.of_bytes_be self_addr); Asm.Op BALANCE ])
+  in
+  check "balance" true (U256.equal (word res2) (u 900))
+
+let test_memory_gas_quadratic () =
+  (* Touching a far offset must cost much more than a near one. *)
+  let cost offset =
+    (run [ Asm.Push_int 1; Asm.Push_int offset; Asm.Op MSTORE8; Asm.Op STOP ])
+      .Interpreter.gas_used
+  in
+  let near = cost 0 and far = cost 100_000 in
+  check "quadratic memory cost" true (far > 50 * near);
+  (* And a truly absurd offset out-of-gases. *)
+  let res = run ~gas:100_000 [ Asm.Push_int 1; Asm.Push (U256.shift_left U256.one 40); Asm.Op MSTORE8 ] in
+  check "oog on huge offset" false res.Interpreter.success
+
+let test_sstore_gas () =
+  (* Fresh store = 20000, overwrite = 5000. *)
+  let fresh =
+    (run [ Asm.Push_int 1; Asm.Push_int 5; Asm.Op SSTORE; Asm.Op STOP ]).Interpreter.gas_used
+  in
+  let state = State.sstore empty ~addr:self_addr ~slot:(u 5) (u 9) in
+  let overwrite =
+    (run ~state [ Asm.Push_int 1; Asm.Push_int 5; Asm.Op SSTORE; Asm.Op STOP ])
+      .Interpreter.gas_used
+  in
+  check "fresh sstore costs more" true (fresh > overwrite);
+  check "fresh ~20000" true (fresh >= 20_000 && fresh < 20_100);
+  check "overwrite ~5000" true (overwrite >= 5_000 && overwrite < 5_100)
+
+let test_push_at_code_end () =
+  (* PUSH32 with truncated data reads zeros past the end of code. *)
+  let code = "\x7f\x01" (* PUSH32 followed by only one byte *) in
+  let res =
+    Interpreter.execute_code ~ctx ~state:empty ~caller:caller_addr ~address:self_addr
+      ~value:U256.zero ~data:"" ~gas:100_000 ~code
+  in
+  (* Implicit STOP at code end; push value = 0x01 << 248. *)
+  check "succeeds" true res.Interpreter.success
+
+let test_stack_underflow_fails () =
+  let res = run [ Asm.Op ADD ] in
+  check "underflow fails" false res.Interpreter.success;
+  check "consumes gas" true (res.Interpreter.gas_used > 0)
+
+let () =
+  Alcotest.run "sbft_evm_opcodes"
+    [
+      ( "opcodes",
+        [
+          Alcotest.test_case "signed arithmetic" `Quick test_signed_arithmetic;
+          Alcotest.test_case "modular" `Quick test_modular_ops;
+          Alcotest.test_case "byte/shifts" `Quick test_byte_and_shifts;
+          Alcotest.test_case "calldatacopy" `Quick test_calldatacopy;
+          Alcotest.test_case "codecopy/codesize" `Quick test_codecopy_and_codesize;
+          Alcotest.test_case "introspection" `Quick test_introspection;
+          Alcotest.test_case "logs 4 topics" `Quick test_logs_many_topics;
+          Alcotest.test_case "create opcode" `Quick test_create_opcode;
+          Alcotest.test_case "staticcall" `Quick test_staticcall;
+          Alcotest.test_case "returndata" `Quick test_returndata;
+          Alcotest.test_case "extcode ops" `Quick test_extcode_ops;
+          Alcotest.test_case "delegatecall" `Quick test_delegatecall;
+          Alcotest.test_case "deep stack" `Quick test_deep_stack_ops;
+          Alcotest.test_case "balance" `Quick test_balance_selfbalance;
+          Alcotest.test_case "memory gas" `Quick test_memory_gas_quadratic;
+          Alcotest.test_case "sstore gas" `Quick test_sstore_gas;
+          Alcotest.test_case "push at end" `Quick test_push_at_code_end;
+          Alcotest.test_case "stack underflow" `Quick test_stack_underflow_fails;
+        ] );
+    ]

@@ -1,0 +1,429 @@
+(* End-to-end protocol tests: all five evaluation variants commit and
+   execute client operations with agreement; crash faults exercise the
+   fast/slow dual mode and the c-redundancy; primary failures drive the
+   view change; Byzantine behaviours (equivocation, corrupt shares,
+   stale view-change info) never break safety; state transfer catches a
+   lagging replica up; and the whole simulation is deterministic. *)
+
+open Sbft_sim
+open Sbft_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let put ~client i =
+  Sbft_store.Kv_service.put ~key:(Printf.sprintf "k%d-%d" client i) ~value:(string_of_int i)
+
+let make ?(seed = 1L) ?(config = Config.sbft ~f:1 ~c:0) ?(num_clients = 2)
+    ?(topology = fun ~num_nodes -> Topology.lan ~num_nodes) () =
+  Cluster.create ~seed ~config ~num_clients ~topology ~service:Cluster.kv_service ()
+
+let drive ?(reqs = 20) ?(secs = 60) cluster =
+  Cluster.start_clients cluster ~requests_per_client:reqs ~make_op:put;
+  Cluster.run_for cluster (Engine.sec secs);
+  cluster
+
+let alive cluster =
+  Array.to_list cluster.Cluster.replicas
+  |> List.filter (fun r -> not (Engine.is_crashed cluster.Cluster.engine (Replica.id r)))
+
+let assert_all_done ?(reqs = 20) cluster =
+  check_int "all requests completed"
+    (reqs * Array.length cluster.Cluster.clients)
+    (Cluster.total_completed cluster);
+  check "agreement" true (Cluster.agreement_ok cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Happy paths for every protocol variant *)
+
+let test_fast_path_happy () =
+  let cluster = drive (make ()) in
+  assert_all_done cluster;
+  List.iter
+    (fun r ->
+      check "all fast" true (Replica.fast_commits r > 0);
+      check_int "no slow" 0 (Replica.slow_commits r);
+      check_int "no view change" 0 (Replica.view_changes_completed r))
+    (alive cluster)
+
+let test_linear_pbft_happy () =
+  let cluster = drive (make ~config:(Config.linear_pbft ~f:1) ()) in
+  assert_all_done cluster;
+  List.iter
+    (fun r ->
+      check_int "no fast" 0 (Replica.fast_commits r);
+      check "all slow" true (Replica.slow_commits r > 0))
+    (alive cluster)
+
+let test_linear_pbft_fast_happy () =
+  let cluster = drive (make ~config:(Config.linear_pbft_fast ~f:1) ()) in
+  assert_all_done cluster;
+  List.iter (fun r -> check "fast used" true (Replica.fast_commits r > 0)) (alive cluster)
+
+let test_sbft_c8_style () =
+  (* c=1 keeps f=1: n = 3+2+1 = 6. *)
+  let cluster = drive (make ~config:(Config.sbft ~f:1 ~c:1) ()) in
+  assert_all_done cluster
+
+let test_f2 () =
+  let cluster = drive (make ~config:(Config.sbft ~f:2 ~c:0) ~num_clients:3 ()) in
+  assert_all_done cluster
+
+(* ------------------------------------------------------------------ *)
+(* Crash faults: dual-mode behaviour *)
+
+let test_crash_backup_forces_slow_path () =
+  let cluster = make () in
+  Cluster.crash_replicas cluster [ 3 ];
+  ignore (drive cluster);
+  assert_all_done cluster;
+  List.iter
+    (fun r ->
+      check_int "fast path impossible" 0 (Replica.fast_commits r);
+      check "slow commits" true (Replica.slow_commits r > 0))
+    (alive cluster)
+
+let test_crash_within_c_keeps_fast_path () =
+  (* f=1 c=1: n=6, σ-threshold 5 — one crashed replica still allows σ. *)
+  let cluster = make ~config:(Config.sbft ~f:1 ~c:1) () in
+  Cluster.crash_replicas cluster [ 5 ];
+  ignore (drive cluster);
+  assert_all_done cluster;
+  List.iter
+    (fun r -> check "fast survives c crash" true (Replica.fast_commits r > 0))
+    (alive cluster)
+
+let test_crash_beyond_c_falls_back () =
+  let cluster = make ~config:(Config.sbft ~f:2 ~c:1) () in
+  (* n = 9; crash 2 > c=1 -> slow path. *)
+  Cluster.crash_replicas cluster [ 7; 8 ];
+  ignore (drive cluster);
+  assert_all_done cluster;
+  List.iter
+    (fun r -> check_int "no fast beyond c" 0 (Replica.fast_commits r))
+    (alive cluster)
+
+let test_crash_primary_view_change () =
+  let cluster = make () in
+  Cluster.crash_replicas cluster [ 0 ];
+  ignore (drive cluster);
+  assert_all_done cluster;
+  List.iter
+    (fun r ->
+      check "view advanced" true (Replica.view r >= 1);
+      check "view change counted" true (Replica.view_changes_completed r >= 1))
+    (alive cluster)
+
+let test_primary_crash_mid_run () =
+  (* Crash the primary after progress started: committed-but-unexecuted
+     work must survive into the new view. *)
+  let cluster = make ~num_clients:4 () in
+  Cluster.start_clients cluster ~requests_per_client:30 ~make_op:put;
+  Engine.schedule cluster.Cluster.engine ~at:(Engine.ms 200) (fun () ->
+      Engine.crash cluster.Cluster.engine 0);
+  Cluster.run_for cluster (Engine.sec 90);
+  check_int "all done" 120 (Cluster.total_completed cluster);
+  check "agreement" true (Cluster.agreement_ok cluster)
+
+let test_cascaded_primary_crashes () =
+  let cluster = make ~config:(Config.sbft ~f:2 ~c:0) ~num_clients:2 () in
+  (* Enough load to keep the system busy across both crashes. *)
+  Cluster.start_clients cluster ~requests_per_client:400 ~make_op:put;
+  Engine.schedule cluster.Cluster.engine ~at:(Engine.ms 100) (fun () ->
+      Engine.crash cluster.Cluster.engine 0);
+  Engine.schedule cluster.Cluster.engine ~at:(Engine.sec 4) (fun () ->
+      Engine.crash cluster.Cluster.engine 1);
+  Cluster.run_for cluster (Engine.sec 180);
+  check_int "all done" 800 (Cluster.total_completed cluster);
+  check "agreement" true (Cluster.agreement_ok cluster);
+  List.iter (fun r -> check "view >= 2" true (Replica.view r >= 2)) (alive cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine behaviours *)
+
+let test_equivocating_primary_safety () =
+  let cluster = make ~num_clients:2 () in
+  Replica.set_byzantine cluster.Cluster.replicas.(0) Replica.Equivocating_primary;
+  ignore (drive ~secs:120 cluster);
+  (* Equivocation can never produce conflicting commits; the view change
+     removes the primary and the requests eventually execute. *)
+  check "agreement under equivocation" true (Cluster.agreement_ok cluster);
+  assert_all_done cluster;
+  List.iter (fun r -> check "vc happened" true (Replica.view r >= 1)) (alive cluster)
+
+let test_corrupt_shares_robustness () =
+  (* A backup sending invalid signature shares must not block progress:
+     robust combination filters them.  With f=1,c=0 the fast path needs
+     every replica, so commits fall back to the slow path. *)
+  let cluster = make () in
+  Replica.set_byzantine cluster.Cluster.replicas.(2) Replica.Corrupt_shares;
+  ignore (drive cluster);
+  check "agreement" true (Cluster.agreement_ok cluster);
+  check_int "all done" 40 (Cluster.total_completed cluster)
+
+let test_silent_replica () =
+  let cluster = make () in
+  Replica.set_byzantine cluster.Cluster.replicas.(1) Replica.Silent;
+  ignore (drive cluster);
+  check "agreement" true (Cluster.agreement_ok cluster);
+  check_int "all done" 40 (Cluster.total_completed cluster)
+
+let test_wrong_exec_digest () =
+  (* A replica announcing bogus state digests must not wedge the
+     execution collectors: honest shares bucket separately and the
+     clients still get their single-message acks. *)
+  let cluster = make ~config:(Config.sbft ~f:1 ~c:1) () in
+  Replica.set_byzantine cluster.Cluster.replicas.(2) Replica.Wrong_exec_digest;
+  ignore (drive cluster);
+  check "agreement" true (Cluster.agreement_ok cluster);
+  check_int "all done" 40 (Cluster.total_completed cluster)
+
+let test_stale_view_change_messages () =
+  (* Byzantine replica sends stale/empty view-change info while the
+     primary crashes: the view change must still reconcile correctly. *)
+  let cluster = make ~config:(Config.sbft ~f:1 ~c:1) ~num_clients:2 () in
+  Replica.set_byzantine cluster.Cluster.replicas.(4) Replica.Stale_view_change;
+  Cluster.start_clients cluster ~requests_per_client:20 ~make_op:put;
+  Engine.schedule cluster.Cluster.engine ~at:(Engine.ms 300) (fun () ->
+      Engine.crash cluster.Cluster.engine 0);
+  Cluster.run_for cluster (Engine.sec 90);
+  check "agreement" true (Cluster.agreement_ok cluster);
+  check_int "all done" 40 (Cluster.total_completed cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Network faults *)
+
+let test_partition_heals () =
+  let cluster = make ~num_clients:2 () in
+  Cluster.start_clients cluster ~requests_per_client:20 ~make_op:put;
+  (* Cut one backup off for a while. *)
+  Engine.schedule cluster.Cluster.engine ~at:(Engine.ms 100) (fun () ->
+      Network.set_partition cluster.Cluster.network ~groups:(Some [| 0; 0; 0; 1; 0; 0 |]));
+  Engine.schedule cluster.Cluster.engine ~at:(Engine.sec 5) (fun () ->
+      Network.set_partition cluster.Cluster.network ~groups:None);
+  Cluster.run_for cluster (Engine.sec 60);
+  check_int "all done" 40 (Cluster.total_completed cluster);
+  check "agreement" true (Cluster.agreement_ok cluster)
+
+let test_random_drops () =
+  let cluster =
+    Cluster.create ~config:(Config.sbft ~f:1 ~c:0) ~num_clients:2
+      ~topology:(fun ~num_nodes -> Topology.lan ~num_nodes)
+      ~service:Cluster.kv_service ()
+  in
+  Network.set_drop_prob cluster.Cluster.network 0.02;
+  Cluster.start_clients cluster ~requests_per_client:10 ~make_op:put;
+  Cluster.run_for cluster (Engine.sec 180);
+  check "agreement under drops" true (Cluster.agreement_ok cluster);
+  check_int "all done despite drops" 20 (Cluster.total_completed cluster)
+
+(* ------------------------------------------------------------------ *)
+(* State transfer *)
+
+let test_state_transfer_catches_up () =
+  let config = { (Config.sbft ~f:1 ~c:0) with Config.win = 16 } in
+  let cluster = make ~config ~num_clients:4 () in
+  Cluster.crash_replicas cluster [ 3 ];
+  Cluster.start_clients cluster ~requests_per_client:30 ~make_op:put;
+  Cluster.run_for cluster (Engine.sec 30);
+  Engine.recover cluster.Cluster.engine 3;
+  (* Fresh traffic after recovery carries the execution proofs that let
+     the lagging replica notice its gap and fetch a checkpoint. *)
+  Cluster.start_clients cluster ~requests_per_client:30 ~make_op:put;
+  Cluster.run_for cluster (Engine.sec 120);
+  check_int "all done" 240 (Cluster.total_completed cluster);
+  check "agreement" true (Cluster.agreement_ok cluster);
+  let r3 = cluster.Cluster.replicas.(3) in
+  let r1 = cluster.Cluster.replicas.(1) in
+  check "replica 3 caught up" true
+    (Replica.last_executed r3 > Replica.last_executed r1 - 20);
+  check "digest matches after catch-up" true
+    (Replica.last_executed r3 <> Replica.last_executed r1
+    || String.equal (Replica.state_digest r3) (Replica.state_digest r1))
+
+(* ------------------------------------------------------------------ *)
+(* Batching, windows, retransmission *)
+
+let test_batching_under_load () =
+  let config = { (Config.sbft ~f:1 ~c:0) with Config.max_batch = 8 } in
+  let cluster = make ~config ~num_clients:64 () in
+  ignore (drive ~reqs:10 cluster);
+  check_int "all done" 640 (Cluster.total_completed cluster);
+  (* With 64 concurrent clients and at most 8 blocks in flight, blocks
+     must carry multiple requests. *)
+  let r = cluster.Cluster.replicas.(1) in
+  check "batching happened" true (Replica.blocks_executed r * 2 < 640)
+
+let test_client_retransmission_answered () =
+  (* Duplicate client requests (same timestamp) are answered from the
+     client table, not re-executed. *)
+  let cluster = make ~num_clients:1 () in
+  ignore (drive ~reqs:5 cluster);
+  let before = Replica.blocks_executed cluster.Cluster.replicas.(1) in
+  (* Nothing further to execute: resending completed ops creates no new blocks. *)
+  Cluster.run_for cluster (Engine.sec 10);
+  check_int "no extra blocks" before (Replica.blocks_executed cluster.Cluster.replicas.(1));
+  check_int "five ops" 5 (Cluster.total_completed cluster)
+
+let test_checkpoint_gc () =
+  let config = { (Config.sbft ~f:1 ~c:0) with Config.win = 8 } in
+  let cluster = make ~config ~num_clients:4 () in
+  ignore (drive ~reqs:50 cluster);
+  check_int "all done" 200 (Cluster.total_completed cluster);
+  List.iter
+    (fun r -> check "stable advanced" true (Replica.last_stable r > 0))
+    (alive cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Read-only queries *)
+
+let test_query_path () =
+  let cluster = make ~num_clients:1 () in
+  ignore (drive ~reqs:5 cluster);
+  let client = cluster.Cluster.clients.(0) in
+  let result = ref `Pending in
+  Engine.dispatch cluster.Cluster.engine ~dst:(Client.id client)
+    ~at:(Engine.now cluster.Cluster.engine) (fun ctx ->
+      Client.query client ctx ~key:"k0-3" ~callback:(fun r -> result := `Got r));
+  Cluster.run_for cluster (Engine.sec 30);
+  (match !result with
+  | `Got (Some (value, seq)) ->
+      check "queried value" true (value = "3");
+      check "certified height" true (seq > 0)
+  | `Got None -> Alcotest.fail "query failed"
+  | `Pending -> Alcotest.fail "query never completed");
+  (* Absent key: a full unsuccessful cycle yields None. *)
+  let result2 = ref `Pending in
+  Engine.dispatch cluster.Cluster.engine ~dst:(Client.id client)
+    ~at:(Engine.now cluster.Cluster.engine) (fun ctx ->
+      Client.query client ctx ~key:"no-such-key" ~callback:(fun r -> result2 := `Got r));
+  Cluster.run_for cluster (Engine.sec 30);
+  check "absent key" true (!result2 = `Got None)
+
+let test_query_survives_replica_crash () =
+  let cluster = make ~num_clients:1 () in
+  ignore (drive ~reqs:5 cluster);
+  (* Crash a replica; queries retry the others. *)
+  Cluster.crash_replicas cluster [ 2 ];
+  let client = cluster.Cluster.clients.(0) in
+  let got = ref None in
+  Engine.dispatch cluster.Cluster.engine ~dst:(Client.id client)
+    ~at:(Engine.now cluster.Cluster.engine) (fun ctx ->
+      Client.query client ctx ~key:"k0-1" ~callback:(fun r -> got := r));
+  Cluster.run_for cluster (Engine.sec 30);
+  match !got with
+  | Some (value, _) -> check "value despite crash" true (value = "1")
+  | None -> Alcotest.fail "query did not survive crash"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and WAN topologies *)
+
+let test_determinism () =
+  let run () =
+    let cluster = make ~seed:42L ~topology:(fun ~num_nodes -> Topology.world ~num_nodes) () in
+    ignore (drive ~reqs:10 cluster);
+    ( Cluster.total_completed cluster,
+      Stats.Latency.mean_ms cluster.Cluster.latency,
+      Replica.state_digest cluster.Cluster.replicas.(0) )
+  in
+  let a = run () and b = run () in
+  check "identical outcomes" true (a = b)
+
+let test_world_scale_latency () =
+  let cluster = make ~topology:(fun ~num_nodes -> Topology.world ~num_nodes) () in
+  ignore (drive ~reqs:5 cluster);
+  assert_all_done ~reqs:5 cluster;
+  (* World-scale round trips: commits cannot be faster than ~100 ms. *)
+  check "latency reflects WAN" true (Stats.Latency.median_ms cluster.Cluster.latency > 50.0)
+
+let test_linearity () =
+  (* Paper §II property (3): committing a block costs a linear number of
+     constant-size messages.  Messages per block must grow ~n, not ~n². *)
+  let messages_per_block f =
+    let cluster = make ~config:(Config.sbft ~f ~c:0) ~num_clients:1 () in
+    ignore (drive ~reqs:20 cluster);
+    check_int "done" 20 (Cluster.total_completed cluster);
+    let blocks = Replica.last_executed cluster.Cluster.replicas.(1) in
+    float_of_int (Network.messages_sent cluster.Cluster.network) /. float_of_int blocks
+  in
+  let m4 = messages_per_block 1 (* n=4 *) in
+  let m13 = messages_per_block 4 (* n=13 *) in
+  let growth = m13 /. m4 in
+  let n_ratio = 13.0 /. 4.0 in
+  check "at least linear" true (growth > 0.8 *. n_ratio);
+  (* Far below the quadratic ratio (13/4)^2 ≈ 10.6. *)
+  check "sub-quadratic" true (growth < 0.6 *. (n_ratio *. n_ratio))
+
+let test_fig1_message_flow () =
+  (* The schematic of Figure 1: request, pre-prepare, sign-share,
+     full-commit-proof, sign-state, full-execute-proof, execute-ack. *)
+  let cluster =
+    Cluster.create ~trace:true ~config:(Config.sbft ~f:1 ~c:0) ~num_clients:1
+      ~topology:(fun ~num_nodes -> Topology.lan ~num_nodes)
+      ~service:Cluster.kv_service ()
+  in
+  Cluster.start_clients cluster ~requests_per_client:1 ~make_op:put;
+  Cluster.run_for cluster (Engine.sec 5);
+  check_int "completed" 1 (Cluster.total_completed cluster);
+  let kinds =
+    List.map (fun r -> r.Trace.kind) (Trace.records cluster.Cluster.trace)
+  in
+  List.iter
+    (fun k -> check (k ^ " present") true (List.mem k kinds))
+    [ "send:pre-prepare"; "send:full-commit-proof"; "commit"; "send:full-execute-proof" ];
+  check "no slow-path messages" true (not (List.mem "send:prepare" kinds))
+
+let () =
+  Alcotest.run "sbft_protocol"
+    [
+      ( "happy-path",
+        [
+          Alcotest.test_case "fast path" `Quick test_fast_path_happy;
+          Alcotest.test_case "linear-pbft" `Quick test_linear_pbft_happy;
+          Alcotest.test_case "linear-pbft + fast" `Quick test_linear_pbft_fast_happy;
+          Alcotest.test_case "sbft c=1" `Quick test_sbft_c8_style;
+          Alcotest.test_case "f=2" `Quick test_f2;
+        ] );
+      ( "crash-faults",
+        [
+          Alcotest.test_case "backup crash -> slow path" `Quick test_crash_backup_forces_slow_path;
+          Alcotest.test_case "crash within c -> fast path" `Quick test_crash_within_c_keeps_fast_path;
+          Alcotest.test_case "crash beyond c -> fallback" `Quick test_crash_beyond_c_falls_back;
+          Alcotest.test_case "primary crash -> view change" `Quick test_crash_primary_view_change;
+          Alcotest.test_case "primary crash mid-run" `Quick test_primary_crash_mid_run;
+          Alcotest.test_case "cascaded primary crashes" `Quick test_cascaded_primary_crashes;
+        ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "equivocating primary" `Quick test_equivocating_primary_safety;
+          Alcotest.test_case "corrupt shares" `Quick test_corrupt_shares_robustness;
+          Alcotest.test_case "wrong exec digest" `Quick test_wrong_exec_digest;
+          Alcotest.test_case "silent replica" `Quick test_silent_replica;
+          Alcotest.test_case "stale view-change info" `Quick test_stale_view_change_messages;
+        ] );
+      ( "network-faults",
+        [
+          Alcotest.test_case "partition heals" `Quick test_partition_heals;
+          Alcotest.test_case "random drops" `Quick test_random_drops;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "single-replica read" `Quick test_query_path;
+          Alcotest.test_case "retries across crash" `Quick test_query_survives_replica_crash;
+        ] );
+      ( "state-transfer",
+        [ Alcotest.test_case "lagging replica catches up" `Quick test_state_transfer_catches_up ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "batching" `Quick test_batching_under_load;
+          Alcotest.test_case "retransmission" `Quick test_client_retransmission_answered;
+          Alcotest.test_case "checkpoint gc" `Quick test_checkpoint_gc;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "world-scale latency" `Quick test_world_scale_latency;
+          Alcotest.test_case "figure-1 flow" `Quick test_fig1_message_flow;
+          Alcotest.test_case "linearity" `Quick test_linearity;
+        ] );
+    ]

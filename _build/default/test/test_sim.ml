@@ -1,0 +1,461 @@
+(* Tests for the discrete-event simulation substrate: determinism of the
+   PRNG, heap ordering, engine scheduling and CPU accounting, network
+   latency/bandwidth/fault models, topology sanity, and stats. *)
+
+open Sbft_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  check "streams differ" true (!same < 3)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7L in
+  let child = Rng.split parent in
+  let c1 = Rng.int64 child in
+  (* Re-derive: same construction yields the same child stream. *)
+  let parent' = Rng.create 7L in
+  let child' = Rng.split parent' in
+  Alcotest.(check int64) "split deterministic" c1 (Rng.int64 child')
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 4L in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    check "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 5L in
+  let n = 20_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let g = Rng.gaussian r in
+    sum := !sum +. g;
+    sumsq := !sumsq +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check "mean ~ 0" true (Float.abs mean < 0.05);
+  check "var ~ 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 6L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check "mean ~ 5" true (Float.abs (mean -. 5.0) < 0.3)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 8L in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  let r = Rng.create 9L in
+  for i = 0 to 999 do
+    Heap.push h ~key0:(Rng.int r 100) ~key1:i ()
+  done;
+  let prev = ref (-1, -1) in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min h with
+    | None -> continue := false
+    | Some (k0, k1, ()) ->
+        check "nondecreasing" true (compare (k0, k1) !prev >= 0);
+        prev := (k0, k1);
+        incr count
+  done;
+  check_int "all popped" 1000 !count
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~key0:5 ~key1:i i
+  done;
+  for expected = 0 to 9 do
+    match Heap.pop_min h with
+    | Some (_, _, v) -> check_int "FIFO among ties" expected v
+    | None -> Alcotest.fail "heap empty early"
+  done
+
+let test_heap_empty () =
+  let h : unit Heap.t = Heap.create () in
+  check "empty" true (Heap.is_empty h);
+  check "pop none" true (Heap.pop_min h = None);
+  check "peek none" true (Heap.peek_key h = None)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_schedule_order () =
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let log = ref [] in
+  Engine.schedule eng ~at:(Engine.ms 3) (fun () -> log := 3 :: !log);
+  Engine.schedule eng ~at:(Engine.ms 1) (fun () -> log := 1 :: !log);
+  Engine.schedule eng ~at:(Engine.ms 2) (fun () -> log := 2 :: !log);
+  Engine.run_all eng;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_cpu_serialization () =
+  (* Two messages arrive at t=0; each charges 1 ms of CPU: the second
+     handler must start at 1 ms. *)
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let starts = ref [] in
+  let handler c =
+    starts := Engine.ctx_now c :: !starts;
+    Engine.charge c (Engine.ms 1)
+  in
+  Engine.dispatch eng ~dst:0 ~at:0 handler;
+  Engine.dispatch eng ~dst:0 ~at:0 handler;
+  Engine.run_all eng;
+  Alcotest.(check (list int)) "serialized" [ 0; Engine.ms 1 ] (List.rev !starts)
+
+let test_engine_cpu_scale () =
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  Engine.set_cpu_scale eng 0 2.0;
+  let done_at = ref 0 in
+  Engine.dispatch eng ~dst:0 ~at:0 (fun c ->
+      Engine.charge c (Engine.ms 1);
+      done_at := Engine.ctx_now c);
+  Engine.run_all eng;
+  check_int "scaled charge" (Engine.ms 2) !done_at
+
+let test_engine_crash_drops () =
+  let eng = Engine.create ~num_nodes:2 ~seed:1L () in
+  let hits = ref 0 in
+  Engine.crash eng 1;
+  Engine.dispatch eng ~dst:1 ~at:(Engine.ms 1) (fun _ -> incr hits);
+  Engine.dispatch eng ~dst:0 ~at:(Engine.ms 1) (fun _ -> incr hits);
+  Engine.run_all eng;
+  check_int "only live node runs" 1 !hits
+
+let test_engine_recover () =
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let hits = ref 0 in
+  Engine.crash eng 0;
+  Engine.dispatch eng ~dst:0 ~at:(Engine.ms 1) (fun _ -> incr hits);
+  Engine.schedule eng ~at:(Engine.ms 2) (fun () -> Engine.recover eng 0);
+  Engine.dispatch eng ~dst:0 ~at:(Engine.ms 3) (fun _ -> incr hits);
+  Engine.run_all eng;
+  check_int "post-recovery delivery" 1 !hits
+
+let test_engine_timer_cancel () =
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let fired = ref false in
+  let tm = Engine.set_timer eng ~node:0 ~after:(Engine.ms 5) (fun _ -> fired := true) in
+  Engine.schedule eng ~at:(Engine.ms 1) (fun () -> Engine.cancel_timer tm);
+  Engine.run_all eng;
+  check "cancelled" false !fired
+
+let test_engine_run_until () =
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let hits = ref 0 in
+  Engine.schedule eng ~at:(Engine.ms 1) (fun () -> incr hits);
+  Engine.schedule eng ~at:(Engine.ms 10) (fun () -> incr hits);
+  Engine.run_until eng (Engine.ms 5);
+  check_int "only early event" 1 !hits;
+  check_int "clock advanced to deadline" (Engine.ms 5) (Engine.now eng);
+  Engine.run_all eng;
+  check_int "rest runs" 2 !hits
+
+let test_engine_determinism () =
+  let run () =
+    let eng = Engine.create ~num_nodes:3 ~seed:99L () in
+    let topo = Topology.world ~num_nodes:3 in
+    let net = Network.create ~topology:topo () in
+    let log = ref [] in
+    for i = 0 to 20 do
+      Network.send net eng ~src:(i mod 3) ~dst:((i + 1) mod 3) ~size:100 ~at:0
+        (fun c -> log := (Engine.self c, Engine.ctx_now c) :: !log)
+    done;
+    Engine.run_all eng;
+    !log
+  in
+  check "identical traces" true (run () = run ())
+
+let test_engine_fifo_under_load () =
+  (* Many zero-charge handlers queued behind a long one run in arrival
+     order, each exactly once. *)
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let order = ref [] in
+  Engine.dispatch eng ~dst:0 ~at:0 (fun c -> Engine.charge c (Engine.ms 10));
+  for i = 1 to 50 do
+    Engine.dispatch eng ~dst:0 ~at:(Engine.us i) (fun _ -> order := i :: !order)
+  done;
+  Engine.run_all eng;
+  Alcotest.(check (list int)) "FIFO order" (List.init 50 (fun i -> i + 1))
+    (List.rev !order)
+
+let test_engine_crash_clears_queue () =
+  (* Work queued on a busy CPU dies with the crash; post-recovery work
+     runs. *)
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let hits = ref 0 in
+  Engine.dispatch eng ~dst:0 ~at:0 (fun c -> Engine.charge c (Engine.ms 10));
+  Engine.dispatch eng ~dst:0 ~at:(Engine.ms 1) (fun _ -> incr hits);
+  Engine.schedule eng ~at:(Engine.ms 2) (fun () -> Engine.crash eng 0);
+  Engine.schedule eng ~at:(Engine.ms 20) (fun () -> Engine.recover eng 0);
+  Engine.dispatch eng ~dst:0 ~at:(Engine.ms 30) (fun _ -> hits := !hits + 10);
+  Engine.run_all eng;
+  Alcotest.(check int) "queued work lost, later work runs" 10 !hits
+
+(* ------------------------------------------------------------------ *)
+(* Topology / Network *)
+
+let test_topology_symmetric_base () =
+  let topo = Topology.world ~num_nodes:30 in
+  for s = 0 to 29 do
+    for d = 0 to 29 do
+      check_int "symmetric"
+        (Topology.base_latency topo ~src:s ~dst:d)
+        (Topology.base_latency topo ~src:d ~dst:s)
+    done
+  done
+
+let test_topology_world_slower_than_continent () =
+  let w = Topology.world ~num_nodes:30 and c = Topology.continent ~num_nodes:30 in
+  let avg topo =
+    let sum = ref 0 and count = ref 0 in
+    for s = 0 to 29 do
+      for d = 0 to 29 do
+        if s <> d then begin
+          sum := !sum + Topology.base_latency topo ~src:s ~dst:d;
+          incr count
+        end
+      done
+    done;
+    float_of_int !sum /. float_of_int !count
+  in
+  check "world has higher mean latency" true (avg w > avg c)
+
+let test_topology_custom_matrix () =
+  let topo =
+    Topology.make
+      ~region_of:[| 0; 1; 0 |]
+      ~one_way_ms:[| [| 0.1; 25.0 |]; [| 25.0; 0.1 |] |]
+      ~jitter:0.0
+  in
+  check_int "regions" 2 (Topology.num_regions topo);
+  check_int "same region" (Engine.ms_f 0.1) (Topology.base_latency topo ~src:0 ~dst:2);
+  check_int "cross region" (Engine.ms 25) (Topology.base_latency topo ~src:0 ~dst:1);
+  (* Zero jitter: sampling equals the base. *)
+  let r = Rng.create 1L in
+  check_int "no jitter" (Engine.ms 25) (Topology.sample_latency topo r ~src:0 ~dst:1)
+
+let test_topology_lan_fast () =
+  let topo = Topology.lan ~num_nodes:4 in
+  check "lan < 1ms" true (Topology.base_latency topo ~src:0 ~dst:3 < Engine.ms 1)
+
+let test_network_delivery_latency () =
+  let topo = Topology.lan ~num_nodes:2 in
+  let eng = Engine.create ~num_nodes:2 ~seed:5L () in
+  let net = Network.create ~topology:topo () in
+  let arrival = ref (-1) in
+  Network.send net eng ~src:0 ~dst:1 ~size:100 ~at:0 (fun c ->
+      arrival := Engine.ctx_now c);
+  Engine.run_all eng;
+  check "arrived" true (!arrival > 0);
+  check "latency plausible" true (!arrival < Engine.ms 1)
+
+let test_network_bandwidth_serializes () =
+  (* A 10 MB message at 10 Gbit/s takes ~8 ms of NIC time: two messages
+     sent back-to-back must arrive roughly 8 ms apart. *)
+  let topo = Topology.lan ~num_nodes:2 in
+  let eng = Engine.create ~num_nodes:2 ~seed:5L () in
+  let net = Network.create ~topology:topo () in
+  let arrivals = ref [] in
+  for _ = 1 to 2 do
+    Network.send net eng ~src:0 ~dst:1 ~size:10_000_000 ~at:0 (fun c ->
+        arrivals := Engine.ctx_now c :: !arrivals)
+  done;
+  Engine.run_all eng;
+  match List.rev !arrivals with
+  | [ a1; a2 ] ->
+      let gap = a2 - a1 in
+      check "gap ~ 8ms" true (gap > Engine.ms 6 && gap < Engine.ms 12)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_network_partition () =
+  let topo = Topology.lan ~num_nodes:4 in
+  let eng = Engine.create ~num_nodes:4 ~seed:5L () in
+  let net = Network.create ~topology:topo () in
+  Network.set_partition net ~groups:(Some [| 0; 0; 1; 1 |]);
+  let hits = ref 0 in
+  Network.send net eng ~src:0 ~dst:2 ~size:10 ~at:0 (fun _ -> incr hits);
+  Network.send net eng ~src:0 ~dst:1 ~size:10 ~at:0 (fun _ -> incr hits);
+  Engine.run_all eng;
+  check_int "cross-partition dropped" 1 !hits;
+  Network.set_partition net ~groups:None;
+  Network.send net eng ~src:0 ~dst:2 ~size:10 ~at:(Engine.now eng) (fun _ -> incr hits);
+  Engine.run_all eng;
+  check_int "healed" 2 !hits
+
+let test_network_link_down () =
+  let topo = Topology.lan ~num_nodes:2 in
+  let eng = Engine.create ~num_nodes:2 ~seed:5L () in
+  let net = Network.create ~topology:topo () in
+  Network.set_link net ~src:0 ~dst:1 ~up:false;
+  let hits = ref 0 in
+  Network.send net eng ~src:0 ~dst:1 ~size:10 ~at:0 (fun _ -> incr hits);
+  Network.send net eng ~src:1 ~dst:0 ~size:10 ~at:0 (fun _ -> incr hits);
+  Engine.run_all eng;
+  check_int "directed link down" 1 !hits
+
+let test_network_extra_delay () =
+  let topo = Topology.lan ~num_nodes:2 in
+  let eng = Engine.create ~num_nodes:2 ~seed:5L () in
+  let net = Network.create ~topology:topo () in
+  Network.set_extra_delay net ~src:0 ~dst:1 (Engine.ms 50);
+  let arrival = ref 0 in
+  Network.send net eng ~src:0 ~dst:1 ~size:10 ~at:0 (fun c ->
+      arrival := Engine.ctx_now c);
+  Engine.run_all eng;
+  check "delayed" true (!arrival >= Engine.ms 50)
+
+let test_network_counters () =
+  let topo = Topology.lan ~num_nodes:2 in
+  let eng = Engine.create ~num_nodes:2 ~seed:5L () in
+  let net = Network.create ~topology:topo () in
+  Network.send net eng ~src:0 ~dst:1 ~size:100 ~at:0 (fun _ -> ());
+  Network.send net eng ~src:1 ~dst:0 ~size:50 ~at:0 (fun _ -> ());
+  Engine.run_all eng;
+  Alcotest.(check int) "messages" 2 (Network.messages_sent net);
+  Alcotest.(check int) "bytes" 150 (Network.bytes_sent net);
+  Network.reset_counters net;
+  Alcotest.(check int) "reset" 0 (Network.messages_sent net)
+
+let test_network_drop_prob () =
+  let topo = Topology.lan ~num_nodes:2 in
+  let eng = Engine.create ~num_nodes:2 ~seed:5L () in
+  let net = Network.create ~drop_prob:1.0 ~topology:topo () in
+  let hits = ref 0 in
+  Network.send net eng ~src:0 ~dst:1 ~size:10 ~at:0 (fun _ -> incr hits);
+  Engine.run_all eng;
+  check_int "all dropped" 0 !hits;
+  check_int "accounted" 1 (Network.messages_dropped net)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_latency () =
+  let l = Stats.Latency.create () in
+  List.iter (fun x -> Stats.Latency.add l (Engine.ms x)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (float 0.001)) "mean" 3.0 (Stats.Latency.mean_ms l);
+  Alcotest.(check (float 0.001)) "median" 3.0 (Stats.Latency.median_ms l);
+  Alcotest.(check (float 0.001)) "max" 5.0 (Stats.Latency.max_ms l);
+  Alcotest.(check (float 0.001)) "p0" 1.0 (Stats.Latency.percentile_ms l 0.0)
+
+let test_stats_throughput () =
+  let t = Stats.Throughput.create () in
+  for i = 1 to 10 do
+    Stats.Throughput.add t ~at:(Engine.ms (100 * i)) 5
+  done;
+  check_int "total" 50 (Stats.Throughput.total t);
+  (* 5 events in [300ms, 800ms) -> 25 ops in 0.5 s -> 50 ops/s *)
+  Alcotest.(check (float 0.01)) "windowed rate" 50.0
+    (Stats.Throughput.rate t ~from_:(Engine.ms 300) ~until:(Engine.ms 800))
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace () =
+  let tr = Trace.create ~enabled:true () in
+  Trace.emit tr ~time:0 ~node:1 ~kind:"send" ~detail:"x";
+  Trace.emit tr ~time:1 ~node:2 ~kind:"recv" ~detail:"y";
+  check_int "records" 2 (List.length (Trace.records tr));
+  check_int "find" 1 (List.length (Trace.find_all tr ~kind:"send"));
+  Trace.set_enabled tr false;
+  Trace.emit tr ~time:2 ~node:3 ~kind:"send" ~detail:"z";
+  check_int "disabled drops" 2 (List.length (Trace.records tr))
+
+let () =
+  Alcotest.run "sbft_sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "schedule order" `Quick test_engine_schedule_order;
+          Alcotest.test_case "cpu serialization" `Quick test_engine_cpu_serialization;
+          Alcotest.test_case "cpu scale" `Quick test_engine_cpu_scale;
+          Alcotest.test_case "crash drops" `Quick test_engine_crash_drops;
+          Alcotest.test_case "recover" `Quick test_engine_recover;
+          Alcotest.test_case "timer cancel" `Quick test_engine_timer_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "fifo under load" `Quick test_engine_fifo_under_load;
+          Alcotest.test_case "crash clears queue" `Quick test_engine_crash_clears_queue;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "symmetric" `Quick test_topology_symmetric_base;
+          Alcotest.test_case "world slower" `Quick test_topology_world_slower_than_continent;
+          Alcotest.test_case "lan fast" `Quick test_topology_lan_fast;
+          Alcotest.test_case "custom matrix" `Quick test_topology_custom_matrix;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivery latency" `Quick test_network_delivery_latency;
+          Alcotest.test_case "bandwidth" `Quick test_network_bandwidth_serializes;
+          Alcotest.test_case "partition" `Quick test_network_partition;
+          Alcotest.test_case "link down" `Quick test_network_link_down;
+          Alcotest.test_case "extra delay" `Quick test_network_extra_delay;
+          Alcotest.test_case "drop prob" `Quick test_network_drop_prob;
+          Alcotest.test_case "counters" `Quick test_network_counters;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "latency" `Quick test_stats_latency;
+          Alcotest.test_case "throughput" `Quick test_stats_throughput;
+        ] );
+      ("trace", [ Alcotest.test_case "basic" `Quick test_trace ]);
+    ]

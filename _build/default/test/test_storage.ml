@@ -1,0 +1,370 @@
+(* Tests for the wire codec and the storage substrate: operation
+   encoding, authenticated store digests and proofs, snapshots, and the
+   block store. *)
+
+open Sbft_wire
+open Sbft_store
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let qtest name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:300 gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let test_codec_scalars () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 0xAB;
+  Codec.Writer.u32 w 0xDEADBEEF;
+  Codec.Writer.u64 w 0x1234_5678_9ABC_DEF0;
+  Codec.Writer.varint w 300;
+  Codec.Writer.str w "hello";
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  check_int "u8" 0xAB (Codec.Reader.u8 r);
+  check_int "u32" 0xDEADBEEF (Codec.Reader.u32 r);
+  check_int "u64" 0x1234_5678_9ABC_DEF0 (Codec.Reader.u64 r);
+  check_int "varint" 300 (Codec.Reader.varint r);
+  check_str "str" "hello" (Codec.Reader.str r);
+  check "at end" true (Codec.Reader.at_end r)
+
+let test_codec_truncated () =
+  let r = Codec.Reader.of_string "\x01" in
+  check "truncated raises" true
+    (try
+       ignore (Codec.Reader.u32 r);
+       false
+     with Codec.Reader.Truncated -> true)
+
+let test_codec_list () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.list w (fun x -> Codec.Writer.u32 w x) [ 1; 2; 3 ];
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.Reader.list r Codec.Reader.u32)
+
+let codec_props =
+  [
+    qtest "varint roundtrip" QCheck2.Gen.(int_range 0 max_int) (fun v ->
+        let w = Codec.Writer.create () in
+        Codec.Writer.varint w v;
+        let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+        Codec.Reader.varint r = v);
+    qtest "string roundtrip" QCheck2.Gen.string (fun s ->
+        let w = Codec.Writer.create () in
+        Codec.Writer.str w s;
+        let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+        String.equal (Codec.Reader.str r) s);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Kv_op *)
+
+let test_kv_op_roundtrip () =
+  let cases =
+    [ Kv_op.Put { key = "k"; value = "v" }; Kv_op.Get { key = "q" }; Kv_op.Noop ]
+  in
+  List.iter
+    (fun op ->
+      match Kv_op.decode (Kv_op.encode op) with
+      | Some op' -> check "roundtrip" true (op = op')
+      | None -> Alcotest.fail "decode failed")
+    cases;
+  check "garbage decode" true (Kv_op.decode "\xFFgarbage" = None);
+  check "empty decode" true (Kv_op.decode "" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Auth_store *)
+
+let fresh () = Kv_service.create ()
+
+let test_auth_store_execute () =
+  let st = fresh () in
+  let outs =
+    Auth_store.execute_block st ~seq:1
+      ~ops:[ Kv_service.put ~key:"a" ~value:"1"; Kv_service.get ~key:"a" ]
+  in
+  Alcotest.(check (list string)) "outputs" [ "ok"; "1" ] outs;
+  check_int "last executed" 1 (Auth_store.last_executed st);
+  check "sequential only" true
+    (try
+       ignore (Auth_store.execute_block st ~seq:3 ~ops:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_auth_store_digest_deterministic () =
+  let run () =
+    let st = fresh () in
+    ignore (Auth_store.execute_block st ~seq:1 ~ops:[ Kv_service.put ~key:"x" ~value:"1" ]);
+    ignore (Auth_store.execute_block st ~seq:2 ~ops:[ Kv_service.put ~key:"y" ~value:"2" ]);
+    Auth_store.digest st
+  in
+  check_str "replicas agree" (Sbft_crypto.Sha256.hex (run ()))
+    (Sbft_crypto.Sha256.hex (run ()))
+
+let test_auth_store_digest_depends_on_history () =
+  let st1 = fresh () and st2 = fresh () in
+  ignore (Auth_store.execute_block st1 ~seq:1 ~ops:[ Kv_service.put ~key:"x" ~value:"1" ]);
+  ignore (Auth_store.execute_block st2 ~seq:1 ~ops:[ Kv_service.put ~key:"x" ~value:"2" ]);
+  check "different ops, different digest" false
+    (String.equal (Auth_store.digest st1) (Auth_store.digest st2))
+
+let test_auth_store_op_proof () =
+  let st = fresh () in
+  let op0 = Kv_service.put ~key:"alice" ~value:"100" in
+  let op1 = Kv_service.put ~key:"bob" ~value:"50" in
+  let op2 = Kv_service.get ~key:"alice" in
+  ignore (Auth_store.execute_block st ~seq:1 ~ops:[ op0; op1; op2 ]);
+  let digest = Auth_store.digest st in
+  (* Valid proof for each position. *)
+  List.iteri
+    (fun index (op, value) ->
+      match Auth_store.prove_op st ~seq:1 ~index with
+      | None -> Alcotest.fail "no proof"
+      | Some proof ->
+          check
+            (Printf.sprintf "op %d verifies" index)
+            true
+            (Auth_store.verify_op_proof ~digest ~seq:1 ~index ~op ~value ~proof))
+    [ (op0, "ok"); (op1, "ok"); (op2, "100") ];
+  (* Tampering attempts. *)
+  let proof = Option.get (Auth_store.prove_op st ~seq:1 ~index:0) in
+  check "wrong value" false
+    (Auth_store.verify_op_proof ~digest ~seq:1 ~index:0 ~op:op0 ~value:"999" ~proof);
+  check "wrong op" false
+    (Auth_store.verify_op_proof ~digest ~seq:1 ~index:0 ~op:op1 ~value:"ok" ~proof);
+  check "wrong index" false
+    (Auth_store.verify_op_proof ~digest ~seq:1 ~index:1 ~op:op0 ~value:"ok" ~proof);
+  check "wrong seq" false
+    (Auth_store.verify_op_proof ~digest ~seq:2 ~index:0 ~op:op0 ~value:"ok" ~proof);
+  check "wrong digest" false
+    (Auth_store.verify_op_proof ~digest:(String.make 32 'x') ~seq:1 ~index:0 ~op:op0
+       ~value:"ok" ~proof);
+  check "garbage proof" false
+    (Auth_store.verify_op_proof ~digest ~seq:1 ~index:0 ~op:op0 ~value:"ok" ~proof:"junk")
+
+let test_auth_store_proof_across_blocks () =
+  (* A proof for block 1 must verify against block 1's digest, not the
+     digest of later states. *)
+  let st = fresh () in
+  let op = Kv_service.put ~key:"k" ~value:"v" in
+  ignore (Auth_store.execute_block st ~seq:1 ~ops:[ op ]);
+  let d1 = Auth_store.digest st in
+  ignore (Auth_store.execute_block st ~seq:2 ~ops:[ Kv_service.put ~key:"k2" ~value:"v2" ]);
+  let d2 = Auth_store.digest st in
+  let proof = Option.get (Auth_store.prove_op st ~seq:1 ~index:0) in
+  check "verifies at d1" true
+    (Auth_store.verify_op_proof ~digest:d1 ~seq:1 ~index:0 ~op ~value:"ok" ~proof);
+  check "rejected at d2" false
+    (Auth_store.verify_op_proof ~digest:d2 ~seq:1 ~index:0 ~op ~value:"ok" ~proof);
+  check "digest_at retains block 1" true (Auth_store.digest_at st ~seq:1 = Some d1)
+
+let test_auth_store_query_proof () =
+  let st = fresh () in
+  ignore
+    (Auth_store.execute_block st ~seq:1
+       ~ops:[ Kv_service.put ~key:"alice" ~value:"100" ]);
+  ignore
+    (Auth_store.execute_block st ~seq:2 ~ops:[ Kv_service.put ~key:"bob" ~value:"7" ]);
+  let digest = Auth_store.digest st in
+  (match Auth_store.prove_query st ~key:"alice" with
+  | None -> Alcotest.fail "no query proof"
+  | Some (value, proof) ->
+      check_str "value" "100" value;
+      check "query verifies" true
+        (Auth_store.verify_query_proof ~digest ~seq:2 ~key:"alice" ~value ~proof);
+      check "wrong value fails" false
+        (Auth_store.verify_query_proof ~digest ~seq:2 ~key:"alice" ~value:"1" ~proof);
+      check "wrong key fails" false
+        (Auth_store.verify_query_proof ~digest ~seq:2 ~key:"bob" ~value ~proof));
+  check "absent key" true (Auth_store.prove_query st ~key:"nope" = None)
+
+let test_auth_store_outputs_and_gc () =
+  let st = fresh () in
+  for s = 1 to 5 do
+    ignore
+      (Auth_store.execute_block st ~seq:s
+         ~ops:[ Kv_service.put ~key:(string_of_int s) ~value:"v" ])
+  done;
+  check "output retained" true (Auth_store.output_at st ~seq:2 ~index:0 = Some "ok");
+  check "ops retained" true (Auth_store.ops_at st ~seq:2 <> None);
+  Auth_store.gc_below st ~seq:4;
+  check "gc dropped old" true (Auth_store.output_at st ~seq:2 ~index:0 = None);
+  check "gc kept recent" true (Auth_store.output_at st ~seq:4 ~index:0 = Some "ok");
+  check "proof gone after gc" true (Auth_store.prove_op st ~seq:2 ~index:0 = None)
+
+let test_auth_store_snapshot () =
+  let st = fresh () in
+  for s = 1 to 10 do
+    ignore
+      (Auth_store.execute_block st ~seq:s
+         ~ops:[ Kv_service.put ~key:(Printf.sprintf "k%d" s) ~value:(string_of_int s) ])
+  done;
+  let snap = Auth_store.snapshot st in
+  let d = Auth_store.digest st in
+  (match Auth_store.snapshot_digest_info snap with
+  | Some (seq, _) -> check_int "snapshot seq" 10 seq
+  | None -> Alcotest.fail "bad snapshot header");
+  let st2 = fresh () in
+  (match Auth_store.load_snapshot st2 snap with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_int "restored seq" 10 (Auth_store.last_executed st2);
+  check_str "digest stable" (Sbft_crypto.Sha256.hex d)
+    (Sbft_crypto.Sha256.hex (Auth_store.digest st2));
+  (* Restored store continues executing identically. *)
+  let o1 = Auth_store.execute_block st ~seq:11 ~ops:[ Kv_service.get ~key:"k3" ] in
+  let o2 = Auth_store.execute_block st2 ~seq:11 ~ops:[ Kv_service.get ~key:"k3" ] in
+  check "same outputs" true (o1 = o2);
+  check_str "same digest after more blocks"
+    (Sbft_crypto.Sha256.hex (Auth_store.digest st))
+    (Sbft_crypto.Sha256.hex (Auth_store.digest st2));
+  check "corrupt snapshot rejected" true
+    (match Auth_store.load_snapshot (fresh ()) "BOGUS" with Error _ -> true | Ok () -> false)
+
+let auth_store_props =
+  [
+    qtest "two replicas stay digest-identical under random workloads"
+      QCheck2.Gen.(int_range 0 200)
+      (fun seed ->
+        let r = Sbft_sim.Rng.create (Int64.of_int (seed * 7)) in
+        let a = fresh () and b = fresh () in
+        let ok = ref true in
+        for s = 1 to 10 do
+          let n = 1 + Sbft_sim.Rng.int r 5 in
+          let ops =
+            List.init n (fun _ ->
+                if Sbft_sim.Rng.bool r 0.7 then
+                  Kv_service.put
+                    ~key:(Printf.sprintf "k%d" (Sbft_sim.Rng.int r 20))
+                    ~value:(Printf.sprintf "v%d" (Sbft_sim.Rng.int r 100))
+                else Kv_service.get ~key:(Printf.sprintf "k%d" (Sbft_sim.Rng.int r 20)))
+          in
+          let oa = Auth_store.execute_block a ~seq:s ~ops in
+          let ob = Auth_store.execute_block b ~seq:s ~ops in
+          if oa <> ob || not (String.equal (Auth_store.digest a) (Auth_store.digest b))
+          then ok := false
+        done;
+        !ok);
+  ]
+
+let test_shared_exec_cache () =
+  (* Replicas sharing a cache produce identical results and share the
+     resulting state structurally; a diverging replica misses the cache
+     and computes its own (different) digest. *)
+  let cache = Auth_store.new_cache () in
+  let a = fresh () and b = fresh () and rogue = fresh () in
+  List.iter (fun st -> Auth_store.set_cache st cache) [ a; b; rogue ];
+  let ops = [ Kv_service.put ~key:"k" ~value:"v"; Kv_service.get ~key:"k" ] in
+  let oa = Auth_store.execute_block a ~seq:1 ~ops in
+  let ob = Auth_store.execute_block b ~seq:1 ~ops in
+  check "same outputs via cache" true (oa = ob);
+  check_str "same digest" (Sbft_crypto.Sha256.hex (Auth_store.digest a))
+    (Sbft_crypto.Sha256.hex (Auth_store.digest b));
+  (* Proofs still work on the cache-hit replica. *)
+  (match Auth_store.prove_op b ~seq:1 ~index:0 with
+  | Some proof ->
+      check "proof from cached record" true
+        (Auth_store.verify_op_proof ~digest:(Auth_store.digest b) ~seq:1 ~index:0
+           ~op:(List.hd ops) ~value:"ok" ~proof)
+  | None -> Alcotest.fail "no proof");
+  (* Divergent execution does not collide in the cache. *)
+  let orogue =
+    Auth_store.execute_block rogue ~seq:1 ~ops:[ Kv_service.put ~key:"k" ~value:"EVIL" ]
+  in
+  check "rogue outputs differ" true (orogue <> oa);
+  check "rogue digest differs" false
+    (String.equal (Auth_store.digest rogue) (Auth_store.digest a));
+  (* Continuing from divergent states stays isolated (read-only ops keep
+     the states distinct; a put would legitimately re-converge them). *)
+  let reads = [ Kv_service.get ~key:"k" ] in
+  let ra = Auth_store.execute_block a ~seq:2 ~ops:reads in
+  let rr = Auth_store.execute_block rogue ~seq:2 ~ops:reads in
+  check "reads see divergent states" true (ra = [ "v" ] && rr = [ "EVIL" ]);
+  check "still different" false
+    (String.equal (Auth_store.digest rogue) (Auth_store.digest a))
+
+let test_clone_independent () =
+  let a = fresh () in
+  ignore (Auth_store.execute_block a ~seq:1 ~ops:[ Kv_service.put ~key:"x" ~value:"1" ]);
+  let b = Auth_store.clone a in
+  check_str "clone digest equal" (Sbft_crypto.Sha256.hex (Auth_store.digest a))
+    (Sbft_crypto.Sha256.hex (Auth_store.digest b));
+  ignore (Auth_store.execute_block a ~seq:2 ~ops:[ Kv_service.put ~key:"x" ~value:"2" ]);
+  check_int "clone unaffected" 1 (Auth_store.last_executed b);
+  ignore (Auth_store.execute_block b ~seq:2 ~ops:[ Kv_service.put ~key:"x" ~value:"3" ]);
+  check "clones diverge independently" false
+    (String.equal (Auth_store.digest a) (Auth_store.digest b))
+
+let test_bootstrap () =
+  let a = fresh () and b = fresh () in
+  let genesis = [ Kv_service.put ~key:"g" ~value:"1" ] in
+  Auth_store.bootstrap a ~ops:genesis;
+  Auth_store.bootstrap b ~ops:genesis;
+  check_str "bootstrapped digests equal" (Sbft_crypto.Sha256.hex (Auth_store.digest a))
+    (Sbft_crypto.Sha256.hex (Auth_store.digest b));
+  check_int "no blocks executed" 0 (Auth_store.last_executed a);
+  ignore (Auth_store.execute_block a ~seq:1 ~ops:[ Kv_service.get ~key:"g" ]);
+  check "bootstrap state visible" true (Auth_store.output_at a ~seq:1 ~index:0 = Some "1");
+  check "bootstrap after execution rejected" true
+    (try
+       Auth_store.bootstrap a ~ops:genesis;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Block_store *)
+
+let test_block_store () =
+  let bs = Block_store.create () in
+  check_int "empty highest" 0 (Block_store.highest bs);
+  Block_store.add bs { seq = 1; view = 0; ops = [ "a" ]; cert = Fast "sig1" };
+  Block_store.add bs { seq = 3; view = 0; ops = [ "b" ]; cert = Slow "sig3" };
+  check_int "highest" 3 (Block_store.highest bs);
+  check "mem" true (Block_store.mem bs 1);
+  check "not mem" false (Block_store.mem bs 2);
+  (* First write wins. *)
+  Block_store.add bs { seq = 1; view = 9; ops = [ "z" ]; cert = Fast "other" };
+  (match Block_store.find bs 1 with
+  | Some e -> check "idempotent" true (e.ops = [ "a" ])
+  | None -> Alcotest.fail "missing");
+  Block_store.prune_below bs 3;
+  check "pruned" false (Block_store.mem bs 1);
+  check "kept" true (Block_store.mem bs 3);
+  Block_store.set_checkpoint bs ~seq:5 ~snapshot:(lazy "snapA");
+  Block_store.set_checkpoint bs ~seq:4 ~snapshot:(lazy "old");
+  (match Block_store.checkpoint bs with
+  | Some (5, s) when Lazy.force s = "snapA" -> ()
+  | _ -> Alcotest.fail "checkpoint regression");
+  check "entry size positive" true
+    (Block_store.entry_size { seq = 1; view = 0; ops = [ "abc" ]; cert = Fast "s" } > 0)
+
+let () =
+  Alcotest.run "sbft_store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "scalars" `Quick test_codec_scalars;
+          Alcotest.test_case "truncated" `Quick test_codec_truncated;
+          Alcotest.test_case "list" `Quick test_codec_list;
+        ]
+        @ codec_props );
+      ("kv_op", [ Alcotest.test_case "roundtrip" `Quick test_kv_op_roundtrip ]);
+      ( "auth_store",
+        [
+          Alcotest.test_case "execute" `Quick test_auth_store_execute;
+          Alcotest.test_case "digest deterministic" `Quick test_auth_store_digest_deterministic;
+          Alcotest.test_case "digest history" `Quick test_auth_store_digest_depends_on_history;
+          Alcotest.test_case "op proofs" `Quick test_auth_store_op_proof;
+          Alcotest.test_case "proofs across blocks" `Quick test_auth_store_proof_across_blocks;
+          Alcotest.test_case "query proofs" `Quick test_auth_store_query_proof;
+          Alcotest.test_case "outputs and gc" `Quick test_auth_store_outputs_and_gc;
+          Alcotest.test_case "snapshot" `Quick test_auth_store_snapshot;
+          Alcotest.test_case "shared exec cache" `Quick test_shared_exec_cache;
+          Alcotest.test_case "clone" `Quick test_clone_independent;
+          Alcotest.test_case "bootstrap" `Quick test_bootstrap;
+        ]
+        @ auth_store_props );
+      ("block_store", [ Alcotest.test_case "basics" `Quick test_block_store ]);
+    ]

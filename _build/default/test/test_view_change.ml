@@ -1,0 +1,393 @@
+(* Unit and property tests for the dual-mode view-change safe-value
+   computation (§V-G) — the correctness heart of SBFT.  These construct
+   synthetic view-change messages (including Byzantine ones with forged
+   or stale certificates) and check the decisions against the paper's
+   Lemmas VI.2/VI.3. *)
+
+open Sbft_core
+open Sbft_crypto
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:200 gen prop)
+
+(* f=1, c=0: n=4, σ-threshold 4, τ-threshold 3, π-threshold 2, VC quorum 3. *)
+let config = Config.sbft ~f:1 ~c:0
+let keys, replica_keys, _clients =
+  Keys.setup (Sbft_sim.Rng.create 7L) ~config ~num_clients:1
+
+let req tag : Types.request =
+  { client = -1; timestamp = 0; op = "op-" ^ tag; signature = "" }
+
+let reqs_a = [ req "a" ]
+let reqs_b = [ req "b" ]
+
+let hash ~seq ~view reqs = Types.block_hash ~seq ~view ~reqs
+
+(* Build real certificates using the actual signing keys. *)
+let tau_sig ~seq ~view reqs =
+  let h = hash ~seq ~view reqs in
+  let shares =
+    Array.to_list
+      (Array.map (fun (k : Keys.replica_keys) -> Threshold.share_sign k.tau_sk ~msg:h)
+         replica_keys)
+  in
+  Threshold.combine_exn keys.Keys.tau ~msg:h shares
+
+let tau_tau_sig tau =
+  let msg = Types.tau2_message tau in
+  let shares =
+    Array.to_list
+      (Array.map (fun (k : Keys.replica_keys) -> Threshold.share_sign k.tau_sk ~msg)
+         replica_keys)
+  in
+  Threshold.combine_exn keys.Keys.tau ~msg shares
+
+let sigma_sig ~seq ~view reqs =
+  let h = hash ~seq ~view reqs in
+  let shares =
+    Array.to_list
+      (Array.map (fun (k : Keys.replica_keys) -> Threshold.share_sign k.sigma_sk ~msg:h)
+         replica_keys)
+  in
+  Threshold.combine_exn keys.Keys.sigma ~msg:h shares
+
+let sigma_share ~replica ~seq ~view reqs =
+  Threshold.share_sign replica_keys.(replica).Keys.sigma_sk ~msg:(hash ~seq ~view reqs)
+
+let pi_sig ~seq ~digest =
+  let msg = Types.pi_message ~seq ~digest in
+  let shares =
+    Array.to_list
+      (Array.map (fun (k : Keys.replica_keys) -> Threshold.share_sign k.pi_sk ~msg)
+         replica_keys)
+  in
+  Threshold.combine_exn keys.Keys.pi ~msg shares
+
+let vc ?(ls = 0) ?(checkpoint = None) ~replica slots : Types.view_change =
+  { vc_replica = replica; vc_view = 0; vc_ls = ls; vc_checkpoint = checkpoint;
+    vc_slots = slots }
+
+let slot seq slow fast : Types.vc_slot = { slot_seq = seq; slow; fast }
+
+let decide msgs = View_change.compute ~keys ~new_view:1 msgs
+
+let decision_for seq msgs =
+  let _, ds = decide msgs in
+  List.assoc_opt seq ds
+
+(* ------------------------------------------------------------------ *)
+
+let test_empty_quorum () =
+  let msgs = [ vc ~replica:0 []; vc ~replica:1 []; vc ~replica:2 [] ] in
+  let ls, ds = decide msgs in
+  check_int "ls 0" 0 ls;
+  check_int "no decisions" 0 (List.length ds)
+
+let test_slow_commit_decides () =
+  let tau = tau_sig ~seq:1 ~view:0 reqs_a in
+  let tau_tau = tau_tau_sig tau in
+  let cert = Types.Slow_committed { tau; tau_tau; view = 0; reqs = reqs_a } in
+  let msgs =
+    [ vc ~replica:0 [ slot 1 cert Types.No_preprepare ];
+      vc ~replica:1 []; vc ~replica:2 [] ]
+  in
+  match decision_for 1 msgs with
+  | Some (View_change.Decide_slow { reqs; _ }) -> check "reqs a" true (reqs = reqs_a)
+  | _ -> Alcotest.fail "expected Decide_slow"
+
+let test_fast_commit_decides () =
+  let sigma = sigma_sig ~seq:1 ~view:0 reqs_a in
+  let cert = Types.Fast_committed { sigma; view = 0; reqs = reqs_a } in
+  let msgs =
+    [ vc ~replica:0 [ slot 1 Types.No_commit cert ];
+      vc ~replica:1 []; vc ~replica:2 [] ]
+  in
+  match decision_for 1 msgs with
+  | Some (View_change.Decide_fast { reqs; _ }) -> check "reqs a" true (reqs = reqs_a)
+  | _ -> Alcotest.fail "expected Decide_fast"
+
+let test_prepared_adopted () =
+  let tau = tau_sig ~seq:1 ~view:2 reqs_a in
+  let cert = Types.Slow_prepared { tau; view = 2; reqs = reqs_a } in
+  let msgs =
+    [ vc ~replica:0 [ slot 1 cert Types.No_preprepare ];
+      vc ~replica:1 []; vc ~replica:2 [] ]
+  in
+  check "adopt prepared" true (decision_for 1 msgs = Some (View_change.Adopt reqs_a))
+
+let test_highest_prepare_wins () =
+  let tau1 = tau_sig ~seq:1 ~view:1 reqs_a in
+  let tau2 = tau_sig ~seq:1 ~view:3 reqs_b in
+  let msgs =
+    [
+      vc ~replica:0
+        [ slot 1 (Types.Slow_prepared { tau = tau1; view = 1; reqs = reqs_a }) Types.No_preprepare ];
+      vc ~replica:1
+        [ slot 1 (Types.Slow_prepared { tau = tau2; view = 3; reqs = reqs_b }) Types.No_preprepare ];
+      vc ~replica:2 [];
+    ]
+  in
+  check "higher view wins" true (decision_for 1 msgs = Some (View_change.Adopt reqs_b))
+
+let test_fast_value_adopted () =
+  (* f+c+1 = 2 pre-prepare shares for the same value at view >= 1. *)
+  let make r v =
+    Types.Fast_preprepared { share = sigma_share ~replica:r ~seq:1 ~view:v reqs_a; view = v; reqs = reqs_a }
+  in
+  let msgs =
+    [
+      vc ~replica:0 [ slot 1 Types.No_commit (make 0 1) ];
+      vc ~replica:1 [ slot 1 Types.No_commit (make 1 2) ];
+      vc ~replica:2 [];
+    ]
+  in
+  check "adopt fast value" true (decision_for 1 msgs = Some (View_change.Adopt reqs_a))
+
+let test_single_share_not_enough () =
+  let fast =
+    Types.Fast_preprepared { share = sigma_share ~replica:0 ~seq:1 ~view:1 reqs_a; view = 1; reqs = reqs_a }
+  in
+  let msgs =
+    [ vc ~replica:0 [ slot 1 Types.No_commit fast ]; vc ~replica:1 []; vc ~replica:2 [] ]
+  in
+  check "one share -> null" true (decision_for 1 msgs = Some View_change.Fill_null)
+
+let test_slow_preferred_on_tie () =
+  (* v* = v̂ = 2: the prepare certificate must win (the paper's
+     tie-breaking prefers the slow-path proof). *)
+  let tau = tau_sig ~seq:1 ~view:2 reqs_a in
+  let fast r = Types.Fast_preprepared { share = sigma_share ~replica:r ~seq:1 ~view:2 reqs_b; view = 2; reqs = reqs_b } in
+  let msgs =
+    [
+      vc ~replica:0 [ slot 1 (Types.Slow_prepared { tau; view = 2; reqs = reqs_a }) (fast 0) ];
+      vc ~replica:1 [ slot 1 Types.No_commit (fast 1) ];
+      vc ~replica:2 [ slot 1 Types.No_commit (fast 2) ];
+    ]
+  in
+  check "slow preferred" true (decision_for 1 msgs = Some (View_change.Adopt reqs_a))
+
+let test_fast_beats_lower_prepare () =
+  let tau = tau_sig ~seq:1 ~view:1 reqs_a in
+  let fast r = Types.Fast_preprepared { share = sigma_share ~replica:r ~seq:1 ~view:3 reqs_b; view = 3; reqs = reqs_b } in
+  let msgs =
+    [
+      vc ~replica:0 [ slot 1 (Types.Slow_prepared { tau; view = 1; reqs = reqs_a }) (fast 0) ];
+      vc ~replica:1 [ slot 1 Types.No_commit (fast 1) ];
+      vc ~replica:2 [ slot 1 Types.No_commit (fast 2) ];
+    ]
+  in
+  check "fast at higher view wins" true (decision_for 1 msgs = Some (View_change.Adopt reqs_b))
+
+let test_ambiguous_fast_ignored () =
+  (* Two distinct values each with f+c+1 shares at the same top view:
+     no unique fast value, and with no prepare either the slot is null. *)
+  let fa r = Types.Fast_preprepared { share = sigma_share ~replica:r ~seq:1 ~view:2 reqs_a; view = 2; reqs = reqs_a } in
+  let fb r = Types.Fast_preprepared { share = sigma_share ~replica:r ~seq:1 ~view:2 reqs_b; view = 2; reqs = reqs_b } in
+  let msgs =
+    [
+      vc ~replica:0 [ slot 1 Types.No_commit (fa 0) ];
+      vc ~replica:1 [ slot 1 Types.No_commit (fa 1) ];
+      vc ~replica:2 [ slot 1 Types.No_commit (fb 2) ];
+      vc ~replica:3 [ slot 1 Types.No_commit (fb 3) ];
+    ]
+  in
+  check "ambiguous -> null" true (decision_for 1 msgs = Some View_change.Fill_null)
+
+let test_forged_certificates_ignored () =
+  (* A Byzantine replica claims prepares with invalid signatures; the
+     computation must ignore them. *)
+  let bogus_tau = Field.of_int 0xBAD in
+  let msgs =
+    [
+      vc ~replica:0
+        [ slot 1 (Types.Slow_prepared { tau = bogus_tau; view = 9; reqs = reqs_b }) Types.No_preprepare ];
+      vc ~replica:1 []; vc ~replica:2 [];
+    ]
+  in
+  check "forged ignored -> null" true (decision_for 1 msgs = Some View_change.Fill_null)
+
+let test_share_signer_binding () =
+  (* A pre-prepare share must come from the message's sender. *)
+  let share = sigma_share ~replica:2 ~seq:1 ~view:1 reqs_a in
+  let cert = Types.Fast_preprepared { share; view = 1; reqs = reqs_a } in
+  let m = vc ~replica:0 [ slot 1 Types.No_commit cert ] in
+  check "stolen share rejected" false (View_change.validate_message ~keys m);
+  let own = Types.Fast_preprepared { share = sigma_share ~replica:0 ~seq:1 ~view:1 reqs_a; view = 1; reqs = reqs_a } in
+  check "own share accepted" true
+    (View_change.validate_message ~keys (vc ~replica:0 [ slot 1 Types.No_commit own ]))
+
+let test_checkpoint_selection () =
+  let digest = Sha256.digest "state-5" in
+  let pi = pi_sig ~seq:5 ~digest in
+  let good = vc ~ls:5 ~checkpoint:(Some (pi, digest)) ~replica:0 [] in
+  let fake = vc ~ls:9 ~checkpoint:(Some (Field.of_int 1, digest)) ~replica:1 [] in
+  let plain = vc ~replica:2 [] in
+  check_int "valid checkpoint wins" 5 (View_change.select_stable ~keys [ good; fake; plain ]);
+  check "invalid checkpoint rejected in validation" false
+    (View_change.validate_message ~keys fake);
+  check "genesis ok" true (View_change.validate_message ~keys plain)
+
+let test_validate_window () =
+  let cert = Types.Fast_preprepared { share = sigma_share ~replica:0 ~seq:999 ~view:0 reqs_a; view = 0; reqs = reqs_a } in
+  let m = vc ~replica:0 [ slot 999 Types.No_commit cert ] in
+  check "slot beyond window rejected" false (View_change.validate_message ~keys m)
+
+let test_decision_reqs () =
+  check "null fill" true
+    (View_change.decision_reqs View_change.Fill_null = [ View_change.null_request ]);
+  check "adopt" true (View_change.decision_reqs (View_change.Adopt reqs_a) = reqs_a)
+
+let test_multi_slot_window () =
+  (* A window with a committed slot, a prepared slot, a gap, and a
+     fast-candidate slot: each decided independently; the gap is
+     filled with null. *)
+  let tau1 = tau_sig ~seq:1 ~view:0 reqs_a in
+  let tau_tau1 = tau_tau_sig tau1 in
+  let tau2 = tau_sig ~seq:2 ~view:1 reqs_b in
+  let fast4 r v =
+    Types.Fast_preprepared
+      { share = sigma_share ~replica:r ~seq:4 ~view:v reqs_a; view = v; reqs = reqs_a }
+  in
+  let msgs =
+    [
+      vc ~replica:0
+        [ slot 1 (Types.Slow_committed { tau = tau1; tau_tau = tau_tau1; view = 0; reqs = reqs_a })
+            Types.No_preprepare;
+          slot 4 Types.No_commit (fast4 0 2) ];
+      vc ~replica:1
+        [ slot 2 (Types.Slow_prepared { tau = tau2; view = 1; reqs = reqs_b })
+            Types.No_preprepare;
+          slot 4 Types.No_commit (fast4 1 2) ];
+      vc ~replica:2 [];
+    ]
+  in
+  let ls, ds = decide msgs in
+  check_int "ls" 0 ls;
+  check_int "decisions up to slot 4" 4 (List.length ds);
+  (match List.assoc 1 ds with
+  | View_change.Decide_slow { reqs; _ } -> check "slot1 committed" true (reqs = reqs_a)
+  | _ -> Alcotest.fail "slot 1 should decide");
+  check "slot2 adopted" true (List.assoc 2 ds = View_change.Adopt reqs_b);
+  check "slot3 null (gap)" true (List.assoc 3 ds = View_change.Fill_null);
+  check "slot4 fast adopted" true (List.assoc 4 ds = View_change.Adopt reqs_a)
+
+let test_slots_above_checkpoint_only () =
+  (* Slots at or below the selected stable checkpoint are not decided. *)
+  let digest = Sha256.digest "state-3" in
+  let pi = pi_sig ~seq:3 ~digest in
+  let tau = tau_sig ~seq:2 ~view:0 reqs_a in
+  let msgs =
+    [
+      vc ~ls:3 ~checkpoint:(Some (pi, digest)) ~replica:0 [];
+      vc ~replica:1
+        [ slot 2 (Types.Slow_prepared { tau; view = 0; reqs = reqs_a }) Types.No_preprepare ];
+      vc ~replica:2 [];
+    ]
+  in
+  let ls, ds = decide msgs in
+  check_int "stable respected" 3 ls;
+  check "no decisions below ls" true (List.for_all (fun (s, _) -> s > 3) ds)
+
+(* ------------------------------------------------------------------ *)
+(* Property: a value committed on either path survives any view change
+   quorum that includes its honest witnesses. *)
+
+let prop_committed_value_survives =
+  qtest "committed value survives random VC quorums"
+    QCheck2.Gen.(triple (int_range 0 1000) bool (int_range 0 3))
+    (fun (seed, fast_path, byz_replica) ->
+      let rng = Sbft_sim.Rng.create (Int64.of_int (seed + 99)) in
+      let cview = 1 + Sbft_sim.Rng.int rng 3 in
+      (* Honest witnesses per the commit quorum: slow commit -> f+c+1=2
+         hold prepare certs; fast commit -> 2f+c+1=3 hold pre-prepare
+         shares at view >= cview. *)
+      let honest = [ 0; 1; 2 ] in
+      let mk_honest r =
+        if fast_path then begin
+          let share = sigma_share ~replica:r ~seq:1 ~view:cview reqs_a in
+          vc ~replica:r
+            [ slot 1 Types.No_commit
+                (Types.Fast_preprepared { share; view = cview; reqs = reqs_a }) ]
+        end
+        else begin
+          let tau = tau_sig ~seq:1 ~view:cview reqs_a in
+          vc ~replica:r
+            [ slot 1 (Types.Slow_prepared { tau; view = cview; reqs = reqs_a })
+                Types.No_preprepare ]
+        end
+      in
+      (* The Byzantine member sends stale or junk info, possibly for a
+         conflicting value at a lower view. *)
+      let byz =
+        let stale_view = max 0 (cview - 1) in
+        let share = sigma_share ~replica:byz_replica ~seq:1 ~view:stale_view reqs_b in
+        vc ~replica:byz_replica
+          [ slot 1 Types.No_commit
+              (Types.Fast_preprepared { share; view = stale_view; reqs = reqs_b }) ]
+      in
+      let msgs = List.map mk_honest honest @ [ byz ] in
+      (* Any quorum (3 of these 4) that contains the honest witnesses. *)
+      let _, ds = decide msgs in
+      match List.assoc_opt 1 ds with
+      | Some (View_change.Adopt reqs) -> reqs = reqs_a
+      | Some (View_change.Decide_fast { reqs; _ })
+      | Some (View_change.Decide_slow { reqs; _ }) -> reqs = reqs_a
+      | _ -> false)
+
+let prop_decisions_deterministic =
+  (* The computation must be a pure function of the message SET: message
+     order must not matter (replicas independently recompute it from the
+     new-view payload). *)
+  qtest "order-independence of the quorum set"
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let rng = Sbft_sim.Rng.create (Int64.of_int (seed + 3)) in
+      let cview = Sbft_sim.Rng.int rng 3 in
+      let share r = sigma_share ~replica:r ~seq:1 ~view:cview reqs_a in
+      let tau = tau_sig ~seq:1 ~view:cview reqs_b in
+      let msgs =
+        [
+          vc ~replica:0
+            [ slot 1 Types.No_commit
+                (Types.Fast_preprepared { share = share 0; view = cview; reqs = reqs_a }) ];
+          vc ~replica:1
+            [ slot 1 (Types.Slow_prepared { tau; view = cview; reqs = reqs_b })
+                Types.No_preprepare ];
+          vc ~replica:2
+            [ slot 1 Types.No_commit
+                (Types.Fast_preprepared { share = share 2; view = cview; reqs = reqs_a }) ];
+          vc ~replica:3 [];
+        ]
+      in
+      let arr = Array.of_list msgs in
+      Sbft_sim.Rng.shuffle rng arr;
+      decide msgs = decide (Array.to_list arr))
+
+let () =
+  Alcotest.run "sbft_view_change"
+    [
+      ( "safe-values",
+        [
+          Alcotest.test_case "empty quorum" `Quick test_empty_quorum;
+          Alcotest.test_case "slow commit decides" `Quick test_slow_commit_decides;
+          Alcotest.test_case "fast commit decides" `Quick test_fast_commit_decides;
+          Alcotest.test_case "prepared adopted" `Quick test_prepared_adopted;
+          Alcotest.test_case "highest prepare wins" `Quick test_highest_prepare_wins;
+          Alcotest.test_case "fast value adopted" `Quick test_fast_value_adopted;
+          Alcotest.test_case "single share insufficient" `Quick test_single_share_not_enough;
+          Alcotest.test_case "slow preferred on tie" `Quick test_slow_preferred_on_tie;
+          Alcotest.test_case "fast beats lower prepare" `Quick test_fast_beats_lower_prepare;
+          Alcotest.test_case "ambiguous fast ignored" `Quick test_ambiguous_fast_ignored;
+          Alcotest.test_case "forged certs ignored" `Quick test_forged_certificates_ignored;
+          Alcotest.test_case "share signer binding" `Quick test_share_signer_binding;
+          Alcotest.test_case "checkpoint selection" `Quick test_checkpoint_selection;
+          Alcotest.test_case "window validation" `Quick test_validate_window;
+          Alcotest.test_case "decision reqs" `Quick test_decision_reqs;
+          Alcotest.test_case "multi-slot window" `Quick test_multi_slot_window;
+          Alcotest.test_case "checkpoint bounds slots" `Quick test_slots_above_checkpoint_only;
+        ] );
+      ("properties", [ prop_committed_value_survives; prop_decisions_deterministic ]);
+    ]
