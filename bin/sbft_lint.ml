@@ -1,0 +1,80 @@
+(* Driver for the sbft lint pass: walks the given source trees, runs
+   every AST rule over each .ml file, applies the allowlist, prints the
+   surviving findings, and exits non-zero when any remain.  Wired into
+   the build as [dune build @lint] (and into [dune runtest]). *)
+
+module Lint = Sbft_analysis.Lint
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Skip hidden and build directories (.objs, _build, ...). *)
+let skip_entry name =
+  String.length name = 0 || Char.equal name.[0] '.' || Char.equal name.[0] '_'
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if skip_entry entry then acc else walk acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let usage () =
+  prerr_endline
+    "usage: sbft_lint [--root DIR] [--allow FILE] [DIR ...]\n\
+     Lints every .ml under the given directories (default: lib bin).";
+  exit 2
+
+let () =
+  let root = ref "." in
+  let allow_file = ref "lint.allow" in
+  let dirs = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+        root := dir;
+        parse_args rest
+    | "--allow" :: file :: rest ->
+        allow_file := file;
+        parse_args rest
+    | ("--help" | "-h" | "--root" | "--allow") :: _ -> usage ()
+    | dir :: rest ->
+        dirs := dir :: !dirs;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  Sys.chdir !root;
+  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+  let allow =
+    if Sys.file_exists !allow_file then Lint.Allow.parse (read_file !allow_file)
+    else Lint.Allow.empty
+  in
+  let files =
+    List.fold_left walk [] (List.filter Sys.file_exists dirs)
+    |> List.sort String.compare
+  in
+  let findings =
+    List.concat_map
+      (fun path ->
+        let ast = Lint.lint_source ~path ~source:(read_file path) in
+        let mli_exists = Sys.file_exists (path ^ "i") in
+        match Lint.missing_mli ~path ~mli_exists with
+        | Some f -> f :: ast
+        | None -> ast)
+      files
+  in
+  let kept, allowed = Lint.filter allow findings in
+  List.iter (fun f -> print_endline (Lint.pp_finding f)) kept;
+  List.iter
+    (fun entry ->
+      Printf.printf "warning: stale lint.allow entry never matched: %s\n" entry)
+    (Lint.Allow.unused allow findings);
+  Printf.printf "sbft-lint: %d file(s), %d finding(s), %d allowlisted\n"
+    (List.length files) (List.length kept) (List.length allowed);
+  exit (Lint.exit_code kept)

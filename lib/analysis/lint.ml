@@ -1,0 +1,280 @@
+type severity = Error | Warning
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  message : string;
+}
+
+let pp_finding f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping *)
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.map (fun ch -> if Char.equal ch '\\' then '/' else ch) path
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let protocol_scope path =
+  List.exists
+    (fun prefix -> has_prefix ~prefix path)
+    [ "lib/core/"; "lib/pbft/"; "lib/crypto/" ]
+
+let config_file path = String.equal path "lib/core/config.ml"
+
+(* ------------------------------------------------------------------ *)
+(* AST predicates *)
+
+open Parsetree
+
+let eq_operator : Longident.t -> bool = function
+  | Lident ("=" | "<>") -> true
+  | Ldot (Lident "Stdlib", ("=" | "<>")) -> true
+  | _ -> false
+
+let polymorphic_compare : Longident.t -> bool = function
+  | Lident "compare" -> true
+  | Ldot (Lident "Stdlib", "compare") -> true
+  | _ -> false
+
+let hashtbl_hash : Longident.t -> bool = function
+  | Ldot (Lident "Hashtbl", ("hash" | "seeded_hash")) -> true
+  | Ldot (Ldot (Lident "Stdlib", "Hashtbl"), ("hash" | "seeded_hash")) -> true
+  | _ -> false
+
+(* Partial stdlib functions and their total replacements (R2). *)
+let partial_functions =
+  [
+    ("List", "hd", "List.nth_opt xs 0 / match");
+    ("List", "nth", "List.nth_opt");
+    ("List", "assoc", "List.assoc_opt");
+    ("List", "find", "List.find_opt");
+    ("Option", "get", "pattern matching / Option.value");
+    ("Hashtbl", "find", "Hashtbl.find_opt");
+  ]
+
+let partial_function : Longident.t -> (string * string * string) option = function
+  | Ldot (Lident m, f) | Ldot (Ldot (Lident "Stdlib", m), f) ->
+      List.find_opt
+        (fun (m', f', _) -> String.equal m m' && String.equal f f')
+        partial_functions
+  | _ -> None
+
+(* Operands whose polymorphic comparison is a tag-only check: constant
+   literals and nullary constructors ([None], [true], [[]], variant
+   tags...).  Comparing anything else structurally is what R1 bans. *)
+let constant_operand e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_variant (_, None) -> true
+  | _ -> false
+
+let int_literal e =
+  match e.pexp_desc with Pexp_constant (Pconst_integer _) -> true | _ -> false
+
+(* An [f]- or [c]-valued expression for the quorum-literal rule: a bare
+   identifier or a record field named [f] or [c]. *)
+let fault_parameter e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident ("f" | "c"); _ } -> true
+  | Pexp_field (_, { txt = Lident ("f" | "c") | Ldot (_, ("f" | "c")); _ }) -> true
+  | _ -> false
+
+let catch_all_case (case : case) =
+  match (case.pc_lhs.ppat_desc, case.pc_guard) with
+  | Ppat_any, None -> true
+  | Ppat_exception { ppat_desc = Ppat_any; _ }, None -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The pass *)
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+
+let lint_structure ~path structure =
+  let findings = ref [] in
+  let report ~rule ~loc message =
+    findings :=
+      { rule; severity = Error; file = path; line = line_of loc; message }
+      :: !findings
+  in
+  let r1 = protocol_scope path in
+  let r2 = protocol_scope path in
+  let r4 = not (config_file path) in
+  let open Ast_iterator in
+  let iter_expr self e =
+    (match e.pexp_desc with
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, [ (_, a); (_, b) ])
+      when eq_operator txt ->
+        if r1 && (not (constant_operand a)) && not (constant_operand b) then
+          report ~rule:"R1" ~loc:pexp_loc
+            "polymorphic comparison on non-constant operands; use Int.equal, \
+             String.equal, or an explicit equality for the type";
+        (* Visit the operands but not the operator identifier itself,
+           which would double-report. *)
+        self.expr self a;
+        self.expr self b
+    | Pexp_ident { txt; _ } when r1 && eq_operator txt ->
+        report ~rule:"R1" ~loc:e.pexp_loc
+          "polymorphic comparison passed as a function; use an explicit \
+           equality for the type"
+    | Pexp_ident { txt; _ } when r1 && polymorphic_compare txt ->
+        report ~rule:"R1" ~loc:e.pexp_loc
+          "polymorphic compare; use Int.compare, String.compare, or a \
+           dedicated comparison function"
+    | Pexp_ident { txt; _ } when r1 && hashtbl_hash txt ->
+        report ~rule:"R1" ~loc:e.pexp_loc
+          "Hashtbl.hash on protocol values; define an explicit hash over \
+           the identifying fields"
+    | Pexp_ident { txt; _ } when r2 ->
+        (match partial_function txt with
+        | Some (m, f, instead) ->
+            report ~rule:"R2" ~loc:e.pexp_loc
+              (Printf.sprintf "partial function %s.%s in protocol code; use %s"
+                 m f instead)
+        | None -> ())
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun case ->
+            if catch_all_case case then
+              report ~rule:"R3" ~loc:case.pc_lhs.ppat_loc
+                "catch-all exception handler swallows every failure; match \
+                 the specific exceptions instead")
+          cases
+    | Pexp_match (_, cases) ->
+        List.iter
+          (fun (case : case) ->
+            match case.pc_lhs.ppat_desc with
+            | Ppat_exception { ppat_desc = Ppat_any; _ } when Option.is_none case.pc_guard ->
+                report ~rule:"R3" ~loc:case.pc_lhs.ppat_loc
+                  "catch-all exception case swallows every failure; match \
+                   the specific exceptions instead"
+            | _ -> ())
+          cases
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Lident "*"; _ }; pexp_loc; _ },
+         [ (_, a); (_, b) ])
+      when r4 && ((int_literal a && fault_parameter b)
+                 || (fault_parameter a && int_literal b)) ->
+        report ~rule:"R4" ~loc:pexp_loc
+          "quorum arithmetic over f/c outside Config; quorum sizes must \
+           flow from Config.n / Config.*_threshold"
+    | _ -> ());
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ _; _ ])
+      when eq_operator txt ->
+        () (* operands already visited above *)
+    | _ -> default_iterator.expr self e
+  in
+  let iterator = { default_iterator with expr = iter_expr } in
+  iterator.structure iterator structure;
+  List.sort
+    (fun a b ->
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule b.rule
+      | n -> n)
+    !findings
+
+let parse_implementation ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let lint_source ~path ~source =
+  let path = normalize path in
+  match parse_implementation ~path source with
+  | structure -> lint_structure ~path structure
+  | exception Syntaxerr.Error _ ->
+      [ { rule = "parse"; severity = Error; file = path; line = 1;
+          message = "file does not parse" } ]
+  | exception Lexer.Error (_, loc) ->
+      [ { rule = "parse"; severity = Error; file = path; line = line_of loc;
+          message = "file does not lex" } ]
+
+let missing_mli ~path ~mli_exists =
+  let path = normalize path in
+  if mli_exists || not (has_prefix ~prefix:"lib/" path) then None
+  else
+    Some
+      {
+        rule = "R5";
+        severity = Error;
+        file = path;
+        line = 1;
+        message =
+          "module has no .mli; every lib/ module must declare its interface";
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist *)
+
+module Allow = struct
+  type entry = { a_rule : string; a_file : string; a_line : int option }
+  type t = entry list
+
+  let empty = []
+
+  let parse_line line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> not (String.equal s ""))
+    with
+    | [ rule; target ] ->
+        let a_file, a_line =
+          match String.rindex_opt target ':' with
+          | Some i -> (
+              let file = String.sub target 0 i in
+              let ln = String.sub target (i + 1) (String.length target - i - 1) in
+              match int_of_string_opt ln with
+              | Some n -> (file, Some n)
+              | None -> (target, None))
+          | None -> (target, None)
+        in
+        Some { a_rule = rule; a_file = normalize a_file; a_line }
+    | _ -> None
+
+  let parse contents =
+    String.split_on_char '\n' contents |> List.filter_map parse_line
+
+  let entry_matches e (f : finding) =
+    (String.equal e.a_rule "*" || String.equal e.a_rule f.rule)
+    && String.equal e.a_file f.file
+    && match e.a_line with None -> true | Some l -> Int.equal l f.line
+
+  let is_allowed t f = List.exists (fun e -> entry_matches e f) t
+
+  let render e =
+    match e.a_line with
+    | None -> Printf.sprintf "%s %s" e.a_rule e.a_file
+    | Some l -> Printf.sprintf "%s %s:%d" e.a_rule e.a_file l
+
+  let unused t findings =
+    List.filter_map
+      (fun e ->
+        if List.exists (entry_matches e) findings then None else Some (render e))
+      t
+end
+
+let filter allow findings =
+  List.partition (fun f -> not (Allow.is_allowed allow f)) findings
+
+let exit_code kept =
+  if List.exists (fun f -> match f.severity with Error -> true | Warning -> false) kept
+  then 1
+  else 0

@@ -1,0 +1,75 @@
+(** Repo-specific static analysis over the OCaml AST (compiler-libs).
+
+    The pass parses each [.ml] file under [lib/] and [bin/] and checks
+    protocol-hygiene rules that the type system does not enforce:
+
+    - {b R1} — no polymorphic [=] / [<>] / [compare] / [Hashtbl.hash] in
+      protocol code ([lib/core], [lib/pbft], [lib/crypto]).  Comparisons
+      where one operand is a constant (integer/char literal, [None],
+      [true], a nullary constructor, ...) are tag-only and exempt;
+      everything else must use an explicit equality ([Int.equal],
+      [String.equal], a derived equality on the message type, ...).
+    - {b R2} — no partial stdlib functions ([List.hd], [List.nth],
+      [List.assoc], [Option.get], [Hashtbl.find]) in protocol code;
+      use the [_opt] variants or restructure the match.
+    - {b R3} — no catch-all [try ... with _ ->] handlers, anywhere.
+    - {b R4} — no quorum-literal arithmetic ([3 * f], [2 * c], ...)
+      outside [lib/core/config.ml]: quorum sizes must flow from
+      {!module:Config} so the [n = 3f + 2c + 1] relations live in one
+      place.
+    - {b R5} — every module under [lib/] must have a [.mli].
+
+    Findings carry [file:line] locations and a severity; vetted
+    exceptions live in a [lint.allow] file at the repo root. *)
+
+type severity = Error | Warning
+
+type finding = {
+  rule : string;  (** "R1" .. "R5", or "parse" for unparseable input *)
+  severity : severity;
+  file : string;  (** root-relative path, forward slashes *)
+  line : int;
+  message : string;
+}
+
+val pp_finding : finding -> string
+(** ["file:line: [rule] message"] — one line, no trailing newline. *)
+
+val lint_source : path:string -> source:string -> finding list
+(** Parse [source] (attributed to root-relative [path]) and run every
+    AST rule whose scope includes [path].  Findings are sorted by line.
+    A file that does not parse yields a single ["parse"] error. *)
+
+val missing_mli : path:string -> mli_exists:bool -> finding option
+(** R5: [Some finding] when [path] is a [lib/] module without a
+    matching interface file. *)
+
+(** Vetted exceptions.  One entry per line:
+
+    {v
+    <rule> <path>[:<line>]   # justification
+    v}
+
+    A [*] rule matches every rule; an entry without [:<line>] matches
+    the whole file.  Blank lines and [#]-only lines are ignored. *)
+module Allow : sig
+  type t
+
+  val empty : t
+
+  val parse : string -> t
+  (** Parse the contents of a [lint.allow] file.  Malformed lines are
+      ignored (they simply allow nothing). *)
+
+  val is_allowed : t -> finding -> bool
+
+  val unused : t -> finding list -> string list
+  (** Entries (rendered back to ["rule path[:line]"]) that matched none
+      of [findings] — stale allowlist lines worth cleaning up. *)
+end
+
+val filter : Allow.t -> finding list -> finding list * finding list
+(** [filter allow findings] is [(kept, allowed)]. *)
+
+val exit_code : finding list -> int
+(** 1 when any kept finding is an [Error], 0 otherwise. *)

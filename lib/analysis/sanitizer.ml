@@ -1,0 +1,132 @@
+type quorum = Sigma | Tau | Pi | Vc | Majority
+
+exception Violation of string
+
+type t = {
+  enabled : bool;
+  f : int;
+  c : int;
+  commits : (int, int * string) Hashtbl.t;  (* seq -> (view, block digest) *)
+  mutable last_executed : int;
+  mutable view : int;
+  mutable checks : int;
+}
+
+let create ?(enabled = true) ~f ~c () =
+  {
+    enabled;
+    f;
+    c;
+    commits = Hashtbl.create (if enabled then 256 else 1);
+    last_executed = 0;
+    view = 0;
+    checks = 0;
+  }
+
+let enabled t = t.enabled
+let checks_run t = t.checks
+
+let violate fmt = Printf.ksprintf (fun msg -> raise (Violation msg)) fmt
+
+(* Independent re-derivation of the paper's quorum arithmetic (§4):
+   deliberately not computed via Config so the two implementations
+   cross-check each other. *)
+let n_of t = (3 * t.f) + (2 * t.c) + 1
+
+let threshold t = function
+  | Sigma -> (3 * t.f) + t.c + 1
+  | Tau -> (2 * t.f) + t.c + 1
+  | Pi -> t.f + 1
+  | Vc -> (2 * t.f) + (2 * t.c) + 1
+  | Majority -> (2 * t.f) + 1
+
+let quorum_name = function
+  | Sigma -> "sigma"
+  | Tau -> "tau"
+  | Pi -> "pi"
+  | Vc -> "view-change"
+  | Majority -> "majority"
+
+let check_config t ~n =
+  if t.enabled then begin
+    t.checks <- t.checks + 1;
+    if t.f < 0 then violate "config: f = %d is negative" t.f;
+    if t.c < 0 then violate "config: c = %d is negative" t.c;
+    if not (Int.equal n (n_of t)) then
+      violate "config: n = %d but 3f + 2c + 1 = %d (f=%d c=%d)" n (n_of t) t.f
+        t.c;
+    let sigma = threshold t Sigma
+    and tau = threshold t Tau
+    and pi = threshold t Pi
+    and vc = threshold t Vc in
+    if sigma > n then violate "config: sigma threshold %d exceeds n = %d" sigma n;
+    if tau > sigma then
+      violate "config: tau threshold %d exceeds sigma threshold %d" tau sigma;
+    if pi > tau then
+      violate "config: pi threshold %d exceeds tau threshold %d" pi tau;
+    if vc > n then
+      violate "config: view-change quorum %d exceeds n = %d" vc n;
+    (* Any two tau quorums intersect in at least one honest replica. *)
+    if (2 * tau) - n < t.f + 1 then
+      violate "config: tau quorums intersect in %d < f + 1 replicas"
+        ((2 * tau) - n)
+  end
+
+let check_quorum t q ~count =
+  if t.enabled then begin
+    t.checks <- t.checks + 1;
+    let k = threshold t q in
+    if count < k then
+      violate "%s quorum claimed with %d shares, threshold is %d"
+        (quorum_name q) count k;
+    if count > n_of t then
+      violate "%s quorum of %d exceeds the replica count %d" (quorum_name q)
+        count (n_of t)
+  end
+
+let record_commit t ~seq ~view ~digest =
+  if t.enabled then begin
+    t.checks <- t.checks + 1;
+    if seq < 1 then violate "commit of non-positive sequence number %d" seq;
+    if view < 0 then violate "commit of seq %d in negative view %d" seq view;
+    match Hashtbl.find_opt t.commits seq with
+    | Some (_, digest') when not (String.equal digest digest') ->
+        violate "conflicting commit for seq %d: two distinct blocks" seq
+    | _ -> Hashtbl.replace t.commits seq (view, digest)
+  end
+
+let record_execute t ~seq =
+  if t.enabled then begin
+    t.checks <- t.checks + 1;
+    if not (Int.equal seq (t.last_executed + 1)) then
+      violate "out-of-order execution: seq %d after last executed %d" seq
+        t.last_executed;
+    if not (Hashtbl.mem t.commits seq) then
+      violate "execution of seq %d before its commit proof was verified" seq;
+    t.last_executed <- seq
+  end
+
+let record_view_entry t ~view =
+  if t.enabled then begin
+    t.checks <- t.checks + 1;
+    if view <= t.view then
+      violate "view moved backwards: entering %d from %d" view t.view;
+    t.view <- view
+  end
+
+let record_state_transfer t ~seq =
+  if t.enabled then begin
+    t.checks <- t.checks + 1;
+    if seq < t.last_executed then
+      violate "state transfer moved the execution frontier back: %d < %d" seq
+        t.last_executed;
+    t.last_executed <- seq
+  end
+
+let prune_below t ~seq =
+  if t.enabled then begin
+    let stale =
+      Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.commits []
+    in
+    List.iter (Hashtbl.remove t.commits) stale
+  end

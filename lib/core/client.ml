@@ -11,7 +11,6 @@ type pending = {
 }
 
 type query_pending = {
-  q_qid : int;
   q_key : string;
   mutable q_done : bool;
   q_callback : (string * int) option -> unit;
@@ -125,7 +124,7 @@ let note_view t view = t.believed_primary <- view mod num_replicas t
 let query t ctx ~key ~callback =
   t.next_qid <- t.next_qid + 1;
   let qid = t.next_qid in
-  let pending = { q_qid = qid; q_key = key; q_done = false; q_callback = callback } in
+  let pending = { q_key = key; q_done = false; q_callback = callback } in
   Hashtbl.replace t.queries qid pending;
   (* Read from a single replica, chosen round-robin; retry another on
      timeout, give up after one cycle. *)
@@ -154,7 +153,7 @@ let on_message t ctx ~src msg =
   | Types.Execute_ack { view; seq; index; timestamp; value; state_digest; pi; proof; _ } -> (
       note_view t view;
       match t.current with
-      | Some p when p.timestamp = timestamp && not p.done_ ->
+      | Some p when Int.equal p.timestamp timestamp && not p.done_ ->
           Engine.charge ctx Cost_model.bls_verify;
           Engine.charge ctx (Cost_model.merkle_verify 10);
           if
@@ -168,7 +167,7 @@ let on_message t ctx ~src msg =
   | Types.Reply { view; replica; timestamp; value; _ } -> (
       note_view t view;
       match t.current with
-      | Some p when p.timestamp = timestamp && not p.done_ ->
+      | Some p when Int.equal p.timestamp timestamp && not p.done_ ->
           Engine.charge ctx Cost_model.rsa_verify;
           if not (List.mem_assoc replica p.replies) then begin
             p.replies <- (replica, value) :: p.replies;

@@ -122,14 +122,15 @@ let agreement_ok t =
     in
     match blocks with
     | [] -> ()
-    | first :: rest -> if not (List.for_all (( = ) first) rest) then ok := false
+    | first :: rest ->
+        if not (List.for_all (List.equal String.equal first) rest) then ok := false
   done;
   (* Digest agreement at matching executed heights. *)
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       let ri = t.replicas.(i) and rj = t.replicas.(j) in
       if
-        Replica.last_executed ri = Replica.last_executed rj
+        Int.equal (Replica.last_executed ri) (Replica.last_executed rj)
         && Replica.last_executed ri > 0
         && not (String.equal (Replica.state_digest ri) (Replica.state_digest rj))
       then ok := false

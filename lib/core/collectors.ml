@@ -48,6 +48,6 @@ let is_e_collector ~config ~view ~seq r = List.mem r (e_collectors ~config ~view
 let rank lst r =
   let rec go i = function
     | [] -> None
-    | x :: rest -> if x = r then Some i else go (i + 1) rest
+    | x :: rest -> if Int.equal x r then Some i else go (i + 1) rest
   in
   go 0 lst

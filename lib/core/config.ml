@@ -13,6 +13,7 @@ type t = {
   view_change_timeout : Engine.time;
   client_retry_timeout : Engine.time;
   use_group_sig : bool;
+  sanitize : bool;
 }
 
 let n t = (3 * t.f) + (2 * t.c) + 1
@@ -20,6 +21,7 @@ let sigma_threshold t = (3 * t.f) + t.c + 1
 let tau_threshold t = (2 * t.f) + t.c + 1
 let pi_threshold t = t.f + 1
 let quorum_vc t = (2 * t.f) + (2 * t.c) + 1
+let quorum_bft t = (2 * t.f) + 1
 let active_window t = max 1 (t.win / 4)
 let checkpoint_interval t = max 1 (t.win / 2)
 
@@ -37,6 +39,7 @@ let default ~f ~c =
     view_change_timeout = Engine.sec 2;
     client_retry_timeout = Engine.sec 4;
     use_group_sig = false;
+    sanitize = true;
   }
 
 let linear_pbft ~f = { (default ~f ~c:0) with fast_path = false; execution_acks = false }

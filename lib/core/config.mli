@@ -29,6 +29,9 @@ type t = {
   use_group_sig : bool;
       (** §VIII: n-of-n group signatures on the fast path while no
           failure has been observed, with automatic fallback *)
+  sanitize : bool;
+      (** run the {!Sanitizer} protocol-invariant checks at replica
+          state transitions (on by default; cheap assert-style checks) *)
 }
 
 val n : t -> int
@@ -40,6 +43,9 @@ val pi_threshold : t -> int
 
 val quorum_vc : t -> int
 (** View-change quorum [2f + 2c + 1]. *)
+
+val quorum_bft : t -> int
+(** Classic PBFT majority quorum [2f + 1] (baseline protocol). *)
 
 val active_window : t -> int
 (** Fast-path participation window [win/4] (§V-F). *)

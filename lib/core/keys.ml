@@ -60,7 +60,7 @@ module Req_memo = Ephemeron.K1.Make (struct
   type t = Types.request
 
   let equal = ( == )
-  let hash = Hashtbl.hash
+  let hash (r : Types.request) = (r.client * 1_000_003) lxor r.timestamp
 end)
 
 let verify_memo : bool Req_memo.t = Req_memo.create 4096

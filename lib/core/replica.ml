@@ -35,7 +35,6 @@ type slot = {
   mutable prepare_tau : Field.t option;
   mutable committed : Types.request list option;
   mutable executed : bool;
-  mutable exec_digest : string option;
   (* pending proofs waiting for the block content *)
   mutable pp_at : Engine.time; (* when the pre-prepare was accepted *)
   mutable pending_fast : (int * Field.t) option; (* view, σ *)
@@ -69,7 +68,6 @@ let new_slot seq =
     prepare_tau = None;
     committed = None;
     executed = false;
-    exec_digest = None;
     pp_at = 0;
     pending_fast = None;
     pending_slow = None;
@@ -86,6 +84,7 @@ type t = {
   env : env;
   my : Keys.replica_keys;
   id : int;
+  san : Sanitizer.t;
   store : Sbft_store.Auth_store.t;
   blocks : Sbft_store.Block_store.t;
   mutable view : int;
@@ -126,10 +125,17 @@ let num_replicas t = Config.n (cfg t)
 let keys t = t.env.keys
 
 let create ~env ~my ~store =
+  let config = env.keys.Keys.config in
+  let san =
+    Sanitizer.create ~enabled:config.Config.sanitize ~f:config.Config.f
+      ~c:config.Config.c ()
+  in
+  Sanitizer.check_config san ~n:(Config.n config);
   {
     env;
     my;
     id = my.Keys.replica_id;
+    san;
     store;
     blocks = Sbft_store.Block_store.create ();
     view = 0;
@@ -160,9 +166,10 @@ let create ~env ~my ~store =
   }
 
 let id t = t.id
+let sanitizer t = t.san
 let view t = t.view
 let primary_of t v = Collectors.primary ~config:(cfg t) ~view:v
-let is_primary t = primary_of t t.view = t.id
+let is_primary t = Int.equal (primary_of t t.view) t.id
 let last_executed t = Sbft_store.Auth_store.last_executed t.store
 let last_stable t = t.stable
 let state_digest t = Sbft_store.Auth_store.digest t.store
@@ -365,8 +372,9 @@ and on_pre_prepare t ctx ~seq ~view ~reqs =
   let config = cfg t in
   let sl = slot t seq in
   if
-    view = t.view && (not t.in_view_change)
-    && (match sl.pp with Some (v, _, _) -> v <> view | None -> true)
+    Int.equal view t.view
+    && (not t.in_view_change)
+    && (match sl.pp with Some (v, _, _) -> not (Int.equal v view) | None -> true)
     && seq > t.ls
     && seq <= t.ls + config.Config.win
   then begin
@@ -407,7 +415,7 @@ and on_pre_prepare t ctx ~seq ~view ~reqs =
 
 and on_sign_share t ctx ~seq ~view ~sigma_share ~tau_share ~replica =
   let config = cfg t in
-  if view = t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
+  if Int.equal view t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
     let sl = slot t seq in
     if not (List.mem_assoc replica sl.sigma_shares) then begin
       sl.sigma_shares <- (replica, sigma_share) :: sl.sigma_shares;
@@ -431,10 +439,12 @@ and collector_check t ctx sl ~view =
       then
         match sl.pp with
         | None -> () (* wait for the block to know h *)
-        | Some (v, _, h) when v = view ->
+        | Some (v, _, h) when Int.equal v view ->
             sl.fast_sent <- true;
             let act ctx =
               if sl.committed = None && sl.pending_fast = None then begin
+                Sanitizer.check_quorum t.san Sanitizer.Sigma
+                  ~count:(List.length sl.sigma_shares);
                 let k = Config.sigma_threshold config in
                 Engine.charge ctx (Cost_model.bls_batch_verify k);
                 Engine.charge ctx
@@ -473,7 +483,7 @@ and collector_check t ctx sl ~view =
       then begin
         match sl.pp with
         | None -> ()
-        | Some (v, _, h) when v = view ->
+        | Some (v, _, h) when Int.equal v view ->
             sl.prepare_sent <- true;
             (* Adaptive fallback timer: wait about twice the recently
                observed fast-path completion time, clamped to the
@@ -490,6 +500,8 @@ and collector_check t ctx sl ~view =
               (* Give up on the fast path only if no proof emerged. *)
               if sl.committed = None && sl.pending_fast = None then begin
                 if config.Config.fast_path then t.failures_observed <- true;
+                Sanitizer.check_quorum t.san Sanitizer.Tau
+                  ~count:(List.length sl.tau_shares);
                 let k = Config.tau_threshold config in
                 Engine.charge ctx (Cost_model.bls_batch_verify k);
                 Engine.charge ctx (Cost_model.bls_combine k);
@@ -511,7 +523,7 @@ and on_full_commit_proof t ctx ~seq ~view ~sigma =
   let sl = slot t seq in
   if sl.committed = None then begin
     match sl.pp with
-    | Some (v, reqs, h) when v = view ->
+    | Some (v, reqs, h) when Int.equal v view ->
         Engine.charge ctx Cost_model.bls_verify;
         if Threshold.verify (keys t).Keys.sigma ~msg:h sigma then begin
           sl.fast_cert <- Some (sigma, view, reqs);
@@ -529,11 +541,11 @@ and on_full_commit_proof t ctx ~seq ~view ~sigma =
 
 and on_prepare t ctx ~seq ~view ~tau =
   let config = cfg t in
-  if view = t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
+  if Int.equal view t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
     let sl = slot t seq in
     if not sl.sent_commit then begin
       match sl.pp with
-      | Some (v, reqs, h) when v = view ->
+      | Some (v, reqs, h) when Int.equal v view ->
           Engine.charge ctx Cost_model.bls_verify;
           if Threshold.verify (keys t).Keys.tau ~msg:h tau then begin
             sl.sent_commit <- true;
@@ -557,10 +569,10 @@ and on_prepare t ctx ~seq ~view ~tau =
 
 and on_commit t ctx ~seq ~view ~share =
   let config = cfg t in
-  if view = t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
+  if Int.equal view t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
     let sl = slot t seq in
     if
-      (not (List.exists (fun (_, s) -> s.Threshold.signer = share.Threshold.signer) sl.commit_shares))
+      (not (List.exists (fun (_, s) -> Int.equal s.Threshold.signer share.Threshold.signer) sl.commit_shares))
       && not sl.slow_sent
     then begin
       sl.commit_shares <- (share.Threshold.signer, share) :: sl.commit_shares;
@@ -568,6 +580,8 @@ and on_commit t ctx ~seq ~view ~share =
         match sl.prepare_tau with
         | Some tau when not sl.slow_sent ->
             sl.slow_sent <- true;
+            Sanitizer.check_quorum t.san Sanitizer.Tau
+              ~count:(List.length sl.commit_shares);
             let k = Config.tau_threshold config in
             Engine.charge ctx (Cost_model.bls_batch_verify k);
             Engine.charge ctx (Cost_model.bls_combine k);
@@ -589,7 +603,7 @@ and on_full_commit_proof_slow t ctx ~seq ~view ~tau ~tau_tau =
   let sl = slot t seq in
   if sl.committed = None then begin
     match sl.pp with
-    | Some (v, reqs, h) when v = view ->
+    | Some (v, reqs, h) when Int.equal v view ->
         Engine.charge ctx (2 * Cost_model.bls_verify);
         if
           Threshold.verify (keys t).Keys.tau ~msg:h tau
@@ -621,6 +635,8 @@ and try_pending_proofs t ctx sl =
 
 and commit t ctx sl ~reqs ~view ~fast ~cert =
   if sl.committed = None then begin
+    Sanitizer.record_commit t.san ~seq:sl.seq ~view
+      ~digest:(Types.block_hash ~seq:sl.seq ~view ~reqs);
     sl.committed <- Some reqs;
     (match sl.fast_timer with Some tm -> Engine.cancel_timer tm | None -> ());
     t.n_committed <- t.n_committed + 1;
@@ -663,8 +679,8 @@ and try_execute t ctx =
   while !continue do
     let next = last_executed t + 1 in
     match Hashtbl.find_opt t.slots next with
-    | Some sl when sl.committed <> None && not sl.executed -> begin
-        let reqs = Option.get sl.committed in
+    | Some ({ committed = Some reqs; executed = false; _ } as sl) -> begin
+        Sanitizer.record_execute t.san ~seq:next;
         sl.executed <- true;
         Engine.charge ctx (t.env.exec_cost reqs);
         (* Exactly-once execution: a request re-proposed across a view
@@ -685,7 +701,6 @@ and try_execute t ctx =
         in
         let outputs = Sbft_store.Auth_store.execute_block t.store ~seq:next ~ops in
         let digest = Sbft_store.Auth_store.digest t.store in
-        sl.exec_digest <- Some digest;
         t.n_executed_blocks <- t.n_executed_blocks + 1;
         note_progress t ctx;
         (* Record replies for retransmission handling. *)
@@ -774,7 +789,7 @@ and on_sign_state t ctx ~seq ~digest ~share =
     in
     if
       not
-        (List.exists (fun (_, s) -> s.Threshold.signer = share.Threshold.signer) !bucket)
+        (List.exists (fun (_, s) -> Int.equal s.Threshold.signer share.Threshold.signer) !bucket)
     then begin
       bucket := (share.Threshold.signer, share) :: !bucket;
       if List.length !bucket >= Config.pi_threshold config then begin
@@ -784,6 +799,7 @@ and on_sign_state t ctx ~seq ~digest ~share =
         let rank = Option.value (Collectors.rank e_list t.id) ~default:0 in
         let act ctx =
           if (not sl.exec_proof_sent) && not (Hashtbl.mem t.checkpoint_pis seq) then begin
+            Sanitizer.check_quorum t.san Sanitizer.Pi ~count:(List.length !bucket);
             let k = Config.pi_threshold config in
             Engine.charge ctx (Cost_model.bls_batch_verify k);
             Engine.charge ctx (Cost_model.bls_combine k);
@@ -877,6 +893,7 @@ and garbage_collect t =
         t.checkpoint_pis []
     in
     List.iter (Hashtbl.remove t.checkpoint_pis) stale_pis;
+    Sanitizer.prune_below t.san ~seq:horizon;
     Sbft_store.Block_store.prune_below t.blocks horizon;
     Sbft_store.Auth_store.gc_below t.store ~seq:horizon
   end
@@ -962,16 +979,18 @@ and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks =
       | Ok () ->
           if String.equal (Sbft_store.Auth_store.digest t.store) digest then begin
             trace t ctx "state-transfer" (Printf.sprintf "to=%d" snap_seq);
+            Sanitizer.record_state_transfer t.san ~seq:snap_seq;
             if snap_seq > t.stable then t.stable <- snap_seq;
             if snap_seq > t.ls then t.ls <- snap_seq;
             (* Adopt and replay the certified suffix. *)
             List.iter
               (fun (s, view, reqs) ->
-                if s = last_executed t + 1 then begin
+                if Int.equal s (last_executed t + 1) then begin
                   let sl = slot t s in
+                  Sanitizer.record_commit t.san ~seq:s ~view
+                    ~digest:(Types.block_hash ~seq:s ~view ~reqs);
                   sl.committed <- Some reqs;
                   sl.executed <- false;
-                  ignore view;
                   try_execute t ctx
                 end)
               blocks
@@ -1061,7 +1080,7 @@ and on_view_change t ctx (vc : Types.view_change) =
         start_view_change t ctx ~target_view:target;
       (* The new primary forms the new view at 2f+2c+1 messages. *)
       if
-        primary_of t target = t.id
+        Int.equal (primary_of t target) t.id
         && support >= Config.quorum_vc config
         && t.view < target
       then begin
@@ -1071,6 +1090,7 @@ and on_view_change t ctx (vc : Types.view_change) =
         let valid = List.filter (View_change.validate_message ~keys:(keys t)) msgs in
         if List.length valid >= Config.quorum_vc config then begin
           let quorum = List.filteri (fun i _ -> i < Config.quorum_vc config) valid in
+          Sanitizer.check_quorum t.san Sanitizer.Vc ~count:(List.length quorum);
           trace t ctx "send:new-view" (Printf.sprintf "view=%d" target);
           broadcast_replicas t ctx (Types.New_view { view = target; proofs = quorum });
         end
@@ -1086,6 +1106,7 @@ and on_new_view t ctx ~view ~proofs =
     Engine.charge ctx (List.length proofs * (2 * Cost_model.bls_verify));
     let valid = List.filter (View_change.validate_message ~keys:(keys t)) proofs in
     if List.length valid >= Config.quorum_vc config then begin
+      Sanitizer.check_quorum t.san Sanitizer.Vc ~count:(List.length valid);
       let ls, decisions = View_change.compute ~keys:(keys t) ~new_view:view valid in
       enter_view t ctx ~view;
       if ls > last_executed t then maybe_state_transfer t ctx (ls + config.Config.win + 1);
@@ -1115,7 +1136,7 @@ and on_new_view t ctx ~view ~proofs =
           end)
         decisions;
       (* The new primary resumes proposing above the reconciled window. *)
-      if primary_of t view = t.id then begin
+      if Int.equal (primary_of t view) t.id then begin
         let top =
           List.fold_left (fun acc (s, _) -> max acc s) ls decisions
         in
@@ -1143,6 +1164,7 @@ and adopt_pre_prepare t ctx ~seq ~view ~reqs =
 
 and enter_view t ctx ~view =
   if view > t.view then begin
+    Sanitizer.record_view_entry t.san ~view;
     t.view <- view;
     t.in_view_change <- false;
     t.n_view_changes <- t.n_view_changes + 1;

@@ -47,6 +47,9 @@ val start : t -> Sbft_sim.Engine.ctx -> unit
 val committed_block : t -> int -> Types.request list option
 (** Requests committed at a sequence number, if any. *)
 
+val sanitizer : t -> Sanitizer.t
+(** The replica's protocol-invariant sanitizer (see {!Config.sanitize}). *)
+
 val blocks_committed : t -> int
 val blocks_executed : t -> int
 val view_changes_completed : t -> int

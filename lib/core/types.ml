@@ -23,7 +23,7 @@ module Req_memo = Ephemeron.K1.Make (struct
   type t = request
 
   let equal = ( == )
-  let hash = Hashtbl.hash
+  let hash r = (r.client * 1_000_003) lxor r.timestamp
 end)
 
 let digest_memo : string Req_memo.t = Req_memo.create 4096
@@ -147,7 +147,7 @@ let block_hash ~seq ~view ~reqs =
             c
       in
       match
-        List.find_opt (fun (s, v, _) -> s = seq && v = view) !cell
+        List.find_opt (fun (s, v, _) -> Int.equal s seq && Int.equal v view) !cell
       with
       | Some (_, _, h) -> h
       | None ->

@@ -33,7 +33,7 @@ let valid_fast_cert keys ~seq ~sender (cert : Types.fast_cert) =
   | No_preprepare -> true
   | Fast_preprepared { share; view; reqs } ->
       let h = Types.block_hash ~seq ~view ~reqs in
-      share.Threshold.signer = sender + 1
+      Int.equal share.Threshold.signer (sender + 1)
       && Threshold.share_verify keys.Keys.sigma ~msg:h share
   | Fast_committed { sigma; view; reqs } ->
       let h = Types.block_hash ~seq ~view ~reqs in
@@ -121,22 +121,24 @@ let compute_slot keys ~seq entries =
       let v_hat, req_hat, unique =
         Hashtbl.fold
           (fun _ (views, reqs) (bv, breqs, uniq) ->
-            let sorted = List.sort (fun a b -> compare b a) views in
-            if List.length sorted < fcplus1 then (bv, breqs, uniq)
-            else begin
-              (* The highest v such that f+c+1 shares have view >= v is
-                 the (f+c+1)-th largest view among this value's shares. *)
-              let v = List.nth sorted (fcplus1 - 1) in
-              if v > bv then (v, Some reqs, true)
-              else if v = bv && bv >= 0 then (bv, breqs, false)
-              else (bv, breqs, uniq)
-            end)
+            let sorted = List.sort (fun a b -> Int.compare b a) views in
+            (* The highest v such that f+c+1 shares have view >= v is
+               the (f+c+1)-th largest view among this value's shares
+               (when fewer than f+c+1 shares exist, no view qualifies). *)
+            match List.nth_opt sorted (fcplus1 - 1) with
+            | None -> (bv, breqs, uniq)
+            | Some v ->
+                if v > bv then (v, Some reqs, true)
+                else if Int.equal v bv && bv >= 0 then (bv, breqs, false)
+                else (bv, breqs, uniq))
           by_req (-1, None, true)
       in
       let v_hat, req_hat = if unique then (v_hat, req_hat) else (-1, None) in
-      if v_star >= v_hat && v_star > -1 then Adopt (Option.get req_star)
-      else if v_hat > v_star then Adopt (Option.get req_hat)
-      else Fill_null
+      (* [req_star]/[req_hat] are [Some _] whenever their view is > -1. *)
+      match (req_star, req_hat) with
+      | Some reqs, _ when v_star >= v_hat && v_star > -1 -> Adopt reqs
+      | _, Some reqs when v_hat > v_star -> Adopt reqs
+      | _ -> Fill_null
 
 let compute ~keys ~new_view msgs =
   ignore new_view;

@@ -47,7 +47,7 @@ let get t key =
    down to their first diverging bit. *)
 let rec split_leaves depth (l1 : node) kh1 (l2 : node) kh2 =
   let b1 = bit kh1 depth and b2 = bit kh2 depth in
-  if b1 = b2 then begin
+  if Int.equal b1 b2 then begin
     let sub = split_leaves (depth + 1) l1 kh1 l2 kh2 in
     if b1 = 0 then branch sub Empty else branch Empty sub
   end

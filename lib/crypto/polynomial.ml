@@ -39,7 +39,7 @@ let lagrange_at_zero points =
         let xi, _ = pts.(i) in
         let p = ref xi in
         for j = 0 to k - 1 do
-          if j <> i then begin
+          if not (Int.equal j i) then begin
             let xj, _ = pts.(j) in
             p := Field.mul !p (Field.sub xj xi)
           end

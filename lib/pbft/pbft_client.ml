@@ -94,7 +94,7 @@ let on_message t ctx ~src msg =
   | Pbft_types.Reply { view; replica; timestamp; value; _ } -> (
       t.believed_primary <- view mod n_replicas t;
       match t.current with
-      | Some p when p.timestamp = timestamp && not p.done_ ->
+      | Some p when Int.equal p.timestamp timestamp && not p.done_ ->
           Engine.charge ctx Cost_model.rsa_verify;
           if not (List.mem_assoc replica p.replies) then begin
             p.replies <- (replica, value) :: p.replies;

@@ -93,14 +93,15 @@ let agreement_ok t =
     in
     match blocks with
     | [] -> ()
-    | first :: rest -> if not (List.for_all (( = ) first) rest) then ok := false
+    | first :: rest ->
+        if not (List.for_all (List.equal String.equal first) rest) then ok := false
   done;
   Array.iter
     (fun ri ->
       Array.iter
         (fun rj ->
           if
-            Pbft_replica.last_executed ri = Pbft_replica.last_executed rj
+            Int.equal (Pbft_replica.last_executed ri) (Pbft_replica.last_executed rj)
             && Pbft_replica.last_executed ri > 0
             && not (String.equal (Pbft_replica.state_digest ri) (Pbft_replica.state_digest rj))
           then ok := false)

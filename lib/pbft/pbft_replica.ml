@@ -16,8 +16,8 @@ type env = {
 type slot = {
   seq : int;
   mutable pp : (int * Types.request list * string) option;
-  mutable prepares : (int, unit) Hashtbl.t;
-  mutable commits : (int, unit) Hashtbl.t;
+  prepares : (int, unit) Hashtbl.t;
+  commits : (int, unit) Hashtbl.t;
   mutable sent_prepare : bool;
   mutable sent_commit : bool;
   mutable prepared : bool;
@@ -41,6 +41,7 @@ let new_slot seq =
 type t = {
   env : env;
   id : int;
+  san : Sanitizer.t;
   store : Sbft_store.Auth_store.t;
   mutable view : int;
   mutable next_seq : int;
@@ -63,12 +64,19 @@ type t = {
 
 let cfg t = t.env.keys.Keys.config
 let n_replicas t = Config.n (cfg t)
-let quorum t = (2 * (cfg t).Config.f) + 1
+let quorum t = Config.quorum_bft (cfg t)
 
 let create ~env ~id ~store =
+  let config = env.keys.Keys.config in
+  let san =
+    Sanitizer.create ~enabled:config.Config.sanitize ~f:config.Config.f
+      ~c:config.Config.c ()
+  in
+  Sanitizer.check_config san ~n:(Config.n config);
   {
     env;
     id;
+    san;
     store;
     view = 0;
     next_seq = 1;
@@ -92,7 +100,7 @@ let create ~env ~id ~store =
 let id t = t.id
 let view t = t.view
 let primary_of t v = v mod n_replicas t
-let is_primary t = primary_of t t.view = t.id
+let is_primary t = Int.equal (primary_of t t.view) t.id
 let last_executed t = Sbft_store.Auth_store.last_executed t.store
 let state_digest t = Sbft_store.Auth_store.digest t.store
 let blocks_committed t = t.n_committed
@@ -232,7 +240,8 @@ and on_pre_prepare t ctx ~seq ~view ~reqs =
   let config = cfg t in
   let sl = slot t seq in
   if
-    view = t.view && sl.pp = None && seq > t.ls && seq <= t.ls + config.Config.win
+    Int.equal view t.view && sl.pp = None && seq > t.ls
+    && seq <= t.ls + config.Config.win
   then begin
     let real = List.filter (fun (r : Types.request) -> r.Types.client >= 0) reqs in
     Engine.charge ctx (List.length real * Cost_model.rsa_verify);
@@ -251,11 +260,13 @@ and on_pre_prepare t ctx ~seq ~view ~reqs =
 
 and check_prepared t ctx sl =
   match sl.pp with
-  | Some (view, _, _) when view = t.view ->
+  | Some (view, _, _) when Int.equal view t.view ->
       if
         (not sl.prepared)
         && Hashtbl.length sl.prepares >= quorum t - 1 (* pre-prepare counts as one *)
       then begin
+        Sanitizer.check_quorum t.san Sanitizer.Majority
+          ~count:(Hashtbl.length sl.prepares + 1);
         sl.prepared <- true;
         if not sl.sent_commit then begin
           sl.sent_commit <- true;
@@ -269,7 +280,7 @@ and check_prepared t ctx sl =
   | _ -> ()
 
 and on_prepare t ctx ~seq ~view ~h ~replica =
-  if view = t.view && seq > t.ls && seq <= t.ls + (cfg t).Config.win then begin
+  if Int.equal view t.view && seq > t.ls && seq <= t.ls + (cfg t).Config.win then begin
     let sl = slot t seq in
     let matches = match sl.pp with Some (_, _, h') -> String.equal h h' | None -> true in
     if matches && not (Hashtbl.mem sl.prepares replica) then begin
@@ -279,7 +290,7 @@ and on_prepare t ctx ~seq ~view ~h ~replica =
   end
 
 and on_commit t ctx ~seq ~view ~h ~replica =
-  if view = t.view && seq > t.ls && seq <= t.ls + (cfg t).Config.win then begin
+  if Int.equal view t.view && seq > t.ls && seq <= t.ls + (cfg t).Config.win then begin
     let sl = slot t seq in
     let matches = match sl.pp with Some (_, _, h') -> String.equal h h' | None -> true in
     if matches && not (Hashtbl.mem sl.commits replica) then begin
@@ -290,8 +301,11 @@ and on_commit t ctx ~seq ~view ~h ~replica =
 
 and check_committed t ctx sl =
   match sl.pp with
-  | Some (_, reqs, _)
+  | Some (view, reqs, digest)
     when sl.committed = None && sl.prepared && Hashtbl.length sl.commits >= quorum t ->
+      Sanitizer.check_quorum t.san Sanitizer.Majority
+        ~count:(Hashtbl.length sl.commits);
+      Sanitizer.record_commit t.san ~seq:sl.seq ~view ~digest;
       sl.committed <- Some reqs;
       t.n_committed <- t.n_committed + 1;
       note_progress t ctx;
@@ -307,8 +321,8 @@ and try_execute t ctx =
   while !continue do
     let next = last_executed t + 1 in
     match Hashtbl.find_opt t.slots next with
-    | Some sl when sl.committed <> None && not sl.executed ->
-        let reqs = Option.get sl.committed in
+    | Some ({ committed = Some reqs; executed = false; _ } as sl) ->
+        Sanitizer.record_execute t.san ~seq:next;
         sl.executed <- true;
         Engine.charge ctx (t.env.exec_cost reqs);
         let is_dup (r : Types.request) =
@@ -371,6 +385,7 @@ and on_checkpoint t ctx ~seq ~digest ~replica =
       (* GC everything below the stable checkpoint. *)
       let stale = Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.slots [] in
       List.iter (Hashtbl.remove t.slots) stale;
+      Sanitizer.prune_below t.san ~seq;
       Sbft_store.Auth_store.gc_below t.store ~seq
     end
   end
@@ -409,7 +424,9 @@ and on_view_change t ctx ~view ~ls ~prepared ~replica =
       Hashtbl.replace tbl replica prepared;
       if Hashtbl.length tbl >= (cfg t).Config.f + 1 && t.sent_vc_for < target then
         start_view_change t ctx ~target_view:target;
-      if primary_of t target = t.id && Hashtbl.length tbl >= quorum t then begin
+      if Int.equal (primary_of t target) t.id && Hashtbl.length tbl >= quorum t then begin
+        Sanitizer.check_quorum t.san Sanitizer.Majority
+          ~count:(Hashtbl.length tbl);
         (* Re-propose the highest-view prepared block per slot. *)
         let best : (int, int * Types.request list) Hashtbl.t = Hashtbl.create 16 in
         Hashtbl.iter
@@ -423,7 +440,7 @@ and on_view_change t ctx ~view ~ls ~prepared ~replica =
           tbl;
         let pre_prepares =
           Hashtbl.fold (fun seq (_, reqs) acc -> (seq, reqs) :: acc) best []
-          |> List.sort compare
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
         in
         trace t ctx "send:new-view" (Printf.sprintf "view=%d" target);
         broadcast t ctx (Pbft_types.New_view { view = target; pre_prepares })
@@ -433,6 +450,7 @@ and on_view_change t ctx ~view ~ls ~prepared ~replica =
 
 and on_new_view t ctx ~view ~pre_prepares =
   if view > t.view then begin
+    Sanitizer.record_view_entry t.san ~view;
     t.view <- view;
     t.n_view_changes <- t.n_view_changes + 1;
     t.vc_backoff <- 0;

@@ -1,0 +1,209 @@
+(* Unit tests for the sbft-lint AST pass: one accepting and one
+   rejecting case per rule R1-R5, allowlist semantics, and exit codes.
+   Sources are synthetic snippets attributed to in-scope / out-of-scope
+   paths rather than files on disk. *)
+
+module Lint = Sbft_analysis.Lint
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lint ~path source = Lint.lint_source ~path ~source
+
+let has_rule r findings =
+  List.exists (fun (f : Lint.finding) -> String.equal f.Lint.rule r) findings
+
+let count_rule r findings =
+  List.length
+    (List.filter (fun (f : Lint.finding) -> String.equal f.Lint.rule r) findings)
+
+let clean findings = check "no findings" true (findings = [])
+
+(* ------------------------------------------------------------------ *)
+(* R1: polymorphic comparison in protocol code *)
+
+let test_r1_flags_poly_eq () =
+  let fs = lint ~path:"lib/core/foo.ml" "let f a b = a = b" in
+  check "poly = flagged" true (has_rule "R1" fs);
+  let fs = lint ~path:"lib/core/foo.ml" "let f a b = a <> b" in
+  check "poly <> flagged" true (has_rule "R1" fs);
+  let fs = lint ~path:"lib/pbft/foo.ml" "let f a b = compare a b" in
+  check "poly compare flagged" true (has_rule "R1" fs);
+  let fs = lint ~path:"lib/crypto/foo.ml" "let h x = Hashtbl.hash x" in
+  check "Hashtbl.hash flagged" true (has_rule "R1" fs);
+  let fs = lint ~path:"lib/core/foo.ml" "let f a b = Stdlib.( = ) a b" in
+  check "Stdlib.(=) flagged" true (has_rule "R1" fs)
+
+let test_r1_accepts () =
+  (* Explicit monomorphic equality. *)
+  clean (lint ~path:"lib/core/foo.ml" "let f a b = Int.equal a b");
+  (* Constant operand: tag-only check, exempt. *)
+  clean (lint ~path:"lib/core/foo.ml" "let f a = a = None");
+  clean (lint ~path:"lib/core/foo.ml" "let f a = 0 = a");
+  clean (lint ~path:"lib/core/foo.ml" "let f a = a = Blue");
+  (* Out of protocol scope. *)
+  clean (lint ~path:"lib/sim/foo.ml" "let f a b = a = b");
+  clean (lint ~path:"bin/foo.ml" "let f a b = compare a b")
+
+(* ------------------------------------------------------------------ *)
+(* R2: partial stdlib functions in protocol code *)
+
+let test_r2_flags_partial () =
+  let fs = lint ~path:"lib/core/foo.ml" "let f l = List.hd l" in
+  check "List.hd flagged" true (has_rule "R2" fs);
+  let fs = lint ~path:"lib/core/foo.ml" "let f o = Option.get o" in
+  check "Option.get flagged" true (has_rule "R2" fs);
+  let fs = lint ~path:"lib/pbft/foo.ml" "let f t k = Hashtbl.find t k" in
+  check "Hashtbl.find flagged" true (has_rule "R2" fs)
+
+let test_r2_accepts () =
+  clean (lint ~path:"lib/core/foo.ml" "let f t k = Hashtbl.find_opt t k");
+  clean (lint ~path:"lib/core/foo.ml" "let f l n = List.nth_opt l n");
+  (* Out of protocol scope. *)
+  clean (lint ~path:"lib/harness/foo.ml" "let f l = List.hd l")
+
+(* ------------------------------------------------------------------ *)
+(* R3: catch-all exception handlers (everywhere, including bin/) *)
+
+let test_r3_flags_catch_all () =
+  let fs = lint ~path:"lib/harness/foo.ml" "let f g = try g () with _ -> 0" in
+  check "with _ flagged" true (has_rule "R3" fs);
+  let fs = lint ~path:"bin/foo.ml" "let f g = try g () with _ -> 0" in
+  check "with _ flagged in bin" true (has_rule "R3" fs);
+  let fs =
+    lint ~path:"lib/core/foo.ml" "let f g = match g () with x -> x | exception _ -> 0"
+  in
+  check "exception _ flagged" true (has_rule "R3" fs)
+
+let test_r3_accepts () =
+  clean (lint ~path:"lib/harness/foo.ml" "let f g = try g () with Not_found -> 0");
+  clean
+    (lint ~path:"lib/core/foo.ml"
+       "let f g = match g () with x -> x | exception Exit -> 0")
+
+(* ------------------------------------------------------------------ *)
+(* R4: quorum-literal arithmetic outside config.ml *)
+
+let test_r4_flags_quorum_literal () =
+  let fs = lint ~path:"lib/core/foo.ml" "let q f = (3 * f) + 1" in
+  check "3 * f flagged" true (has_rule "R4" fs);
+  let fs = lint ~path:"lib/pbft/foo.ml" "let q t = (2 * t.f) + 1" in
+  check "2 * t.f flagged" true (has_rule "R4" fs);
+  let fs = lint ~path:"lib/core/foo.ml" "let q c = c * 2" in
+  check "c * 2 flagged" true (has_rule "R4" fs)
+
+let test_r4_accepts () =
+  (* The one blessed home for quorum arithmetic. *)
+  clean (lint ~path:"lib/core/config.ml" "let sigma t = (3 * t.f) + t.c + 1");
+  (* A multiplication that does not involve the fault parameters. *)
+  clean (lint ~path:"lib/core/foo.ml" "let area w h = w * h");
+  clean (lint ~path:"lib/core/foo.ml" "let twice x = 2 * x")
+
+(* ------------------------------------------------------------------ *)
+(* R5: lib/ modules need a .mli *)
+
+let test_r5_missing_mli () =
+  (match Lint.missing_mli ~path:"lib/core/foo.ml" ~mli_exists:false with
+  | Some f ->
+      check "rule is R5" true (String.equal f.Lint.rule "R5");
+      check "path kept" true (String.equal f.Lint.file "lib/core/foo.ml")
+  | None -> Alcotest.fail "expected an R5 finding");
+  check "mli present -> ok" true
+    (Lint.missing_mli ~path:"lib/core/foo.ml" ~mli_exists:true = None);
+  check "bin/ exempt" true
+    (Lint.missing_mli ~path:"bin/foo.ml" ~mli_exists:false = None)
+
+(* ------------------------------------------------------------------ *)
+(* Parse failures surface as findings, not exceptions *)
+
+let test_parse_error () =
+  let fs = lint ~path:"lib/core/foo.ml" "let let let" in
+  check_int "single finding" 1 (List.length fs);
+  check "parse rule" true (has_rule "parse" fs)
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist *)
+
+let finding_at ~rule ~file ~line =
+  { Lint.rule; severity = Lint.Error; file; line; message = "test" }
+
+let test_allowlist () =
+  let allow =
+    Lint.Allow.parse
+      "# comment\n\
+       R1 lib/core/foo.ml:3   # vetted\n\
+       R2 lib/core/bar.ml     # whole file\n\
+       * lib/core/baz.ml      # any rule\n"
+  in
+  let f_exact = finding_at ~rule:"R1" ~file:"lib/core/foo.ml" ~line:3 in
+  let f_wrong_line = finding_at ~rule:"R1" ~file:"lib/core/foo.ml" ~line:4 in
+  let f_wrong_rule = finding_at ~rule:"R2" ~file:"lib/core/foo.ml" ~line:3 in
+  let f_file_wide = finding_at ~rule:"R2" ~file:"lib/core/bar.ml" ~line:17 in
+  let f_wildcard = finding_at ~rule:"R4" ~file:"lib/core/baz.ml" ~line:1 in
+  check "exact entry matches" true (Lint.Allow.is_allowed allow f_exact);
+  check "line must match" false (Lint.Allow.is_allowed allow f_wrong_line);
+  check "rule must match" false (Lint.Allow.is_allowed allow f_wrong_rule);
+  check "file-wide entry" true (Lint.Allow.is_allowed allow f_file_wide);
+  check "wildcard rule" true (Lint.Allow.is_allowed allow f_wildcard);
+  check "empty allows nothing" false (Lint.Allow.is_allowed Lint.Allow.empty f_exact);
+  let kept, allowed =
+    Lint.filter allow [ f_exact; f_wrong_line; f_file_wide ]
+  in
+  check_int "kept" 1 (List.length kept);
+  check_int "allowed" 2 (List.length allowed);
+  (* Stale entries are reported. *)
+  let unused = Lint.Allow.unused allow [ f_exact ] in
+  check_int "two stale entries" 2 (List.length unused)
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes *)
+
+let test_exit_code () =
+  check_int "no findings -> 0" 0 (Lint.exit_code []);
+  check_int "error -> 1" 1
+    (Lint.exit_code [ finding_at ~rule:"R1" ~file:"lib/core/foo.ml" ~line:1 ]);
+  let warning =
+    { Lint.rule = "R9"; severity = Lint.Warning; file = "lib/core/foo.ml";
+      line = 1; message = "advisory" }
+  in
+  check_int "warning alone -> 0" 0 (Lint.exit_code [ warning ])
+
+(* ------------------------------------------------------------------ *)
+(* A multi-violation source is fully reported, sorted by line *)
+
+let test_multiple_findings () =
+  let src =
+    "let a x y = x = y\n\
+     let b l = List.hd l\n\
+     let c g = try g () with _ -> 0\n"
+  in
+  let fs = lint ~path:"lib/core/foo.ml" src in
+  check_int "R1" 1 (count_rule "R1" fs);
+  check_int "R2" 1 (count_rule "R2" fs);
+  check_int "R3" 1 (count_rule "R3" fs);
+  let lines = List.map (fun (f : Lint.finding) -> f.Lint.line) fs in
+  check "sorted by line" true (List.sort Int.compare lines = lines)
+
+let () =
+  Alcotest.run "sbft_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "r1 flags" `Quick test_r1_flags_poly_eq;
+          Alcotest.test_case "r1 accepts" `Quick test_r1_accepts;
+          Alcotest.test_case "r2 flags" `Quick test_r2_flags_partial;
+          Alcotest.test_case "r2 accepts" `Quick test_r2_accepts;
+          Alcotest.test_case "r3 flags" `Quick test_r3_flags_catch_all;
+          Alcotest.test_case "r3 accepts" `Quick test_r3_accepts;
+          Alcotest.test_case "r4 flags" `Quick test_r4_flags_quorum_literal;
+          Alcotest.test_case "r4 accepts" `Quick test_r4_accepts;
+          Alcotest.test_case "r5 missing mli" `Quick test_r5_missing_mli;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "multiple findings" `Quick test_multiple_findings;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "allowlist" `Quick test_allowlist;
+          Alcotest.test_case "exit code" `Quick test_exit_code;
+        ] );
+    ]
