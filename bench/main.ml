@@ -91,6 +91,13 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* All file output lands in the gitignored bench_out/, never the repo
+   root. *)
+let bench_out file =
+  let dir = "bench_out" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Filename.concat dir file
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
@@ -99,7 +106,7 @@ let () =
   let run_all () =
     Experiments.fig1 ();
     micro ();
-    Experiments.fig2_fig3 ~csv:"fig2_fig3.csv" scale;
+    Experiments.fig2_fig3 ~csv:(bench_out "fig2_fig3.csv") scale;
     Experiments.contract_bench scale `Continent;
     Experiments.contract_bench scale `World;
     Experiments.contract_baseline ();
@@ -113,7 +120,8 @@ let () =
       List.iter
         (function
           | "fig1" -> Experiments.fig1 ()
-          | "fig2" | "fig3" -> Experiments.fig2_fig3 ~csv:"fig2_fig3.csv" scale
+          | "fig2" | "fig3" -> Experiments.fig2_fig3 ~csv:(bench_out "fig2_fig3.csv") scale
+          | "replay" -> if not (Experiments.replay ()) then exit 1
           | "contract-continent" -> Experiments.contract_bench scale `Continent
           | "contract-world" -> Experiments.contract_bench scale `World
           | "contract-baseline" -> Experiments.contract_baseline ()
@@ -125,7 +133,7 @@ let () =
           | other ->
               Printf.eprintf
                 "unknown benchmark %S (try fig1 fig2 contract-continent \
-                 contract-world contract-baseline ablation micro)\n"
+                 contract-world contract-baseline ablation micro replay)\n"
                 other;
               exit 1)
         cmds

@@ -62,7 +62,7 @@ let () =
   let findings =
     List.concat_map
       (fun path ->
-        let ast = Lint.lint_source ~path ~source:(read_file path) in
+        let ast = Lint.lint_source ~path (read_file path) in
         let mli_exists = Sys.file_exists (path ^ "i") in
         match Lint.missing_mli ~path ~mli_exists with
         | Some f -> f :: ast

@@ -1,0 +1,5 @@
+(* Replay-divergence checker driver: runs every example scenario twice
+   from the same seed and fails if any trace stream diverges (rule R8).
+   Wired into the build as [dune build @replay]. *)
+
+let () = exit (if Sbft_harness.Experiments.replay () then 0 else 1)

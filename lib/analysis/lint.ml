@@ -31,6 +31,20 @@ let protocol_scope path =
     [ "lib/core/"; "lib/pbft/"; "lib/crypto/" ]
 
 let config_file path = String.equal path "lib/core/config.ml"
+let lib_scope path = has_prefix ~prefix:"lib/" path
+
+(* Files blessed to use the constructs the determinism rules ban:
+   [lib/sim/rng.ml] is the one home for randomness, [lib/sim/det.ml]
+   wraps hash tables in sorted views. *)
+let rng_file path = String.equal path "lib/sim/rng.ml"
+let det_file path = String.equal path "lib/sim/det.ml"
+
+(* R6 runs over the message-handler layers only: the modules that turn
+   network input into protocol state. *)
+let handler_scope path =
+  List.exists
+    (fun prefix -> has_prefix ~prefix path)
+    [ "lib/core/"; "lib/pbft/" ]
 
 (* ------------------------------------------------------------------ *)
 (* AST predicates *)
@@ -98,11 +112,392 @@ let catch_all_case (case : case) =
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* R7: determinism predicates *)
+
+let last_component : Longident.t -> string = function
+  | Lident f -> f
+  | Ldot (_, f) -> f
+  | Lapply _ -> ""
+
+let random_ident : Longident.t -> bool = function
+  | Ldot (Lident "Random", _)
+  | Ldot (Ldot (Lident "Stdlib", "Random"), _) -> true
+  | _ -> false
+
+let unix_ident : Longident.t -> bool = function
+  | Lident "Unix" | Ldot (Lident "Unix", _) -> true
+  | _ -> false
+
+let host_clock_ident : Longident.t -> bool = function
+  | Ldot (Lident "Sys", "time")
+  | Ldot (Ldot (Lident "Stdlib", "Sys"), "time") -> true
+  | _ -> false
+
+let physical_eq : Longident.t -> bool = function
+  | Lident ("==" | "!=") -> true
+  | Ldot (Lident "Stdlib", ("==" | "!=")) -> true
+  | _ -> false
+
+(* Unordered consumers of a hash table: iteration order is unspecified,
+   so results must pass through an explicit sort (or live in det.ml). *)
+let hashtbl_order_ident : Longident.t -> bool = function
+  | Ldot (Lident "Hashtbl", ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values"))
+  | Ldot
+      ( Ldot (Lident "Stdlib", "Hashtbl"),
+        ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values") ) ->
+      true
+  | _ -> false
+
+let hashtbl_fold_ident : Longident.t -> bool = function
+  | Ldot (Lident "Hashtbl", "fold")
+  | Ldot (Ldot (Lident "Stdlib", "Hashtbl"), "fold") -> true
+  | _ -> false
+
+let list_sort_ident : Longident.t -> bool = function
+  | Ldot (Lident "List", ("sort" | "sort_uniq" | "stable_sort" | "fast_sort")) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* R6: authenticate-before-use taint analysis *)
+
+module Taint = struct
+  type t = {
+    source_prefixes : string list;
+    implicit_params : string list;
+    sanitizers : string list;
+    sink_names : string list;
+    sink_prefixes : string list;
+  }
+
+  let default =
+    {
+      source_prefixes = [ "on_" ];
+      (* Scalar routing / ordering fields and the handler's own state.
+         These are covered by the link-layer MAC every replica checks on
+         receipt (Cost_model.message_auth_check / rsa_verify charged in
+         on_message): the sender's *own* claims need no further crypto,
+         only content asserted on behalf of third parties does. *)
+      implicit_params =
+        [ "t"; "ctx"; "self"; "env"; "src"; "seq"; "view"; "replica";
+          "client"; "timestamp"; "index"; "qid"; "upto"; "ls" ];
+      sanitizers =
+        [ "verify"; "verify_request"; "share_verify"; "validate_message";
+          "verify_op_proof"; "verify_query_proof" ];
+      sink_names =
+        [ "replace"; "add"; "push"; "remove"; "reset"; ":="; "execute_block";
+          "load_snapshot"; "set_checkpoint" ];
+      sink_prefixes = [ "send"; "broadcast"; "check_"; "record_" ];
+    }
+
+  let is_sanitizer cfg lid =
+    List.exists (String.equal (last_component lid)) cfg.sanitizers
+
+  let sink_kind cfg lid =
+    let name = last_component lid in
+    if List.exists (String.equal name) cfg.sink_names then Some name
+    else if List.exists (fun p -> has_prefix ~prefix:p name) cfg.sink_prefixes
+    then Some name
+    else None
+
+  let implicit cfg name = List.exists (String.equal name) cfg.implicit_params
+
+  (* A taint chain, most recent binding first: how the value flowed from
+     a handler parameter to the point of use. *)
+  type chain = (string * int) list
+
+  type env = {
+    tainted : (string * chain) list;
+    (* Variables bound to the boolean result of a sanitizer call, mapped
+       to the variables that call covered: [let ok = verify x in if ok
+       then ...] clears [x]. *)
+    witnesses : (string * string list) list;
+  }
+
+  let empty_env = { tainted = []; witnesses = [] }
+
+  let pp_chain chain =
+    String.concat " <- "
+      (List.map (fun (v, line) -> Printf.sprintf "%s(line %d)" v line) chain)
+end
+
+(* All value identifiers occurring in an expression. *)
+let expr_vars e =
+  let acc = ref [] in
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Lident x; _ } -> acc := x :: !acc
+          | _ -> ());
+          default_iterator.expr self e);
+    }
+  in
+  iter.expr iter e;
+  !acc
+
+let contains_sanitizer cfg e =
+  let found = ref false in
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } when Taint.is_sanitizer cfg txt -> found := true
+          | _ -> ());
+          if not !found then default_iterator.expr self e);
+    }
+  in
+  iter.expr iter e;
+  !found
+
+(* Variables a guard expression authenticates.  Two shapes clear taint:
+   a direct sanitizer application ([verify k ~msg x] covers every
+   variable in its arguments) and a combinator whose function argument
+   contains a sanitizer ([List.for_all (fun r -> verify r) reqs] covers
+   [reqs]).  Boolean connectives are split so the sanitized side of
+   [a && b] does not bleed into the other. *)
+let rec sanitized_vars cfg e =
+  match e.pexp_desc with
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Lident ("&&" | "||" | "not"); _ }; _ }, args)
+    ->
+      List.concat_map (fun (_, a) -> sanitized_vars cfg a) args
+  | Pexp_apply (f, args) ->
+      if contains_sanitizer cfg f || List.exists (fun (_, a) -> contains_sanitizer cfg a) args
+      then List.concat_map (fun (_, a) -> expr_vars a) args
+      else List.concat_map (fun (_, a) -> sanitized_vars cfg a) args
+  | Pexp_ifthenelse (c, e1, e2) ->
+      sanitized_vars cfg c @ sanitized_vars cfg e1
+      @ (match e2 with Some e2 -> sanitized_vars cfg e2 | None -> [])
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> sanitized_vars cfg e
+  | _ -> []
+
+(* Variables of a pattern, with the binding line. *)
+let pat_vars p =
+  let acc = ref [] in
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; loc } -> acc := (txt, loc.loc_start.pos_lnum) :: !acc
+          | Ppat_alias (_, { txt; loc }) ->
+              acc := (txt, loc.loc_start.pos_lnum) :: !acc
+          | _ -> ());
+          default_iterator.pat self p);
+    }
+  in
+  iter.pat iter p;
+  !acc
+
+let taint_analysis ~cfg ~report structure =
+  let open Taint in
+  (* Taint of an expression: the chain of the first tainted variable it
+     mentions, unless a sanitizer appears anywhere inside (a verified
+     expression is trusted wholesale — a deliberate imprecision). *)
+  let taint_of env e =
+    if contains_sanitizer cfg e then None
+    else
+      List.find_map (fun v -> List.assoc_opt v env.tainted) (expr_vars e)
+  in
+  let shadow env names =
+    {
+      tainted = List.filter (fun (v, _) -> not (List.mem v names)) env.tainted;
+      witnesses = List.filter (fun (v, _) -> not (List.mem v names)) env.witnesses;
+    }
+  in
+  (* Clearing [names] also clears their lineage: any variable derived
+     from (or an ancestor of) a cleared variable.  Verifying
+     [real_reqs = List.filter p reqs] is taken to authenticate [reqs]
+     and everything hashed from it. *)
+  let clear env names =
+    if names = [] then env
+    else begin
+      let family =
+        List.concat_map
+          (fun v ->
+            match List.assoc_opt v env.tainted with
+            | Some chain -> v :: List.map fst chain
+            | None -> [ v ])
+          names
+      in
+      let cleared (v, chain) =
+        List.mem v family || List.exists (fun (c, _) -> List.mem c family) chain
+      in
+      { env with tainted = List.filter (fun b -> not (cleared b)) env.tainted }
+    end
+  in
+  (* Variables authenticated by a guard: direct sanitizer coverage plus
+     the coverage recorded for any witness variable the guard tests. *)
+  let guard_cleared env g =
+    let direct = sanitized_vars cfg g in
+    let via_witness =
+      List.concat_map
+        (fun v ->
+          match List.assoc_opt v env.witnesses with
+          | Some covered -> covered
+          | None -> [])
+        (expr_vars g)
+    in
+    direct @ via_witness
+  in
+  let bind env pat rhs_taint ~sanitizing ~covered =
+    let vars = pat_vars pat in
+    let names = List.map fst vars in
+    let env = shadow env names in
+    let env =
+      match rhs_taint with
+      | None -> env
+      | Some chain ->
+          {
+            env with
+            tainted =
+              List.filter_map
+                (fun (v, line) ->
+                  if implicit cfg v then None
+                  else Some (v, (v, line) :: chain))
+                vars
+              @ env.tainted;
+          }
+    in
+    if sanitizing then
+      { env with witnesses = List.map (fun (v, _) -> (v, covered)) vars @ env.witnesses }
+    else env
+  in
+  let report_sink ~loc ~sink chain =
+    report ~rule:"R6" ~loc
+      (Printf.sprintf
+         "unauthenticated network input reaches state-mutating call '%s' \
+          (taint: %s); verify it first or vet the flow in lint.allow"
+         sink (pp_chain chain))
+  in
+  let rec analyze env e =
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, body) ->
+        let env' =
+          List.fold_left
+            (fun acc vb ->
+              analyze env vb.pvb_expr;
+              let sanitizing = contains_sanitizer cfg vb.pvb_expr in
+              bind acc vb.pvb_pat (taint_of env vb.pvb_expr) ~sanitizing
+                ~covered:(if sanitizing then sanitized_vars cfg vb.pvb_expr else []))
+            env vbs
+        in
+        analyze env' body
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (analyze env) default;
+        analyze (shadow env (List.map fst (pat_vars pat))) body
+    | Pexp_function cases -> analyze_cases env None cases
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        analyze env scrut;
+        analyze_cases env (taint_of env scrut) cases
+    | Pexp_ifthenelse (cond, e1, e2) ->
+        analyze env cond;
+        analyze (clear env (guard_cleared env cond)) e1;
+        Option.iter (analyze env) e2
+    | Pexp_sequence (a, b) ->
+        analyze env a;
+        analyze env b
+    | Pexp_setfield (obj, _, v) ->
+        (match taint_of env v with
+        | Some chain -> report_sink ~loc:e.pexp_loc ~sink:"<- (field write)" chain
+        | None -> ());
+        analyze env obj;
+        analyze env v
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+        (match Taint.sink_kind cfg txt with
+        | Some sink when not (Taint.is_sanitizer cfg txt) -> (
+            match List.find_map (fun (_, a) -> taint_of env a) args with
+            | Some chain -> report_sink ~loc:e.pexp_loc ~sink chain
+            | None -> ())
+        | _ -> ());
+        List.iter (fun (_, a) -> analyze env a) args)
+    | Pexp_apply ({ pexp_desc = Pexp_field (obj, { txt; _ }); _ }, args) -> (
+        (* t.env.send-style sinks: dispatch through a record field. *)
+        (match Taint.sink_kind cfg txt with
+        | Some sink -> (
+            match List.find_map (fun (_, a) -> taint_of env a) args with
+            | Some chain -> report_sink ~loc:e.pexp_loc ~sink chain
+            | None -> ())
+        | None -> ());
+        analyze env obj;
+        List.iter (fun (_, a) -> analyze env a) args)
+    | _ -> analyze_children env e
+  and analyze_cases env scrut_taint cases =
+    List.iter
+      (fun (case : case) ->
+        let env' =
+          bind env case.pc_lhs scrut_taint ~sanitizing:false ~covered:[]
+        in
+        let env' =
+          match case.pc_guard with
+          | Some g ->
+              analyze env' g;
+              clear env' (guard_cleared env' g)
+          | None -> env'
+        in
+        analyze env' case.pc_rhs)
+      cases
+  and analyze_children env e =
+    let open Ast_iterator in
+    let it = { default_iterator with expr = (fun _ c -> analyze env c) } in
+    default_iterator.expr it e
+  in
+  (* Entry points: top-level functions whose name matches a source
+     prefix.  Their parameters (minus the implicit, link-authenticated
+     ones) are the taint sources. *)
+  let analyze_handler name vb =
+    let rec split_params env e =
+      match e.pexp_desc with
+      | Pexp_fun (_, default, pat, body) ->
+          Option.iter (analyze empty_env) default;
+          let env =
+            List.fold_left
+              (fun acc (v, line) ->
+                if implicit cfg v then acc
+                else
+                  {
+                    acc with
+                    tainted =
+                      (v, [ (v, line) ]) :: acc.tainted;
+                  })
+              env (pat_vars pat)
+          in
+          split_params env body
+      | Pexp_newtype (_, body) -> split_params env body
+      | Pexp_constraint (body, _) -> split_params env body
+      | _ -> analyze env e
+    in
+    ignore name;
+    split_params empty_env vb.pvb_expr
+  in
+  let handle_binding vb =
+    match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt = name; _ }
+      when List.exists (fun p -> has_prefix ~prefix:p name) cfg.source_prefixes ->
+        analyze_handler name vb
+    | _ -> ()
+  in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) -> List.iter handle_binding vbs
+      | _ -> ())
+    structure
+
+(* ------------------------------------------------------------------ *)
 (* The pass *)
 
 let line_of (loc : Location.t) = loc.loc_start.pos_lnum
 
-let lint_structure ~path structure =
+let lint_structure ?(taint = Taint.default) ~path structure =
   let findings = ref [] in
   let report ~rule ~loc message =
     findings :=
@@ -112,6 +507,33 @@ let lint_structure ~path structure =
   let r1 = protocol_scope path in
   let r2 = protocol_scope path in
   let r4 = not (config_file path) in
+  let r7_lib = lib_scope path in
+  (* Locations of [Hashtbl.fold] identifiers whose result flows straight
+     into an explicit sort.  The iterator visits parents before children,
+     so the set is populated before the ident itself is reached. *)
+  let sort_wrapped = Hashtbl.create 8 in
+  let loc_key (loc : Location.t) = (line_of loc, loc.loc_start.pos_cnum) in
+  let fold_ident_loc e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } when hashtbl_fold_ident txt -> Some e.pexp_loc
+    | Pexp_apply (({ pexp_desc = Pexp_ident { txt; _ }; _ } as f), _)
+      when hashtbl_fold_ident txt ->
+        Some f.pexp_loc
+    | _ -> None
+  in
+  let head_is_sort e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> list_sort_ident txt
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+        list_sort_ident txt
+    | _ -> false
+  in
+  let mark_exempt e =
+    match fold_ident_loc e with
+    | Some loc -> Hashtbl.replace sort_wrapped (loc_key loc) ()
+    | None -> ()
+  in
+  let exempt loc = Hashtbl.mem sort_wrapped (loc_key loc) in
   let open Ast_iterator in
   let iter_expr self e =
     (match e.pexp_desc with
@@ -138,6 +560,43 @@ let lint_structure ~path structure =
         report ~rule:"R1" ~loc:e.pexp_loc
           "Hashtbl.hash on protocol values; define an explicit hash over \
            the identifying fields"
+    (* R7 exemption: a fold consumed by an explicit sort is ordered.
+       Three spellings: [List.sort cmp (fold ...)], [fold ... |> List.sort
+       cmp], and [List.sort cmp @@ fold ...]. *)
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Lident "|>"; _ }; _ },
+         [ (_, lhs); (_, rhs) ])
+      when head_is_sort rhs ->
+        mark_exempt lhs
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Lident "@@"; _ }; _ },
+         [ (_, lhs); (_, rhs) ])
+      when head_is_sort lhs ->
+        mark_exempt rhs
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when list_sort_ident txt ->
+        List.iter (fun (_, a) -> mark_exempt a) args
+    | Pexp_ident { txt; _ } when random_ident txt && not (rng_file path) ->
+        report ~rule:"R7" ~loc:e.pexp_loc
+          "Random.* outside lib/sim/rng.ml breaks replayability; thread an \
+           Rng.t derived from the scenario seed"
+    | Pexp_ident { txt; _ } when r7_lib && unix_ident txt ->
+        report ~rule:"R7" ~loc:e.pexp_loc
+          "Unix.* in lib/ reads host state; the simulator must be the only \
+           source of time and I/O"
+    | Pexp_ident { txt; _ } when r7_lib && host_clock_ident txt ->
+        report ~rule:"R7" ~loc:e.pexp_loc
+          "Sys.time reads the host clock; use the engine's virtual time"
+    | Pexp_ident { txt; _ } when r1 && physical_eq txt ->
+        report ~rule:"R7" ~loc:e.pexp_loc
+          "physical equality on protocol values is representation-dependent; \
+           use a structural equality for the type"
+    | Pexp_ident { txt; _ }
+      when r7_lib && (not (det_file path)) && hashtbl_order_ident txt
+           && not (exempt e.pexp_loc) ->
+        report ~rule:"R7" ~loc:e.pexp_loc
+          "unordered Hashtbl traversal; materialize and List.sort by a \
+           protocol key (or use Det.sorted_bindings)"
     | Pexp_ident { txt; _ } when r2 ->
         (match partial_function txt with
         | Some (m, f, instead) ->
@@ -180,6 +639,7 @@ let lint_structure ~path structure =
   in
   let iterator = { default_iterator with expr = iter_expr } in
   iterator.structure iterator structure;
+  if handler_scope path then taint_analysis ~cfg:taint ~report structure;
   List.sort
     (fun a b ->
       match Int.compare a.line b.line with
@@ -192,10 +652,10 @@ let parse_implementation ~path source =
   Lexing.set_filename lexbuf path;
   Parse.implementation lexbuf
 
-let lint_source ~path ~source =
+let lint_source ?taint ~path source =
   let path = normalize path in
   match parse_implementation ~path source with
-  | structure -> lint_structure ~path structure
+  | structure -> lint_structure ?taint ~path structure
   | exception Syntaxerr.Error _ ->
       [ { rule = "parse"; severity = Error; file = path; line = 1;
           message = "file does not parse" } ]

@@ -18,6 +18,25 @@
       {!module:Config} so the [n = 3f + 2c + 1] relations live in one
       place.
     - {b R5} — every module under [lib/] must have a [.mli].
+    - {b R6} — authenticate-before-use (a per-function taint dataflow
+      over [lib/core] and [lib/pbft]): parameters of network-receive
+      handlers (top-level functions named [on_*]) are tainted, taint is
+      cleared only by a call into the configured sanitizer set
+      (Crypto/Keys/Pki verify functions), and a tainted value reaching a
+      state-mutating call (table writes, [:=], field assignment,
+      [send_*]/[broadcast_*] emission, [check_*]) is an error carrying
+      the taint chain.  See {!module:Taint} for the knobs.
+    - {b R7} — determinism: no [Random.*] outside [lib/sim/rng.ml], no
+      [Unix.*] or [Sys.time] anywhere under [lib/], no physical equality
+      ([==] / [!=]) on protocol values, and no unordered [Hashtbl.iter]
+      / [Hashtbl.fold] / [Hashtbl.to_seq*] traversal under [lib/] —
+      unless the fold feeds directly into [List.sort] (any of
+      [sort cmp (fold ...)], [fold ... |> sort cmp], [sort cmp @@ fold
+      ...]) or the file is [lib/sim/det.ml], the blessed sorted-view
+      wrapper.
+
+    (R8, the replay-divergence checker, is the runtime twin of R7 and
+    lives in [lib/sim/replay.ml], not here.)
 
     Findings carry [file:line] locations and a severity; vetted
     exceptions live in a [lint.allow] file at the repo root. *)
@@ -25,7 +44,7 @@
 type severity = Error | Warning
 
 type finding = {
-  rule : string;  (** "R1" .. "R5", or "parse" for unparseable input *)
+  rule : string;  (** "R1" .. "R7", or "parse" for unparseable input *)
   severity : severity;
   file : string;  (** root-relative path, forward slashes *)
   line : int;
@@ -35,10 +54,34 @@ type finding = {
 val pp_finding : finding -> string
 (** ["file:line: [rule] message"] — one line, no trailing newline. *)
 
-val lint_source : path:string -> source:string -> finding list
-(** Parse [source] (attributed to root-relative [path]) and run every
+(** Configuration of the R6 taint analysis. *)
+module Taint : sig
+  type t = {
+    source_prefixes : string list;
+        (** Top-level functions whose name starts with one of these are
+            network-receive entry points; their parameters are tainted. *)
+    implicit_params : string list;
+        (** Parameter/binding names exempt from tainting: the handler's
+            own state and scalar routing fields covered by the link-layer
+            MAC checked on receipt. *)
+    sanitizers : string list;
+        (** Function names (matched on the last path component, e.g.
+            [verify] matches [Crypto.Threshold.verify]) whose call clears
+            taint from their arguments. *)
+    sink_names : string list;  (** Exact names of state-mutating calls. *)
+    sink_prefixes : string list;
+        (** Name prefixes of state-mutating calls ([send], [broadcast],
+            [check_], ...). *)
+  }
+
+  val default : t
+end
+
+val lint_source : ?taint:Taint.t -> path:string -> string -> finding list
+(** Parse the given source text (attributed to root-relative [path]) and run every
     AST rule whose scope includes [path].  Findings are sorted by line.
-    A file that does not parse yields a single ["parse"] error. *)
+    A file that does not parse yields a single ["parse"] error.
+    [taint] configures R6 (default {!Taint.default}). *)
 
 val missing_mli : path:string -> mli_exists:bool -> finding option
 (** R5: [Some finding] when [path] is a [lib/] module without a

@@ -127,6 +127,7 @@ let prune_below t ~seq =
   if t.enabled then begin
     let stale =
       Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.commits []
+      |> List.sort Int.compare
     in
     List.iter (Hashtbl.remove t.commits) stale
   end

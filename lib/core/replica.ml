@@ -884,13 +884,13 @@ and garbage_collect t =
   let horizon = t.stable - (cfg t).Config.win in
   if horizon > 0 then begin
     let stale =
-      Hashtbl.fold (fun s _ acc -> if s < horizon then s :: acc else acc) t.slots []
+      List.filter (fun s -> s < horizon)
+        (Det.sorted_keys ~compare:Int.compare t.slots)
     in
     List.iter (Hashtbl.remove t.slots) stale;
     let stale_pis =
-      Hashtbl.fold
-        (fun s _ acc -> if s < horizon then s :: acc else acc)
-        t.checkpoint_pis []
+      List.filter (fun s -> s < horizon)
+        (Det.sorted_keys ~compare:Int.compare t.checkpoint_pis)
     in
     List.iter (Hashtbl.remove t.checkpoint_pis) stale_pis;
     Sanitizer.prune_below t.san ~seq:horizon;
@@ -1084,7 +1084,9 @@ and on_view_change t ctx (vc : Types.view_change) =
         && support >= Config.quorum_vc config
         && t.view < target
       then begin
-        let msgs = Hashtbl.fold (fun _ m acc -> m :: acc) tbl [] in
+        (* Sorted by sender id: which quorum of valid messages the new
+           primary keeps must not depend on Hashtbl iteration order. *)
+        let msgs = List.map snd (Det.sorted_bindings ~compare:Int.compare tbl) in
         (* Validate, keep a quorum of valid messages. *)
         Engine.charge ctx (List.length msgs * Cost_model.bls_verify);
         let valid = List.filter (View_change.validate_message ~keys:(keys t)) msgs in
@@ -1172,7 +1174,7 @@ and enter_view t ctx ~view =
     note_progress t ctx;
     Hashtbl.remove t.vc_msgs view;
     (* Fresh view: per-view collection state of open slots resets. *)
-    Hashtbl.iter
+    Det.iter_sorted ~compare:Int.compare
       (fun _ sl ->
         if sl.committed = None then begin
           sl.sigma_shares <- [];
@@ -1187,8 +1189,15 @@ and enter_view t ctx ~view =
         end)
       t.slots;
     trace t ctx "new-view" (Printf.sprintf "view=%d primary=%d" view (primary_of t view));
-    (* Re-drive requests that were in flight when the old view died. *)
-    let stale = Hashtbl.fold (fun _ r acc -> r :: acc) t.outstanding [] in
+    (* Re-drive requests that were in flight when the old view died,
+       in (client, timestamp) order: both the primary's pending queue
+       and the resend sequence are replay-visible. *)
+    let stale =
+      List.map snd
+        (Det.sorted_bindings
+           ~compare:(Det.compare_pair Int.compare Int.compare)
+           t.outstanding)
+    in
     if is_primary t then
       List.iter
         (fun (r : Types.request) ->

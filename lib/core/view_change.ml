@@ -118,9 +118,12 @@ let compute_slot keys ~seq entries =
               Hashtbl.replace by_req key (view :: views, reqs)
           | _ -> ())
         entries;
+      (* Fold candidate values in digest order; the uniqueness verdict
+         is order-independent but the surviving [reqs] witness for a
+         tied view is whichever was folded last. *)
       let v_hat, req_hat, unique =
-        Hashtbl.fold
-          (fun _ (views, reqs) (bv, breqs, uniq) ->
+        List.fold_left
+          (fun (bv, breqs, uniq) (_, (views, reqs)) ->
             let sorted = List.sort (fun a b -> Int.compare b a) views in
             (* The highest v such that f+c+1 shares have view >= v is
                the (f+c+1)-th largest view among this value's shares
@@ -131,7 +134,8 @@ let compute_slot keys ~seq entries =
                 if v > bv then (v, Some reqs, true)
                 else if Int.equal v bv && bv >= 0 then (bv, breqs, false)
                 else (bv, breqs, uniq))
-          by_req (-1, None, true)
+          (-1, None, true)
+          (Sbft_sim.Det.sorted_bindings ~compare:String.compare by_req)
       in
       let v_hat, req_hat = if unique then (v_hat, req_hat) else (-1, None) in
       (* [req_star]/[req_hat] are [Some _] whenever their view is > -1. *)

@@ -190,3 +190,36 @@ let ablation_stagger scale =
   run "staggered (default)" Fun.id;
   run "all collectors active" (fun c -> { c with Config.collector_stagger = 0 });
   flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+(* R8: the replay-divergence check.  One representative scenario per
+   protocol family plus a failure run and the Ethereum workload; each is
+   run twice from its seed and the trace streams must be identical. *)
+let replay_scenarios () =
+  let quick ?(failures = 0) protocol workload =
+    Scenario.default ~failures ~warmup:(Engine.ms 200) ~duration:(Engine.ms 400)
+      ~protocol ~f:1 ~workload ~num_clients:2 ()
+  in
+  [
+    ("sbft-kv-batch", quick (Scenario.SBFT 0) (Scenario.Kv { batching = true }));
+    ("sbft-c1-failure", quick ~failures:1 (Scenario.SBFT 1) (Scenario.Kv { batching = false }));
+    ("linear-pbft-fast", quick Scenario.Linear_PBFT_fast (Scenario.Kv { batching = true }));
+    ("pbft-kv", quick Scenario.PBFT (Scenario.Kv { batching = true }));
+    ("sbft-eth", quick (Scenario.SBFT 0) Scenario.Eth);
+  ]
+
+let replay () =
+  Printf.printf "%!\n=== Replay-divergence check (R8): two same-seed runs per scenario ===\n";
+  let ok =
+    List.fold_left
+      (fun ok (name, sc) ->
+        let outcome =
+          Replay.run_twice ~run:(fun () -> Scenario.run_traced sc)
+        in
+        Printf.printf "  %-18s %s\n%!" name (Replay.pp_outcome outcome);
+        match outcome with Replay.Identical _ -> ok | Replay.Diverged _ -> false)
+      true (replay_scenarios ())
+  in
+  Printf.printf "replay: %s\n%!" (if ok then "all scenarios deterministic" else "DIVERGENCE DETECTED");
+  ok

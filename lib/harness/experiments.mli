@@ -36,3 +36,10 @@ val ablation_fast_mode : scale -> unit
 
 val ablation_stagger : scale -> unit
 (** Collector staggering on/off: redundant collector duplication cost. *)
+
+val replay : unit -> bool
+(** R8: run each example scenario twice from the same seed and compare
+    the trace streams event-by-event ({!Sbft_sim.Replay}).  Prints one
+    line per scenario (stream digest, or the first divergent event) and
+    returns [false] on any divergence.  Exposed as [dune build @replay]
+    via [bin/sbft_replay.exe]. *)

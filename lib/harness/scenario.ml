@@ -102,6 +102,38 @@ let log_point t (p : point) =
     p.throughput_ops p.median_latency_ms p.host_seconds
     (Gc.((quick_stat ()).heap_words) * 8 / 1_048_576)
 
+(* One run with tracing on, returning the raw event stream instead of a
+   measurement point — the input to the R8 replay-divergence checker. *)
+let run_traced t =
+  let config = config_of t in
+  let topology = topology_of t.topology in
+  let service = service_of t.workload in
+  let horizon = t.warmup + t.duration in
+  match t.protocol with
+  | PBFT ->
+      let open Sbft_pbft in
+      let cluster =
+        Pbft_cluster.create ~trace:true ~seed:t.seed ~cpu_scale:t.cpu_scale
+          ~config ~num_clients:t.num_clients ~topology ~service ()
+      in
+      Pbft_cluster.crash_replicas cluster
+        (crash_set ~n:(Config.n cluster.Pbft_cluster.config) ~failures:t.failures);
+      Pbft_cluster.start_clients cluster ~requests_per_client:max_int
+        ~make_op:(make_op_of t.workload);
+      Pbft_cluster.run_for cluster horizon;
+      Trace.records cluster.Pbft_cluster.trace
+  | _ ->
+      let cluster =
+        Cluster.create ~trace:true ~seed:t.seed ~cpu_scale:t.cpu_scale ~config
+          ~num_clients:t.num_clients ~topology ~service ()
+      in
+      Cluster.crash_replicas cluster
+        (crash_set ~n:(Config.n config) ~failures:t.failures);
+      Cluster.start_clients cluster ~requests_per_client:max_int
+        ~make_op:(make_op_of t.workload);
+      Cluster.run_for cluster horizon;
+      Trace.records cluster.Cluster.trace
+
 let run t =
   let host0 = Sys.time () in
   let config = config_of t in

@@ -65,4 +65,10 @@ type point = {
 
 val run : t -> point
 
+val run_traced : t -> Sbft_sim.Trace.record list
+(** Run the scenario once with event tracing enabled and return the raw
+    trace stream (no measurement point, no logging).  Each call rebuilds
+    the whole cluster from [t.seed], so two calls with the same [t] must
+    produce identical streams — the property {!Sbft_sim.Replay} checks. *)
+
 val ops_per_request : workload -> int

@@ -383,7 +383,10 @@ and on_checkpoint t ctx ~seq ~digest ~replica =
       t.ls <- seq;
       note_progress t ctx;
       (* GC everything below the stable checkpoint. *)
-      let stale = Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.slots [] in
+      let stale =
+        List.filter (fun s -> s <= seq)
+          (Det.sorted_keys ~compare:Int.compare t.slots)
+      in
       List.iter (Hashtbl.remove t.slots) stale;
       Sanitizer.prune_below t.san ~seq;
       Sbft_store.Auth_store.gc_below t.store ~seq
@@ -396,13 +399,16 @@ and start_view_change t ctx ~target_view =
   if target_view > t.sent_vc_for then begin
     t.sent_vc_for <- target_view;
     trace t ctx "view-change" (Printf.sprintf "to=%d" target_view);
+    (* Certificate list in ascending seq order: the VC message payload
+       is replay-visible, so its layout must not depend on Hashtbl
+       iteration order. *)
     let prepared =
-      Hashtbl.fold
-        (fun seq sl acc ->
+      List.filter_map
+        (fun (seq, sl) ->
           if sl.prepared && seq > t.ls then
-            match sl.pp with Some (v, reqs, _) -> (seq, v, reqs) :: acc | None -> acc
-          else acc)
-        t.slots []
+            match sl.pp with Some (v, reqs, _) -> Some (seq, v, reqs) | None -> None
+          else None)
+        (Det.sorted_bindings ~compare:Int.compare t.slots)
     in
     broadcast t ctx
       (Pbft_types.View_change { view = target_view - 1; ls = t.ls; prepared; replica = t.id })
@@ -428,8 +434,11 @@ and on_view_change t ctx ~view ~ls ~prepared ~replica =
         Sanitizer.check_quorum t.san Sanitizer.Majority
           ~count:(Hashtbl.length tbl);
         (* Re-propose the highest-view prepared block per slot. *)
+        (* Visit senders in replica-id order: equal-view ties keep the
+           first certificate seen, so the winner must not depend on
+           Hashtbl iteration order. *)
         let best : (int, int * Types.request list) Hashtbl.t = Hashtbl.create 16 in
-        Hashtbl.iter
+        Det.iter_sorted ~compare:Int.compare
           (fun _ certs ->
             List.iter
               (fun (seq, v, reqs) ->
@@ -456,7 +465,7 @@ and on_new_view t ctx ~view ~pre_prepares =
     t.vc_backoff <- 0;
     note_progress t ctx;
     (* Reset per-view state of open slots. *)
-    Hashtbl.iter
+    Det.iter_sorted ~compare:Int.compare
       (fun _ sl ->
         if sl.committed = None then begin
           sl.pp <- None;
@@ -475,8 +484,10 @@ and on_new_view t ctx ~view ~pre_prepares =
       pre_prepares;
     if is_primary t then begin
       t.next_seq <- max t.next_seq (!top + 1);
-      (* Re-drive requests stranded by the old view. *)
-      Hashtbl.iter
+      (* Re-drive requests stranded by the old view, in (client,
+         timestamp) order: the pending queue and resend sequence are
+         replay-visible. *)
+      Det.iter_sorted ~compare:(Det.compare_pair Int.compare Int.compare)
         (fun key r ->
           if not (Hashtbl.mem t.pending_keys key) then begin
             Hashtbl.replace t.pending_keys key ();
@@ -486,7 +497,7 @@ and on_new_view t ctx ~view ~pre_prepares =
       try_propose t ctx
     end
     else
-      Hashtbl.iter
+      Det.iter_sorted ~compare:(Det.compare_pair Int.compare Int.compare)
         (fun _ r -> send t ctx ~dst:(primary_of t t.view) (Pbft_types.Request r))
         t.outstanding
   end

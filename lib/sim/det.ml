@@ -1,0 +1,19 @@
+(* Deterministic views over hash tables.  Hashtbl iteration order is
+   unspecified and may differ between runs (it depends on insertion
+   history and resizing), so protocol code must never consume it
+   directly; these wrappers materialize and sort by a caller-supplied
+   protocol key.  This file is the one place allowed to traverse a
+   Hashtbl unordered (lint rule R7). *)
+
+let sorted_bindings ~compare tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sorted_keys ~compare tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let iter_sorted ~compare f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~compare tbl)
+
+let compare_pair cmp_a cmp_b (a1, b1) (a2, b2) =
+  match cmp_a a1 a2 with 0 -> cmp_b b1 b2 | n -> n

@@ -1,0 +1,25 @@
+(** Deterministic views over hash tables.
+
+    [Hashtbl] iteration order is unspecified and can differ between runs
+    with identical inputs, which would silently break the simulator's
+    same-seed-same-trace contract (lint rule R7, replay checker R8).
+    These helpers materialize a table and sort by an explicit protocol
+    key before handing the elements to the caller. *)
+
+val sorted_bindings : compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings, sorted by key.  With duplicate keys (from
+    [Hashtbl.add] shadowing) the relative order of equal keys is
+    unspecified; SBFT tables use [Hashtbl.replace] throughout, so keys
+    are unique. *)
+
+val sorted_keys : compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** All keys, sorted. *)
+
+val iter_sorted :
+  compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter_sorted ~compare f tbl] applies [f] to every binding in
+    ascending key order. *)
+
+val compare_pair :
+  ('a -> 'a -> int) -> ('b -> 'b -> int) -> 'a * 'b -> 'a * 'b -> int
+(** Lexicographic pair comparison, for [(client, timestamp)]-style keys. *)

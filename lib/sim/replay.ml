@@ -1,0 +1,91 @@
+(* R8, the runtime twin of the determinism lint rules: run a scenario
+   twice from the same seed and require bit-identical trace streams.
+   The digest is FNV-1a 64 over the rendered records — cheap, has no
+   crypto dependency (Sha256 lives above this library), and any
+   collision would still be caught by the event-by-event comparison. *)
+
+type digest = int64
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let feed d s =
+  let d = ref d in
+  String.iter
+    (fun ch ->
+      d := Int64.mul (Int64.logxor !d (Int64.of_int (Char.code ch))) fnv_prime)
+    s;
+  !d
+
+let pp_digest = Printf.sprintf "%016Lx"
+
+let record_line (r : Trace.record) =
+  Printf.sprintf "%d|%d|%s|%s" r.Trace.time r.Trace.node r.Trace.kind
+    r.Trace.detail
+
+let digest_records records =
+  List.fold_left (fun d r -> feed (feed d (record_line r)) "\n") fnv_offset
+    records
+
+let node_digests records =
+  let nodes =
+    List.sort_uniq Int.compare
+      (List.map (fun (r : Trace.record) -> r.Trace.node) records)
+  in
+  List.map
+    (fun node ->
+      ( node,
+        digest_records
+          (List.filter (fun (r : Trace.record) -> r.Trace.node = node) records)
+      ))
+    nodes
+
+type summary = {
+  events : int;
+  digest : digest;  (** over the whole interleaved stream *)
+  nodes : (int * digest) list;  (** per-node digests, ascending node id *)
+}
+
+type divergence = {
+  index : int;
+  first : Trace.record option;
+  second : Trace.record option;
+}
+
+type outcome = Identical of summary | Diverged of divergence
+
+let compare_runs a b =
+  let rec go i xs ys =
+    match (xs, ys) with
+    | [], [] -> None
+    | x :: xs', y :: ys' ->
+        if String.equal (record_line x) (record_line y) then go (i + 1) xs' ys'
+        else Some { index = i; first = Some x; second = Some y }
+    | x :: _, [] -> Some { index = i; first = Some x; second = None }
+    | [], y :: _ -> Some { index = i; first = None; second = Some y }
+  in
+  match go 0 a b with
+  | Some d -> Diverged d
+  | None ->
+      Identical
+        { events = List.length a; digest = digest_records a; nodes = node_digests a }
+
+(* Sequence the two runs explicitly: argument evaluation order would
+   otherwise swap which invocation is reported as "run 1". *)
+let run_twice ~run =
+  let first = run () in
+  let second = run () in
+  compare_runs first second
+
+let pp_record_opt = function
+  | Some r -> record_line r
+  | None -> "<stream ended>"
+
+let pp_outcome = function
+  | Identical s ->
+      Printf.sprintf "identical: %d events, digest %s (%d node streams)"
+        s.events (pp_digest s.digest) (List.length s.nodes)
+  | Diverged d ->
+      Printf.sprintf
+        "DIVERGED at event %d:\n  run 1: %s\n  run 2: %s" d.index
+        (pp_record_opt d.first) (pp_record_opt d.second)

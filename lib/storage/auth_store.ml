@@ -213,7 +213,10 @@ let verify_query_proof ~digest ~seq ~key ~value ~proof =
         (compute_digest ~seq ~state_root:implied_state_root ~ops_root)
 
 let gc_below t ~seq =
-  let stale = Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.blocks [] in
+  let stale =
+    Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.blocks []
+    |> List.sort Int.compare
+  in
   List.iter (Hashtbl.remove t.blocks) stale
 
 let snapshot_of ~last_executed ~last_ops_root map =

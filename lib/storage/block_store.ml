@@ -21,7 +21,10 @@ let mem t seq = Hashtbl.mem t.blocks seq
 let highest t = t.highest
 
 let prune_below t seq =
-  let stale = Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.blocks [] in
+  let stale =
+    Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.blocks []
+    |> List.sort Int.compare
+  in
   List.iter (Hashtbl.remove t.blocks) stale
 
 let set_checkpoint t ~seq ~snapshot =

@@ -402,6 +402,65 @@ let test_trace () =
   Trace.emit tr ~time:2 ~node:3 ~kind:"send" ~detail:"z";
   check_int "disabled drops" 2 (List.length (Trace.records tr))
 
+(* ------------------------------------------------------------------ *)
+(* Replay (R8) *)
+
+let replay_records () =
+  [
+    { Trace.time = 0; node = 0; kind = "send"; detail = "a" };
+    { Trace.time = 1; node = 1; kind = "recv"; detail = "a" };
+    { Trace.time = 2; node = 0; kind = "send"; detail = "b" };
+  ]
+
+let test_replay_identical () =
+  match Replay.run_twice ~run:replay_records with
+  | Replay.Identical s ->
+      check_int "events" 3 s.Replay.events;
+      check_int "nodes" 2 (List.length s.Replay.nodes)
+  | Replay.Diverged _ -> Alcotest.fail "identical traces reported diverged"
+
+let test_replay_detects_divergence () =
+  let calls = ref 0 in
+  let run () =
+    incr calls;
+    if !calls = 1 then replay_records ()
+    else
+      (* Second run flips one detail: must be caught, with the index. *)
+      List.mapi
+        (fun i (r : Trace.record) ->
+          if i = 1 then { r with Trace.detail = "a'" } else r)
+        (replay_records ())
+  in
+  match Replay.run_twice ~run with
+  | Replay.Identical _ -> Alcotest.fail "divergence missed"
+  | Replay.Diverged d -> check_int "first differing event" 1 d.Replay.index
+
+let test_replay_detects_truncation () =
+  let calls = ref 0 in
+  let run () =
+    incr calls;
+    if !calls = 1 then replay_records ()
+    else [ List.hd (replay_records ()) ]
+  in
+  match Replay.run_twice ~run with
+  | Replay.Identical _ -> Alcotest.fail "truncation missed"
+  | Replay.Diverged d ->
+      check_int "diverges where the short run ends" 1 d.Replay.index;
+      check "second run has no event there" true (d.Replay.second = None)
+
+let test_replay_digest_sensitivity () =
+  let d1 = Replay.digest_records (replay_records ()) in
+  let d2 =
+    Replay.digest_records
+      (List.map
+         (fun (r : Trace.record) -> { r with Trace.node = r.Trace.node + 1 })
+         (replay_records ()))
+  in
+  check "digest depends on content" false (Int64.equal d1 d2);
+  Alcotest.(check int64)
+    "digest is a pure function" d1
+    (Replay.digest_records (replay_records ()))
+
 let () =
   Alcotest.run "sbft_sim"
     [
@@ -458,4 +517,11 @@ let () =
           Alcotest.test_case "throughput" `Quick test_stats_throughput;
         ] );
       ("trace", [ Alcotest.test_case "basic" `Quick test_trace ]);
+      ( "replay",
+        [
+          Alcotest.test_case "identical runs" `Quick test_replay_identical;
+          Alcotest.test_case "divergence detected" `Quick test_replay_detects_divergence;
+          Alcotest.test_case "truncation detected" `Quick test_replay_detects_truncation;
+          Alcotest.test_case "digest sensitivity" `Quick test_replay_digest_sensitivity;
+        ] );
     ]
