@@ -9,7 +9,10 @@
      bench/main.exe fig2            Figures 2+3 grids (throughput/latency)
      bench/main.exe contract-continent | contract-world | contract-baseline
      bench/main.exe ablation        ingredient ablations
-     bench/main.exe micro           Bechamel micro-benchmarks *)
+     bench/main.exe micro           Bechamel micro-benchmarks
+     bench/main.exe regress         regression grid -> BENCH_3.json, diffed
+                                    against bench/baseline.json (CI gate);
+                                    --update-baseline rewrites the baseline *)
 
 open Sbft_harness
 
@@ -98,11 +101,57 @@ let bench_out file =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   Filename.concat dir file
 
+(* ------------------------------------------------------------------ *)
+(* Benchmark regression gate (CI): run the grid, emit BENCH_3.json,
+   diff against the committed baseline within tolerance bands. *)
+
+let regress_report_path = "BENCH_3.json"
+let regress_baseline_path = "bench/baseline.json"
+
+let regress ~scale ~update_baseline =
+  let current = Regress.measure scale in
+  Regress.write ~path:regress_report_path current;
+  Regress.print current;
+  Printf.printf "report written to %s\n%!" regress_report_path;
+  if update_baseline then begin
+    Regress.write ~path:regress_baseline_path current;
+    Printf.printf "baseline updated: %s\n%!" regress_baseline_path
+  end
+  else
+    match scale with
+    | `Full ->
+        (* The committed baseline is recorded at quick scale; a full-
+           scale run is informational only. *)
+        Printf.printf "full scale: baseline comparison skipped (baseline is quick-scale)\n%!"
+    | `Quick -> (
+        match Regress.load ~path:regress_baseline_path with
+        | Error e ->
+            Printf.eprintf
+              "regress: cannot load %s (%s); run with --update-baseline to create it\n%!"
+              regress_baseline_path e;
+            exit 1
+        | Ok baseline -> (
+            match Regress.compare_reports ~baseline ~current () with
+            | [] -> Printf.printf "regression gate: OK (within tolerance of %s)\n%!"
+                      regress_baseline_path
+            | violations ->
+                Printf.eprintf "regression gate: FAILED vs %s\n" regress_baseline_path;
+                List.iter (fun v -> Printf.eprintf "  - %s\n" v) violations;
+                Printf.eprintf
+                  "if the change is intentional, refresh the baseline with:\n\
+                  \  bench/main.exe regress --update-baseline\n%!";
+                exit 1))
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
+  let update_baseline = List.mem "--update-baseline" args in
   let scale : Experiments.scale = if full then `Full else `Quick in
-  let cmds = List.filter (fun a -> a <> "--full") args in
+  let cmds =
+    List.filter
+      (fun a -> not (List.mem a [ "--full"; "--quick"; "--update-baseline" ]))
+      args
+  in
   let run_all () =
     Experiments.fig1 ();
     micro ();
@@ -130,10 +179,12 @@ let () =
               Experiments.ablation_fast_mode scale;
               Experiments.ablation_stagger scale
           | "micro" -> micro ()
+          | "regress" -> regress ~scale ~update_baseline
           | other ->
               Printf.eprintf
                 "unknown benchmark %S (try fig1 fig2 contract-continent \
-                 contract-world contract-baseline ablation micro replay)\n"
+                 contract-world contract-baseline ablation micro replay \
+                 regress)\n"
                 other;
               exit 1)
         cmds

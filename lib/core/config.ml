@@ -13,6 +13,7 @@ type t = {
   view_change_timeout : Engine.time;
   client_retry_timeout : Engine.time;
   use_group_sig : bool;
+  optimistic_combine : bool;
   sanitize : bool;
 }
 
@@ -39,6 +40,7 @@ let default ~f ~c =
     view_change_timeout = Engine.sec 2;
     client_retry_timeout = Engine.sec 4;
     use_group_sig = false;
+    optimistic_combine = true;
     sanitize = true;
   }
 

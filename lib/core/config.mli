@@ -29,6 +29,13 @@ type t = {
   use_group_sig : bool;
       (** §VIII: n-of-n group signatures on the fast path while no
           failure has been observed, with automatic fallback *)
+  optimistic_combine : bool;
+      (** collectors combine threshold shares {e without} per-share
+          verification and check the single combined signature, falling
+          back to robust per-share identification only on failure
+          ({!Sbft_crypto.Threshold.combine_verified}); off = the
+          pessimistic verify-every-share baseline, kept as a benchmark
+          reference point *)
   sanitize : bool;
       (** run the {!Sanitizer} protocol-invariant checks at replica
           state transitions (on by default; cheap assert-style checks) *)

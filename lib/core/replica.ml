@@ -224,6 +224,62 @@ let clear_outstanding t (r : Types.request) =
   Hashtbl.remove t.outstanding (r.client, r.timestamp)
 
 (* ------------------------------------------------------------------ *)
+(* Collector-side share combination (§IV linearity).
+
+   [combine_shares] is the single entry point every collector site
+   (σ/τ/ττ/π) goes through.  With [Config.optimistic_combine] it runs
+   the combine-then-verify fast path: interpolate the k shares without
+   any per-share check, verify the one combined signature, and only on
+   failure fall back to robust per-share identification
+   ({!Threshold.combine_verified}).  The simulated CPU charged tracks
+   exactly which of those steps ran, so the cheaper optimistic path
+   shows up in measured throughput.  With the knob off it charges the
+   pessimistic batch-verify-every-share baseline.
+
+   Returns the combined signature (if any) and the signers identified
+   as invalid — the caller must evict those from its share stash so the
+   next attempt combines a clean set. *)
+
+let combine_shares t ctx ~scheme ~k ~group ~msg shares =
+  let tally = Cost_model.Tally.note in
+  let combine_cost cached =
+    if group then Cost_model.group_combine k
+    else if cached then Cost_model.bls_combine_cached k
+    else Cost_model.bls_combine k
+  in
+  if (cfg t).Config.optimistic_combine then begin
+    let o = Threshold.combine_verified scheme ~msg shares in
+    Engine.charge ctx (tally "combine" (combine_cost o.Threshold.coeffs_cached));
+    Engine.charge ctx (tally "combined_verify" Cost_model.bls_verify);
+    if o.Threshold.fallback then begin
+      t.failures_observed <- true;
+      Engine.charge ctx
+        (tally "share_identify" (Cost_model.bls_identify o.Threshold.fresh_checks));
+      (* The recombination over the surviving shares, when one was
+         possible (its constituents are all individually verified, so
+         no second combined check is needed). *)
+      match o.Threshold.signature with
+      | Some _ -> Engine.charge ctx (tally "combine" (combine_cost o.Threshold.recombine_cached))
+      | None -> ()
+    end;
+    (o.Threshold.signature, o.Threshold.bad_signers)
+  end
+  else begin
+    Engine.charge ctx (tally "share_batch_verify" (Cost_model.bls_batch_verify k));
+    Engine.charge ctx (tally "combine" (combine_cost false));
+    (Threshold.combine scheme ~msg shares, [])
+  end
+
+(* Drop shares from the signers [combine_shares] identified as bad. *)
+let evict_bad bad stash =
+  match bad with
+  | [] -> stash
+  | _ ->
+      List.filter
+        (fun (_, sh) -> not (List.exists (Int.equal sh.Threshold.signer) bad))
+        stash
+
+(* ------------------------------------------------------------------ *)
 (* Forward declarations via mutual recursion: the handler graph is
    cyclic (commit -> execute -> collector -> ...), so the whole protocol
    lives in one recursive binding group below. *)
@@ -232,7 +288,7 @@ let rec on_message t ctx ~src msg =
   match t.byz with
   | Silent -> ()
   | _ -> (
-      Engine.charge ctx Cost_model.message_auth_check;
+      Engine.charge ctx (Cost_model.Tally.note "mac" Cost_model.message_auth_check);
       match msg with
       | Types.Request r -> on_request t ctx r
       | Types.Pre_prepare { seq; view; reqs } -> on_pre_prepare t ctx ~seq ~view ~reqs
@@ -265,7 +321,7 @@ and on_request t ctx (r : Types.request) =
   (* Answer retransmissions of already-executed operations directly. *)
   match Hashtbl.find_opt t.client_table r.client with
   | Some (ts, value, seq, _) when ts >= r.timestamp ->
-      Engine.charge ctx Cost_model.rsa_sign;
+      Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
       send t ctx ~dst:r.client
         (Types.Reply
            {
@@ -281,7 +337,7 @@ and on_request t ctx (r : Types.request) =
       if is_primary t then begin
         if not (Hashtbl.mem t.pending_keys (r.client, r.timestamp)) then begin
           (* Static authentication and access-control check (§V-C). *)
-          Engine.charge ctx Cost_model.rsa_verify;
+          Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
           if Keys.verify_request (keys t) r then begin
             Hashtbl.replace t.pending_keys (r.client, r.timestamp) ();
             Queue.push r t.pending;
@@ -351,7 +407,7 @@ and propose_block t ctx batch =
   List.iter (fun (r : Types.request) -> Hashtbl.remove t.pending_keys (r.client, r.timestamp)) reqs;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+  Engine.charge ctx (Cost_model.Tally.note "hash" (Cost_model.sha256 (Types.requests_bytes reqs)));
   trace t ctx "send:pre-prepare" (Printf.sprintf "seq=%d view=%d batch=%d" seq t.view batch);
   (match t.byz with
   | Equivocating_primary ->
@@ -381,16 +437,16 @@ and on_pre_prepare t ctx ~seq ~view ~reqs =
     (* Authenticate the client operations (null/view-change fillers are
        locally constructed and carry no signature). *)
     let real_reqs = List.filter (fun (r : Types.request) -> r.client >= 0) reqs in
-    Engine.charge ctx (List.length real_reqs * Cost_model.rsa_verify);
+    Engine.charge ctx (Cost_model.Tally.note "rsa_verify" (List.length real_reqs * Cost_model.rsa_verify));
     if List.for_all (fun r -> Keys.verify_request (keys t) r) real_reqs then begin
-      Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+      Engine.charge ctx (Cost_model.Tally.note "hash" (Cost_model.sha256 (Types.requests_bytes reqs)));
       let h = Types.block_hash ~seq ~view ~reqs in
       sl.pp <- Some (view, reqs, h);
       sl.pp_at <- Engine.ctx_now ctx;
       List.iter (mark_outstanding t) real_reqs;
       if not sl.sent_sign_share then begin
         sl.sent_sign_share <- true;
-        Engine.charge ctx (2 * Cost_model.bls_share_sign);
+        Engine.charge ctx (Cost_model.Tally.note "share_sign" (2 * Cost_model.bls_share_sign));
         let sigma_share = Threshold.share_sign t.my.Keys.sigma_sk ~msg:h in
         let tau_share = Threshold.share_sign t.my.Keys.tau_sk ~msg:h in
         let sigma_share, tau_share =
@@ -446,15 +502,13 @@ and collector_check t ctx sl ~view =
                 Sanitizer.check_quorum t.san Sanitizer.Sigma
                   ~count:(List.length sl.sigma_shares);
                 let k = Config.sigma_threshold config in
-                Engine.charge ctx (Cost_model.bls_batch_verify k);
-                Engine.charge ctx
-                  (if config.Config.use_group_sig && not t.failures_observed then
-                     Cost_model.group_combine k
-                   else Cost_model.bls_combine k);
-                match
-                  Threshold.combine (keys t).Keys.sigma ~msg:h
+                let group = config.Config.use_group_sig && not t.failures_observed in
+                let sigma_opt, bad =
+                  combine_shares t ctx ~scheme:(keys t).Keys.sigma ~k ~group ~msg:h
                     (List.map snd sl.sigma_shares)
-                with
+                in
+                sl.sigma_shares <- evict_bad bad sl.sigma_shares;
+                match sigma_opt with
                 | Some sigma ->
                     trace t ctx "send:full-commit-proof" (Printf.sprintf "seq=%d" seq);
                     broadcast_replicas t ctx
@@ -503,11 +557,13 @@ and collector_check t ctx sl ~view =
                 Sanitizer.check_quorum t.san Sanitizer.Tau
                   ~count:(List.length sl.tau_shares);
                 let k = Config.tau_threshold config in
-                Engine.charge ctx (Cost_model.bls_batch_verify k);
-                Engine.charge ctx (Cost_model.bls_combine k);
-                match
-                  Threshold.combine (keys t).Keys.tau ~msg:h (List.map snd sl.tau_shares)
-                with
+                let tau_opt, bad =
+                  combine_shares t ctx ~scheme:(keys t).Keys.tau ~k ~group:false
+                    ~msg:h
+                    (List.map snd sl.tau_shares)
+                in
+                sl.tau_shares <- evict_bad bad sl.tau_shares;
+                match tau_opt with
                 | Some tau ->
                     trace t ctx "send:prepare" (Printf.sprintf "seq=%d" seq);
                     broadcast_replicas t ctx (Types.Prepare { seq; view; tau })
@@ -524,7 +580,7 @@ and on_full_commit_proof t ctx ~seq ~view ~sigma =
   if sl.committed = None then begin
     match sl.pp with
     | Some (v, reqs, h) when Int.equal v view ->
-        Engine.charge ctx Cost_model.bls_verify;
+        Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
         if Threshold.verify (keys t).Keys.sigma ~msg:h sigma then begin
           sl.fast_cert <- Some (sigma, view, reqs);
           commit t ctx sl ~reqs ~view ~fast:true
@@ -546,12 +602,12 @@ and on_prepare t ctx ~seq ~view ~tau =
     if not sl.sent_commit then begin
       match sl.pp with
       | Some (v, reqs, h) when Int.equal v view ->
-          Engine.charge ctx Cost_model.bls_verify;
+          Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
           if Threshold.verify (keys t).Keys.tau ~msg:h tau then begin
             sl.sent_commit <- true;
             sl.prepare_tau <- Some tau;
             sl.highest_prepare <- Some (view, tau, reqs);
-            Engine.charge ctx Cost_model.bls_share_sign;
+            Engine.charge ctx (Cost_model.Tally.note "share_sign" Cost_model.bls_share_sign);
             let share =
               match t.byz with
               | Corrupt_shares -> Threshold.forge_invalid_share ~signer:(t.id + 1)
@@ -583,12 +639,13 @@ and on_commit t ctx ~seq ~view ~share =
             Sanitizer.check_quorum t.san Sanitizer.Tau
               ~count:(List.length sl.commit_shares);
             let k = Config.tau_threshold config in
-            Engine.charge ctx (Cost_model.bls_batch_verify k);
-            Engine.charge ctx (Cost_model.bls_combine k);
-            (match
-               Threshold.combine (keys t).Keys.tau ~msg:(Types.tau2_message tau)
-                 (List.map snd sl.commit_shares)
-             with
+            let tau_tau_opt, bad =
+              combine_shares t ctx ~scheme:(keys t).Keys.tau ~k ~group:false
+                ~msg:(Types.tau2_message tau)
+                (List.map snd sl.commit_shares)
+            in
+            sl.commit_shares <- evict_bad bad sl.commit_shares;
+            (match tau_tau_opt with
             | Some tau_tau ->
                 trace t ctx "send:full-commit-proof-slow" (Printf.sprintf "seq=%d" seq);
                 broadcast_replicas t ctx
@@ -604,7 +661,7 @@ and on_full_commit_proof_slow t ctx ~seq ~view ~tau ~tau_tau =
   if sl.committed = None then begin
     match sl.pp with
     | Some (v, reqs, h) when Int.equal v view ->
-        Engine.charge ctx (2 * Cost_model.bls_verify);
+        Engine.charge ctx (Cost_model.Tally.note "proof_verify" (2 * Cost_model.bls_verify));
         if
           Threshold.verify (keys t).Keys.tau ~msg:h tau
           && Threshold.verify (keys t).Keys.tau ~msg:(Types.tau2_message tau) tau_tau
@@ -662,7 +719,7 @@ and commit t ctx sl ~reqs ~view ~fast ~cert =
         cert;
       }
     in
-    Engine.charge ctx (Cost_model.persist_block (Sbft_store.Block_store.entry_size entry));
+    Engine.charge ctx (Cost_model.Tally.note "persist" (Cost_model.persist_block (Sbft_store.Block_store.entry_size entry)));
     Sbft_store.Block_store.add t.blocks entry;
     (* Fast-path checkpointing rule (§V-F). *)
     if fast then begin
@@ -682,7 +739,7 @@ and try_execute t ctx =
     | Some ({ committed = Some reqs; executed = false; _ } as sl) -> begin
         Sanitizer.record_execute t.san ~seq:next;
         sl.executed <- true;
-        Engine.charge ctx (t.env.exec_cost reqs);
+        Engine.charge ctx (Cost_model.Tally.note "exec" (t.env.exec_cost reqs));
         (* Exactly-once execution: a request re-proposed across a view
            change may appear in two committed blocks; the second
            occurrence deterministically degrades to a no-op (every
@@ -721,7 +778,7 @@ and try_execute t ctx =
            only at checkpoint boundaries. *)
         if config.Config.execution_acks || next mod Config.checkpoint_interval config = 0
         then begin
-          Engine.charge ctx Cost_model.bls_share_sign;
+          Engine.charge ctx (Cost_model.Tally.note "share_sign" Cost_model.bls_share_sign);
           (* A Byzantine replica may announce a bogus digest — its share
              is then a valid signature on the wrong message and lands in
              a separate bucket at the collector. *)
@@ -751,7 +808,7 @@ and try_execute t ctx =
                 (* Direct replies are signed server messages ([31]);
                    this per-request signing cost is exactly what
                    ingredient 3 removes. *)
-                Engine.charge ctx Cost_model.rsa_sign;
+                Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
                 send t ctx ~dst:r.client
                   (Types.Reply
                      {
@@ -801,13 +858,13 @@ and on_sign_state t ctx ~seq ~digest ~share =
           if (not sl.exec_proof_sent) && not (Hashtbl.mem t.checkpoint_pis seq) then begin
             Sanitizer.check_quorum t.san Sanitizer.Pi ~count:(List.length !bucket);
             let k = Config.pi_threshold config in
-            Engine.charge ctx (Cost_model.bls_batch_verify k);
-            Engine.charge ctx (Cost_model.bls_combine k);
-            match
-              Threshold.combine (keys t).Keys.pi
+            let pi_opt, bad =
+              combine_shares t ctx ~scheme:(keys t).Keys.pi ~k ~group:false
                 ~msg:(Types.pi_message ~seq ~digest)
                 (List.map snd !bucket)
-            with
+            in
+            bucket := evict_bad bad !bucket;
+            match pi_opt with
             | Some pi ->
                 sl.exec_proof_sent <- true;
                 Hashtbl.replace t.checkpoint_pis seq (pi, digest);
@@ -844,7 +901,7 @@ and maybe_send_acks t ctx sl =
                   Sbft_store.Auth_store.output_at t.store ~seq:sl.seq ~index )
               with
               | Some proof, Some value ->
-                  Engine.charge ctx (Cost_model.merkle_prove (List.length reqs));
+                  Engine.charge ctx (Cost_model.Tally.note "merkle" (Cost_model.merkle_prove (List.length reqs)));
                   send t ctx ~dst:r.client
                     (Types.Execute_ack
                        {
@@ -865,7 +922,7 @@ and maybe_send_acks t ctx sl =
   end
 
 and on_full_execute_proof t ctx ~seq ~digest ~pi ~src =
-  Engine.charge ctx Cost_model.bls_verify;
+  Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
   if Threshold.verify (keys t).Keys.pi ~msg:(Types.pi_message ~seq ~digest) pi then begin
     Hashtbl.replace t.checkpoint_pis seq (pi, digest);
     if seq > t.stable then begin
@@ -908,7 +965,7 @@ and on_query t ctx ~client ~qid ~query =
     -> (
       match Sbft_store.Auth_store.prove_query t.store ~key:query with
       | Some (value, proof) ->
-          Engine.charge ctx (Cost_model.merkle_prove 16);
+          Engine.charge ctx (Cost_model.Tally.note "merkle" (Cost_model.merkle_prove 16));
           send t ctx ~dst:client
             (Types.Query_resp { client; qid; seq; digest; pi; value; proof })
       | None -> ())
@@ -929,7 +986,7 @@ and on_get_block t ctx ~seq ~replica =
 and on_block_resp t ctx ~seq ~view ~reqs =
   let sl = slot t seq in
   if sl.pp = None then begin
-    Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+    Engine.charge ctx (Cost_model.Tally.note "hash" (Cost_model.sha256 (Types.requests_bytes reqs)));
     let h = Types.block_hash ~seq ~view ~reqs in
     sl.pp <- Some (view, reqs, h);
     try_pending_proofs t ctx sl
@@ -970,32 +1027,33 @@ and on_get_state t ctx ~upto ~replica =
 
 and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks =
   if snap_seq > last_executed t then begin
-    Engine.charge ctx Cost_model.bls_verify;
+    Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
     if Threshold.verify (keys t).Keys.pi ~msg:(Types.pi_message ~seq:snap_seq ~digest) pi
     then begin
-      Engine.charge ctx (Cost_model.sha256 (String.length snapshot));
-      match Sbft_store.Auth_store.load_snapshot t.store snapshot with
-      | Error _ -> ()
+      Engine.charge ctx (Cost_model.Tally.note "hash" (Cost_model.sha256 (String.length snapshot)));
+      (* Stage-then-swap: the snapshot is parsed and digest-checked in
+         scratch storage and installed only when it matches the
+         π-certified digest, so a corrupt payload can never clobber the
+         live store (it previously loaded first and checked after). *)
+      match Sbft_store.Auth_store.load_snapshot_checked t.store snapshot ~expect:digest with
+      | Error _ -> t.failures_observed <- true
       | Ok () ->
-          if String.equal (Sbft_store.Auth_store.digest t.store) digest then begin
-            trace t ctx "state-transfer" (Printf.sprintf "to=%d" snap_seq);
-            Sanitizer.record_state_transfer t.san ~seq:snap_seq;
-            if snap_seq > t.stable then t.stable <- snap_seq;
-            if snap_seq > t.ls then t.ls <- snap_seq;
-            (* Adopt and replay the certified suffix. *)
-            List.iter
-              (fun (s, view, reqs) ->
-                if Int.equal s (last_executed t + 1) then begin
-                  let sl = slot t s in
-                  Sanitizer.record_commit t.san ~seq:s ~view
-                    ~digest:(Types.block_hash ~seq:s ~view ~reqs);
-                  sl.committed <- Some reqs;
-                  sl.executed <- false;
-                  try_execute t ctx
-                end)
-              blocks
-          end
-          else t.failures_observed <- true
+          trace t ctx "state-transfer" (Printf.sprintf "to=%d" snap_seq);
+          Sanitizer.record_state_transfer t.san ~seq:snap_seq;
+          if snap_seq > t.stable then t.stable <- snap_seq;
+          if snap_seq > t.ls then t.ls <- snap_seq;
+          (* Adopt and replay the certified suffix. *)
+          List.iter
+            (fun (s, view, reqs) ->
+              if Int.equal s (last_executed t + 1) then begin
+                let sl = slot t s in
+                Sanitizer.record_commit t.san ~seq:s ~view
+                  ~digest:(Types.block_hash ~seq:s ~view ~reqs);
+                sl.committed <- Some reqs;
+                sl.executed <- false;
+                try_execute t ctx
+              end)
+            blocks
     end
   end
 
@@ -1054,7 +1112,7 @@ and start_view_change t ctx ~target_view =
     t.failures_observed <- true;
     trace t ctx "view-change" (Printf.sprintf "to=%d" target_view);
     let vc = { (build_view_change t) with Types.vc_view = target_view - 1 } in
-    Engine.charge ctx Cost_model.rsa_sign;
+    Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
     (* Broadcast so that other replicas can join after f+1 complaints. *)
     broadcast_replicas t ctx (Types.View_change vc)
   end
@@ -1063,7 +1121,7 @@ and on_view_change t ctx (vc : Types.view_change) =
   let config = cfg t in
   let target = vc.Types.vc_view + 1 in
   if target > t.view then begin
-    Engine.charge ctx Cost_model.rsa_verify;
+    Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
     let tbl =
       match Hashtbl.find_opt t.vc_msgs target with
       | Some tbl -> tbl
@@ -1088,7 +1146,7 @@ and on_view_change t ctx (vc : Types.view_change) =
            primary keeps must not depend on Hashtbl iteration order. *)
         let msgs = List.map snd (Det.sorted_bindings ~compare:Int.compare tbl) in
         (* Validate, keep a quorum of valid messages. *)
-        Engine.charge ctx (List.length msgs * Cost_model.bls_verify);
+        Engine.charge ctx (Cost_model.Tally.note "proof_verify" (List.length msgs * Cost_model.bls_verify));
         let valid = List.filter (View_change.validate_message ~keys:(keys t)) msgs in
         if List.length valid >= Config.quorum_vc config then begin
           let quorum = List.filteri (fun i _ -> i < Config.quorum_vc config) valid in
@@ -1105,7 +1163,7 @@ and on_new_view t ctx ~view ~proofs =
   if view > t.view then begin
     (* Every replica validates the proofs and recomputes the safe values
        for itself; the new-view message is self-certifying. *)
-    Engine.charge ctx (List.length proofs * (2 * Cost_model.bls_verify));
+    Engine.charge ctx (Cost_model.Tally.note "proof_verify" (List.length proofs * (2 * Cost_model.bls_verify)));
     let valid = List.filter (View_change.validate_message ~keys:(keys t)) proofs in
     if List.length valid >= Config.quorum_vc config then begin
       Sanitizer.check_quorum t.san Sanitizer.Vc ~count:(List.length valid);
@@ -1153,7 +1211,7 @@ and adopt_pre_prepare t ctx ~seq ~view ~reqs =
   let h = Types.block_hash ~seq ~view ~reqs in
   sl.pp <- Some (view, reqs, h);
   sl.sent_sign_share <- true;
-  Engine.charge ctx (2 * Cost_model.bls_share_sign);
+  Engine.charge ctx (Cost_model.Tally.note "share_sign" (2 * Cost_model.bls_share_sign));
   let sigma_share = Threshold.share_sign t.my.Keys.sigma_sk ~msg:h in
   let tau_share = Threshold.share_sign t.my.Keys.tau_sk ~msg:h in
   sl.highest_preprepare <- Some (view, sigma_share, reqs);

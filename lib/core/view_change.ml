@@ -34,7 +34,10 @@ let valid_fast_cert keys ~seq ~sender (cert : Types.fast_cert) =
   | Fast_preprepared { share; view; reqs } ->
       let h = Types.block_hash ~seq ~view ~reqs in
       Int.equal share.Threshold.signer (sender + 1)
-      && Threshold.share_verify keys.Keys.sigma ~msg:h share
+      (* A replica re-validating retransmitted view-change messages hits
+         the per-(signer, msg, value) verdict cache instead of redoing
+         the pairing check. *)
+      && Threshold.share_verify_cached keys.Keys.sigma ~msg:h share
   | Fast_committed { sigma; view; reqs } ->
       let h = Types.block_hash ~seq ~view ~reqs in
       Threshold.verify keys.Keys.sigma ~msg:h sigma

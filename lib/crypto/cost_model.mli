@@ -38,6 +38,17 @@ val bls_combine : int -> time
 (** [bls_combine k]: Lagrange interpolation in the exponent over [k]
     shares (collector-side, parallelized). *)
 
+val bls_combine_cached : int -> time
+(** [bls_combine_cached k]: interpolation when the Lagrange coefficient
+    vector for the signer set is already memoized — the inversion batch
+    and coefficient products are skipped ({!Threshold.combine_verified}
+    reports the memo hit). *)
+
+val bls_identify : int -> time
+(** [bls_identify fresh]: robust per-share identification after a failed
+    combined-signature check — one full share verification per cache
+    miss (a batch check cannot name the culprits). *)
+
 val group_combine : int -> time
 (** n-of-n group-signature combination (additions only — cheap). *)
 
@@ -75,3 +86,21 @@ val evm_execute_tx : time
 val message_auth_check : time
 (** Point-to-point channel authentication check per message (TLS record
     MAC), charged by the network receive path indirectly. *)
+
+(** Per-operation accounting of charged virtual CPU, for the benchmark
+    regression harness's per-crypto-op breakdown.  Host-side diagnostic
+    state only: written as charges happen, read by the harness between
+    runs, never consulted by protocol code (so replay determinism is
+    unaffected).  Disabled until the first {!Tally.reset}, so ordinary
+    runs pay no accounting cost. *)
+module Tally : sig
+  val reset : unit -> unit
+  (** Clear all counters and enable collection. *)
+
+  val note : string -> time -> time
+  (** [note label t] records [t] against [label] (when enabled) and
+      returns [t], so charge sites wrap in place. *)
+
+  val snapshot : unit -> (string * time) list
+  (** Accumulated virtual nanoseconds per label, sorted by label. *)
+end

@@ -18,6 +18,23 @@ val share_sign : signing_key -> msg:string -> share
 val share_verify : t -> msg:string -> share -> bool
 
 val combine : t -> msg:string -> share list -> signature option
-(** Requires a valid share from {e every} one of the [n] signers. *)
+(** Requires a valid share from {e every} one of the [n] signers, each
+    verified individually before summation. *)
 
 val verify : t -> msg:string -> signature -> bool
+
+(** Result of an optimistic {!combine_verified} call. *)
+type outcome = {
+  signature : signature option;
+      (** [None] when a signer is missing or (after fallback) a share
+          was invalid — n-of-n combination admits no exclusion. *)
+  fallback : bool;  (** the combined check failed; identification ran *)
+  bad_signers : int list;  (** invalid signers, ascending *)
+}
+
+val combine_verified : t -> msg:string -> share list -> outcome
+(** Optimistic combine-then-verify: sums all [n] shares without
+    per-share checks and verifies the single combined signature.  On
+    failure, identifies the bad signers so the caller can switch to the
+    threshold scheme without them (the paper's group-signature fast
+    mode falls back to threshold signatures on the first failure). *)

@@ -13,36 +13,31 @@ let eval t x =
   done;
   !acc
 
-let lagrange_at_zero points =
-  let xs = List.map fst points in
-  if List.exists (Field.equal Field.zero) xs then
-    invalid_arg "lagrange_at_zero: zero x-coordinate";
-  let rec check_distinct = function
-    | [] -> ()
-    | x :: rest ->
-        if List.exists (Field.equal x) rest then
-          invalid_arg "lagrange_at_zero: duplicate x-coordinate";
-        check_distinct rest
-  in
-  check_distinct xs;
+let lagrange_coeffs_at_zero xs =
+  if Array.exists (Field.equal Field.zero) xs then
+    invalid_arg "lagrange_coeffs_at_zero: zero x-coordinate";
+  Array.iteri
+    (fun i xi ->
+      for j = i + 1 to Array.length xs - 1 do
+        if Field.equal xi xs.(j) then
+          invalid_arg "lagrange_coeffs_at_zero: duplicate x-coordinate"
+      done)
+    xs;
   (* value = sum_i y_i * prod_{j<>i} x_j / (x_j - x_i).
      With N = prod_j x_j the i-th coefficient is N / (x_i * prod_{j<>i}
      (x_j - x_i)); all k denominators are inverted together with
      Montgomery's batch-inversion trick (3k multiplications + one field
      inversion instead of O(k^2) inversions — this function dominates
-     collector cost at n ~ 200). *)
-  let pts = Array.of_list points in
-  let k = Array.length pts in
-  let numerator = Array.fold_left (fun acc (x, _) -> Field.mul acc x) Field.one pts in
+     collector cost at n ~ 200, which is why {!Sbft_crypto.Threshold}
+     memoizes its result per signer set). *)
+  let k = Array.length xs in
+  let numerator = Array.fold_left Field.mul Field.one xs in
   let denoms =
     Array.init k (fun i ->
-        let xi, _ = pts.(i) in
+        let xi = xs.(i) in
         let p = ref xi in
         for j = 0 to k - 1 do
-          if not (Int.equal j i) then begin
-            let xj, _ = pts.(j) in
-            p := Field.mul !p (Field.sub xj xi)
-          end
+          if not (Int.equal j i) then p := Field.mul !p (Field.sub xs.(j) xi)
         done;
         !p)
   in
@@ -52,14 +47,21 @@ let lagrange_at_zero points =
     prefix.(i + 1) <- Field.mul prefix.(i) denoms.(i)
   done;
   let inv_all = ref (Field.inv prefix.(k)) in
-  let inv_denoms = Array.make k Field.one in
+  let coeffs = Array.make k Field.one in
   for i = k - 1 downto 0 do
-    inv_denoms.(i) <- Field.mul !inv_all prefix.(i);
+    coeffs.(i) <- Field.mul numerator (Field.mul !inv_all prefix.(i));
     inv_all := Field.mul !inv_all denoms.(i)
   done;
+  coeffs
+
+let interpolate_at_zero ~coeffs ys =
+  if not (Int.equal (Array.length coeffs) (Array.length ys)) then
+    invalid_arg "interpolate_at_zero: coefficient/value length mismatch";
   let acc = ref Field.zero in
-  for i = 0 to k - 1 do
-    let _, yi = pts.(i) in
-    acc := Field.add !acc (Field.mul yi (Field.mul numerator inv_denoms.(i)))
-  done;
+  Array.iteri (fun i c -> acc := Field.add !acc (Field.mul c ys.(i))) coeffs;
   !acc
+
+let lagrange_at_zero points =
+  let pts = Array.of_list points in
+  let coeffs = lagrange_coeffs_at_zero (Array.map fst pts) in
+  interpolate_at_zero ~coeffs (Array.map snd pts)

@@ -18,3 +18,18 @@ val lagrange_at_zero : (Field.t * Field.t) list -> Field.t
     [points = (x_i, y_i)] (distinct, nonzero [x_i]) and evaluates it at
     0.  This is the share-combination step of the threshold scheme.
     @raise Invalid_argument on duplicate or zero x-coordinates. *)
+
+val lagrange_coeffs_at_zero : Field.t array -> Field.t array
+(** [lagrange_coeffs_at_zero xs] is the vector [c] of Lagrange basis
+    coefficients at zero for abscissae [xs]: the interpolated value at 0
+    of any polynomial sampled at [xs] is [sum_i c_i * y_i].  The
+    coefficients depend only on the signer set, so combiners that see
+    the same set repeatedly can memoize them ({!interpolate_at_zero}
+    applies a memoized vector).
+    @raise Invalid_argument on duplicate or zero x-coordinates. *)
+
+val interpolate_at_zero : coeffs:Field.t array -> Field.t array -> Field.t
+(** [interpolate_at_zero ~coeffs ys] evaluates [sum_i coeffs_i * ys_i]
+    — the cheap half of {!lagrange_at_zero} once the coefficients are
+    known.
+    @raise Invalid_argument on a length mismatch. *)

@@ -38,11 +38,59 @@ val signer_index : signing_key -> int
 val share_sign : signing_key -> msg:string -> share
 val share_verify : t -> msg:string -> share -> bool
 
+val share_verify_cached : t -> msg:string -> share -> bool
+(** {!share_verify} through the scheme's per-(signer, message, value)
+    verdict cache: a share the scheme instance has already checked
+    (re-delivery, a second collector on the same node, view-change
+    re-validation) is answered from the cache without recomputation.
+    The cache key includes the claimed share value, so a Byzantine
+    signer re-sending a different share always verifies afresh. *)
+
 val combine : t -> msg:string -> share list -> signature option
-(** Filters invalid shares and combines the first [k] valid ones;
-    [None] if fewer than [k] valid shares are present. *)
+(** Pessimistic robust combination: verifies every share, drops invalid
+    ones and duplicate signers, and combines the first [k] valid ones;
+    [None] if fewer than [k] valid shares are present.  Costs O(k)
+    per-share verifications even when all signers are honest — prefer
+    {!combine_verified} on hot paths. *)
 
 val combine_exn : t -> msg:string -> share list -> signature
+
+(** Result of an optimistic {!combine_verified} call.  The counters let
+    the caller charge simulated CPU for exactly the work performed. *)
+type outcome = {
+  signature : signature option;
+      (** The combined signature, or [None] when fewer than [k] valid
+          shares were available. *)
+  fallback : bool;
+      (** The optimistic combined-signature check failed (an invalid
+          share was present) and per-share identification ran. *)
+  bad_signers : int list;
+      (** Signers whose shares failed verification during fallback
+          identification (ascending; empty on the optimistic path).
+          Callers should evict these from their stashes. *)
+  coeffs_cached : bool;
+      (** The Lagrange coefficient vector for the first combination was
+          served from the signer-set memo. *)
+  recombine_cached : bool;
+      (** Same, for the post-fallback recombination (meaningful only
+          when [fallback] and [signature] is [Some _]). *)
+  fresh_checks : int;
+      (** Per-share verifications actually computed during fallback —
+          cache hits from re-delivered shares are excluded. *)
+}
+
+val combine_verified : t -> msg:string -> share list -> outcome
+(** Optimistic combine-then-verify (the collector linearity argument of
+    paper §IV): combine [k] shares {e without} verifying any of them,
+    check the single combined signature, and only if that check fails
+    fall back to robust per-share identification — excluding exactly
+    the bad signers and recombining from the valid remainder.  With
+    honest signers this costs one interpolation plus one signature
+    verification instead of [k] share verifications; Byzantine shares
+    cost one extra identification pass, and the per-(signer, message)
+    cache makes re-delivered shares free.  The recombined fallback
+    signature is built solely from individually verified shares, so it
+    needs no second combined check. *)
 
 val verify : t -> msg:string -> signature -> bool
 

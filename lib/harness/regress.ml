@@ -1,0 +1,357 @@
+open Sbft_sim
+
+(* Benchmark regression harness (CI gate).
+
+   Runs a fixed grid of quick-scale scenarios, captures throughput,
+   latency percentiles, and the per-crypto-op simulated-CPU breakdown
+   (Cost_model.Tally), and emits BENCH_<n>.json.  A committed baseline
+   (bench/baseline.json) plus tolerance bands turns any later
+   performance change — protocol or cost-model — into a CI failure.
+
+   Everything measured is *virtual* time from the deterministic
+   simulator, so the numbers are bit-identical across hosts and reruns:
+   the tolerance bands exist to absorb legitimate protocol evolution
+   (reviewed via baseline updates), not host noise. *)
+
+type entry = {
+  name : string;
+  protocol : string;
+  n : int;
+  f : int;
+  c : int;
+  clients : int;
+  throughput_ops : float;
+  p50_ms : float;
+  p99_ms : float;
+  fast_fraction : float;
+  crypto_us : (string * float) list;
+}
+
+type report = { schema : string; entries : entry list }
+
+let schema_id = "sbft-bench-v1"
+
+(* ------------------------------------------------------------------ *)
+(* The scenario grid *)
+
+let grid_scenario ~scale ~name ?(failures = 0) ?(tweak = Fun.id) ~protocol () =
+  let duration =
+    match scale with `Quick -> Engine.ms 600 | `Full -> Engine.sec 2
+  in
+  ( name,
+    Scenario.default ~topology:`Lan ~warmup:(Engine.ms 200) ~duration ~seed:11L
+      ~failures ~tweak ~protocol ~f:1
+      ~workload:(Scenario.Kv { batching = true })
+      ~num_clients:4 () )
+
+(* The two sbft-fast-* rows are the headline comparison: identical
+   scenario, optimistic combine-then-verify on vs. the pessimistic
+   verify-every-share baseline. *)
+let grid (scale : Experiments.scale) =
+  let s = grid_scenario ~scale in
+  [
+    s ~name:"sbft-fast-optimistic" ~protocol:(Scenario.SBFT 0) ();
+    s ~name:"sbft-fast-pershare" ~protocol:(Scenario.SBFT 0)
+      ~tweak:(fun c -> { c with Sbft_core.Config.optimistic_combine = false })
+      ();
+    s ~name:"sbft-c1" ~protocol:(Scenario.SBFT 1) ();
+    s ~name:"sbft-slowpath" ~protocol:(Scenario.SBFT 0) ~failures:1 ();
+    s ~name:"linear-pbft" ~protocol:Scenario.Linear_PBFT ();
+    s ~name:"pbft" ~protocol:Scenario.PBFT ();
+  ]
+
+let c_of_protocol = function Scenario.SBFT c -> c | _ -> 0
+
+let entry_of_point ~name (p : Scenario.point) ~crypto =
+  let s = p.Scenario.scenario in
+  let c = c_of_protocol s.Scenario.protocol in
+  (* n flows from Config (R4), through the same constructor the
+     scenario itself uses. *)
+  let n =
+    match s.Scenario.protocol with
+    | Scenario.SBFT c -> Sbft_core.Config.n (Sbft_core.Config.sbft ~f:s.Scenario.f ~c)
+    | _ -> Sbft_core.Config.n (Sbft_core.Config.linear_pbft ~f:s.Scenario.f)
+  in
+  {
+    name;
+    protocol = Scenario.protocol_name s.Scenario.protocol;
+    n;
+    f = s.Scenario.f;
+    c;
+    clients = s.Scenario.num_clients;
+    throughput_ops = p.Scenario.throughput_ops;
+    p50_ms = p.Scenario.median_latency_ms;
+    p99_ms = p.Scenario.p99_latency_ms;
+    fast_fraction = p.Scenario.fast_fraction;
+    crypto_us =
+      List.map
+        (fun (label, ns) -> (label, float_of_int ns /. 1_000.))
+        crypto;
+  }
+
+let measure scale =
+  let entries =
+    List.map
+      (fun (name, sc) ->
+        Sbft_crypto.Cost_model.Tally.reset ();
+        let p = Scenario.run sc in
+        let crypto = Sbft_crypto.Cost_model.Tally.snapshot () in
+        entry_of_point ~name p ~crypto)
+      (grid scale)
+  in
+  { schema = schema_id; entries }
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip *)
+
+open Report.Json
+
+let json_of_entry e =
+  Obj
+    [
+      ("name", Str e.name);
+      ("protocol", Str e.protocol);
+      ("n", Num (float_of_int e.n));
+      ("f", Num (float_of_int e.f));
+      ("c", Num (float_of_int e.c));
+      ("clients", Num (float_of_int e.clients));
+      ("throughput_ops", Num e.throughput_ops);
+      ("p50_ms", Num e.p50_ms);
+      ("p99_ms", Num e.p99_ms);
+      ("fast_fraction", Num e.fast_fraction);
+      ("crypto_us", Obj (List.map (fun (l, v) -> (l, Num v)) e.crypto_us));
+    ]
+
+let to_json r =
+  to_string
+    (Obj
+       [
+         ("schema", Str r.schema);
+         ("entries", Arr (List.map json_of_entry r.entries));
+       ])
+
+let entry_of_json j =
+  let str key =
+    match Option.bind (member key j) to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" key)
+  in
+  let num key =
+    match Option.bind (member key j) to_float with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "missing numeric field %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* name = str "name" in
+  let* protocol = str "protocol" in
+  let* n = num "n" in
+  let* f = num "f" in
+  let* c = num "c" in
+  let* clients = num "clients" in
+  let* throughput_ops = num "throughput_ops" in
+  let* p50_ms = num "p50_ms" in
+  let* p99_ms = num "p99_ms" in
+  let* fast_fraction = num "fast_fraction" in
+  let* crypto_us =
+    match member "crypto_us" j with
+    | Some (Obj fields) ->
+        List.fold_left
+          (fun acc (label, v) ->
+            let* acc = acc in
+            match to_float v with
+            | Some x -> Ok ((label, x) :: acc)
+            | None -> Error (Printf.sprintf "bad crypto_us entry %S" label))
+          (Ok []) fields
+        |> Result.map List.rev
+    | _ -> Error "missing crypto_us object"
+  in
+  Ok
+    {
+      name;
+      protocol;
+      n = int_of_float n;
+      f = int_of_float f;
+      c = int_of_float c;
+      clients = int_of_float clients;
+      throughput_ops;
+      p50_ms;
+      p99_ms;
+      fast_fraction;
+      crypto_us;
+    }
+
+let of_json s =
+  let ( let* ) = Result.bind in
+  let* j = parse s in
+  let* schema =
+    match Option.bind (member "schema" j) to_str with
+    | Some s -> Ok s
+    | None -> Error "missing schema field"
+  in
+  let* () =
+    if String.equal schema schema_id then Ok ()
+    else Error (Printf.sprintf "unknown schema %S (want %S)" schema schema_id)
+  in
+  let* entries =
+    match member "entries" j with
+    | Some (Arr items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* e = entry_of_json item in
+            Ok (e :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+    | _ -> Error "missing entries array"
+  in
+  Ok { schema; entries }
+
+let write ~path r =
+  let oc = open_out path in
+  output_string oc (to_json r);
+  close_out oc
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      of_json s
+
+(* ------------------------------------------------------------------ *)
+(* Tolerance-band comparison *)
+
+type tolerance = {
+  rel_throughput : float;
+  rel_latency : float;
+  abs_latency_floor_ms : float;
+  abs_fast_fraction : float;
+  rel_crypto : float;
+  abs_crypto_floor_us : float;
+}
+
+(* The simulation is deterministic, so identical code reproduces the
+   baseline bit-for-bit; the bands only absorb incidental drift from
+   unrelated changes (batch timing, message sizes, ...).  Anything
+   larger is a deliberate performance change and must ship with a
+   baseline update. *)
+let default_tolerance =
+  {
+    rel_throughput = 0.10;
+    rel_latency = 0.10;
+    abs_latency_floor_ms = 0.5;
+    abs_fast_fraction = 0.05;
+    rel_crypto = 0.15;
+    abs_crypto_floor_us = 100.;
+  }
+
+let rel_delta ~base ~cur =
+  if Float.equal base 0.0 then if Float.equal cur 0.0 then 0.0 else infinity
+  else Float.abs (cur -. base) /. Float.abs base
+
+let find_entry name entries =
+  List.find_opt (fun e -> String.equal e.name name) entries
+
+let compare_entry ~tol (base : entry) (cur : entry) =
+  let v = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> v := Printf.sprintf "%s: %s" base.name s :: !v) fmt
+  in
+  if
+    not
+      (String.equal base.protocol cur.protocol
+      && Int.equal base.n cur.n && Int.equal base.f cur.f
+      && Int.equal base.c cur.c
+      && Int.equal base.clients cur.clients)
+  then
+    violation "scenario shape changed (protocol/n/f/c/clients); update the baseline";
+  let d = rel_delta ~base:base.throughput_ops ~cur:cur.throughput_ops in
+  if d > tol.rel_throughput then
+    violation "throughput %.0f ops/s vs baseline %.0f (%+.1f%%, band ±%.0f%%)"
+      cur.throughput_ops base.throughput_ops
+      (100. *. (cur.throughput_ops -. base.throughput_ops) /. base.throughput_ops)
+      (100. *. tol.rel_throughput);
+  let latency label base_ms cur_ms =
+    if
+      Float.abs (cur_ms -. base_ms) > tol.abs_latency_floor_ms
+      && rel_delta ~base:base_ms ~cur:cur_ms > tol.rel_latency
+    then
+      violation "%s %.2f ms vs baseline %.2f (band ±%.0f%% or %.1f ms)" label
+        cur_ms base_ms (100. *. tol.rel_latency) tol.abs_latency_floor_ms
+  in
+  latency "p50" base.p50_ms cur.p50_ms;
+  latency "p99" base.p99_ms cur.p99_ms;
+  if Float.abs (cur.fast_fraction -. base.fast_fraction) > tol.abs_fast_fraction
+  then
+    violation "fast_fraction %.3f vs baseline %.3f (band ±%.2f)"
+      cur.fast_fraction base.fast_fraction tol.abs_fast_fraction;
+  let labels =
+    List.sort_uniq String.compare
+      (List.map fst base.crypto_us @ List.map fst cur.crypto_us)
+  in
+  List.iter
+    (fun label ->
+      let get e = Option.value (List.assoc_opt label e.crypto_us) ~default:0.0 in
+      let b = get base and c = get cur in
+      if
+        Float.abs (c -. b) > tol.abs_crypto_floor_us
+        && rel_delta ~base:b ~cur:c > tol.rel_crypto
+      then
+        violation "crypto[%s] %.0f us vs baseline %.0f (band ±%.0f%% or %.0f us)"
+          label c b (100. *. tol.rel_crypto) tol.abs_crypto_floor_us)
+    labels;
+  List.rev !v
+
+let compare_reports ?(tol = default_tolerance) ~baseline ~current () =
+  let violations = ref [] in
+  List.iter
+    (fun (base : entry) ->
+      match find_entry base.name current.entries with
+      | None ->
+          violations :=
+            Printf.sprintf "%s: present in baseline but not measured" base.name
+            :: !violations
+      | Some cur -> violations := List.rev_append (compare_entry ~tol base cur) !violations)
+    baseline.entries;
+  List.iter
+    (fun (cur : entry) ->
+      if find_entry cur.name baseline.entries = None then
+        violations :=
+          Printf.sprintf "%s: measured but absent from the baseline (update it)"
+            cur.name
+          :: !violations)
+    current.entries;
+  List.rev !violations
+
+(* Headline number: optimistic combine-then-verify vs. per-share
+   verification on the same scenario. *)
+let optimistic_speedup r =
+  match
+    ( find_entry "sbft-fast-optimistic" r.entries,
+      find_entry "sbft-fast-pershare" r.entries )
+  with
+  | Some opt, Some pess when pess.throughput_ops > 0.0 ->
+      Some (opt.throughput_ops /. pess.throughput_ops)
+  | _ -> None
+
+let print r =
+  Printf.printf "\nBenchmark regression grid (%s)\n%s\n" r.schema
+    (String.make 96 '-');
+  Printf.printf "%-22s %-18s %3s %8s %10s %8s %8s %6s\n" "scenario" "protocol"
+    "n" "clients" "ops/s" "p50 ms" "p99 ms" "fast%";
+  List.iter
+    (fun e ->
+      Printf.printf "%-22s %-18s %3d %8d %10.0f %8.1f %8.1f %5.0f%%\n" e.name
+        e.protocol e.n e.clients e.throughput_ops e.p50_ms e.p99_ms
+        (100. *. e.fast_fraction))
+    r.entries;
+  Printf.printf "%s\n" (String.make 96 '-');
+  (match optimistic_speedup r with
+  | Some s ->
+      Printf.printf
+        "optimistic combine-then-verify speedup vs per-share verification: %.2fx\n"
+        s
+  | None -> ());
+  Printf.printf "%!"

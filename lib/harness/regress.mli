@@ -1,0 +1,70 @@
+(** Benchmark regression harness: a fixed quick-scale scenario grid, a
+    machine-readable JSON report ([BENCH_<n>.json]), and a
+    tolerance-band comparator against a committed baseline
+    ([bench/baseline.json]) — the CI gate that turns simulated
+    performance changes into build failures.
+
+    All measurements are virtual time from the deterministic simulator,
+    so reports are bit-identical across hosts; the tolerance bands
+    absorb legitimate protocol drift (reviewed via baseline updates),
+    not noise. *)
+
+type entry = {
+  name : string;  (** grid row id, e.g. ["sbft-fast-optimistic"] *)
+  protocol : string;
+  n : int;
+  f : int;
+  c : int;
+  clients : int;
+  throughput_ops : float;
+  p50_ms : float;
+  p99_ms : float;
+  fast_fraction : float;
+  crypto_us : (string * float) list;
+      (** per-label simulated CPU (virtual microseconds) charged during
+          the run, from {!Sbft_crypto.Cost_model.Tally} — sorted by
+          label *)
+}
+
+type report = { schema : string; entries : entry list }
+
+val schema_id : string
+(** ["sbft-bench-v1"]. *)
+
+val measure : Experiments.scale -> report
+(** Run the grid.  The two [sbft-fast-*] rows are the same scenario
+    with optimistic combining on vs. the per-share-verification
+    baseline ([Config.optimistic_combine = false]). *)
+
+val to_json : report -> string
+
+val of_json : string -> (report, string) result
+(** Rejects schemas other than {!schema_id}. *)
+
+val write : path:string -> report -> unit
+val load : path:string -> (report, string) result
+
+(** Per-metric tolerance bands; a relative band paired with an absolute
+    floor ignores noise on near-zero values. *)
+type tolerance = {
+  rel_throughput : float;
+  rel_latency : float;
+  abs_latency_floor_ms : float;
+  abs_fast_fraction : float;
+  rel_crypto : float;
+  abs_crypto_floor_us : float;
+}
+
+val default_tolerance : tolerance
+
+val compare_reports :
+  ?tol:tolerance -> baseline:report -> current:report -> unit -> string list
+(** One human-readable violation per out-of-band metric, in baseline
+    order; empty means the gate passes.  Scenario set or shape changes
+    are violations too — they require a reviewed baseline update. *)
+
+val optimistic_speedup : report -> float option
+(** Throughput ratio [sbft-fast-optimistic / sbft-fast-pershare]. *)
+
+val print : report -> unit
+(** Table + headline speedup to stdout. *)

@@ -1,4 +1,27 @@
-(** Table and CSV rendering of benchmark points. *)
+(** Table, CSV, and JSON rendering of benchmark points. *)
+
+(** Minimal dependency-free JSON used by the benchmark regression
+    reports ({!Regress}): a deterministic pretty-printing emitter and a
+    parser that reads back what the emitter writes. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Pretty-printed (2-space indent, trailing newline), deterministic:
+      field order is preserved, so committed baselines diff cleanly. *)
+
+  val parse : string -> (t, string) result
+
+  val member : string -> t -> t option
+  val to_float : t -> float option
+  val to_str : t -> string option
+end
 
 val print_throughput_table :
   title:string -> clients:int list -> rows:(string * Scenario.point list) list -> unit

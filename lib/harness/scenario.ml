@@ -38,6 +38,7 @@ type point = {
   median_latency_ms : float;
   mean_latency_ms : float;
   p90_latency_ms : float;
+  p99_latency_ms : float;
   completed_requests : int;
   messages : int;
   bytes : int;
@@ -151,6 +152,7 @@ let run t =
       median_latency_ms = Stats.Latency.median_ms latency;
       mean_latency_ms = Stats.Latency.mean_ms latency;
       p90_latency_ms = Stats.Latency.percentile_ms latency 0.9;
+      p99_latency_ms = Stats.Latency.percentile_ms latency 0.99;
       completed_requests = completed;
       messages;
       bytes;

@@ -54,6 +54,7 @@ type point = {
   median_latency_ms : float;
   mean_latency_ms : float;
   p90_latency_ms : float;
+  p99_latency_ms : float;
   completed_requests : int;
   messages : int;
   bytes : int;

@@ -122,7 +122,7 @@ let send t ctx ~dst msg = t.env.send ctx ~src:t.id ~dst msg
 (* All-to-all broadcast with one RSA signature by the sender; every
    receiver pays one verification (charged on receipt). *)
 let broadcast t ctx msg =
-  Engine.charge ctx Cost_model.rsa_sign;
+  Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
   for r = 0 to n_replicas t - 1 do
     send t ctx ~dst:r msg
   done
@@ -140,36 +140,36 @@ let rec on_message t ctx ~src msg =
   match msg with
   | Pbft_types.Request r -> on_request t ctx r
   | Pbft_types.Pre_prepare { seq; view; reqs } ->
-      Engine.charge ctx Cost_model.rsa_verify;
+      Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
       on_pre_prepare t ctx ~seq ~view ~reqs
   | Pbft_types.Prepare { seq; view; h; replica } ->
-      Engine.charge ctx Cost_model.rsa_verify;
+      Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
       on_prepare t ctx ~seq ~view ~h ~replica
   | Pbft_types.Commit { seq; view; h; replica } ->
-      Engine.charge ctx Cost_model.rsa_verify;
+      Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
       on_commit t ctx ~seq ~view ~h ~replica
   | Pbft_types.Checkpoint { seq; digest; replica } ->
-      Engine.charge ctx Cost_model.rsa_verify;
+      Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
       on_checkpoint t ctx ~seq ~digest ~replica
   | Pbft_types.View_change { view; ls; prepared; replica } ->
-      Engine.charge ctx Cost_model.rsa_verify;
+      Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
       on_view_change t ctx ~view ~ls ~prepared ~replica
   | Pbft_types.New_view { view; pre_prepares } ->
-      Engine.charge ctx Cost_model.rsa_verify;
+      Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
       on_new_view t ctx ~view ~pre_prepares
   | Pbft_types.Reply _ -> ()
 
 and on_request t ctx (r : Types.request) =
   match Hashtbl.find_opt t.client_table r.Types.client with
   | Some (ts, value, seq) when ts >= r.Types.timestamp ->
-      Engine.charge ctx Cost_model.rsa_sign;
+      Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
       send t ctx ~dst:r.Types.client
         (Pbft_types.Reply
            { view = t.view; replica = t.id; client = r.Types.client; timestamp = ts; seq; value })
   | _ ->
       if is_primary t then begin
         if not (Hashtbl.mem t.pending_keys (r.Types.client, r.Types.timestamp)) then begin
-          Engine.charge ctx Cost_model.rsa_verify;
+          Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
           if Keys.verify_request t.env.keys r then begin
             Hashtbl.replace t.pending_keys (r.Types.client, r.Types.timestamp) ();
             Queue.push r t.pending;
@@ -231,7 +231,7 @@ and propose t ctx batch =
       reqs;
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+    Engine.charge ctx (Cost_model.Tally.note "hash" (Cost_model.sha256 (Types.requests_bytes reqs)));
     trace t ctx "send:pre-prepare" (Printf.sprintf "seq=%d batch=%d" seq batch);
     broadcast t ctx (Pbft_types.Pre_prepare { seq; view = t.view; reqs })
   end
@@ -244,9 +244,9 @@ and on_pre_prepare t ctx ~seq ~view ~reqs =
     && seq <= t.ls + config.Config.win
   then begin
     let real = List.filter (fun (r : Types.request) -> r.Types.client >= 0) reqs in
-    Engine.charge ctx (List.length real * Cost_model.rsa_verify);
+    Engine.charge ctx (Cost_model.Tally.note "rsa_verify" (List.length real * Cost_model.rsa_verify));
     if List.for_all (fun r -> Keys.verify_request t.env.keys r) real then begin
-      Engine.charge ctx (Cost_model.sha256 (Types.requests_bytes reqs));
+      Engine.charge ctx (Cost_model.Tally.note "hash" (Cost_model.sha256 (Types.requests_bytes reqs)));
       let h = Pbft_types.block_hash ~seq ~view ~reqs in
       sl.pp <- Some (view, reqs, h);
       List.iter (mark_outstanding t) real;
@@ -309,7 +309,7 @@ and check_committed t ctx sl =
       sl.committed <- Some reqs;
       t.n_committed <- t.n_committed + 1;
       note_progress t ctx;
-      Engine.charge ctx (Cost_model.persist_block (Types.requests_bytes reqs));
+      Engine.charge ctx (Cost_model.Tally.note "persist" (Cost_model.persist_block (Types.requests_bytes reqs)));
       trace t ctx "commit" (Printf.sprintf "seq=%d" sl.seq);
       try_execute t ctx;
       if is_primary t then try_propose t ctx
@@ -324,7 +324,7 @@ and try_execute t ctx =
     | Some ({ committed = Some reqs; executed = false; _ } as sl) ->
         Sanitizer.record_execute t.san ~seq:next;
         sl.executed <- true;
-        Engine.charge ctx (t.env.exec_cost reqs);
+        Engine.charge ctx (Cost_model.Tally.note "exec" (t.env.exec_cost reqs));
         let is_dup (r : Types.request) =
           r.Types.client >= 0
           &&
@@ -342,7 +342,7 @@ and try_execute t ctx =
               (match Hashtbl.find_opt t.client_table r.Types.client with
               | Some (ts, _, _) when ts >= r.Types.timestamp -> ()
               | _ -> Hashtbl.replace t.client_table r.Types.client (r.Types.timestamp, value, next));
-              Engine.charge ctx Cost_model.rsa_sign;
+              Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
               send t ctx ~dst:r.Types.client
                 (Pbft_types.Reply
                    {
@@ -358,7 +358,7 @@ and try_execute t ctx =
         (* Periodic checkpoint: all-to-all digest votes (the quadratic
            protocol SBFT's ingredient 3 replaces). *)
         if next mod Config.checkpoint_interval config = 0 then begin
-          Engine.charge ctx (Cost_model.sha256 64);
+          Engine.charge ctx (Cost_model.Tally.note "hash" (Cost_model.sha256 64));
           broadcast t ctx
             (Pbft_types.Checkpoint
                { seq = next; digest = state_digest t; replica = t.id })

@@ -241,7 +241,8 @@ let delayed_snapshot t =
   and map = t.map in
   lazy (snapshot_of ~last_executed ~last_ops_root map)
 
-let load_snapshot t s =
+(* Parse a snapshot into scratch values without touching [t]. *)
+let parse_snapshot s =
   match
     let r = Codec.Reader.of_string s in
     if Codec.Reader.raw r 4 <> "SNAP" then Error "bad magic"
@@ -259,13 +260,26 @@ let load_snapshot t s =
     end
   with
   | exception Codec.Reader.Truncated -> Error "truncated snapshot"
-  | Error e -> Error e
-  | Ok (seq, ops_root, map) ->
-      t.map <- map;
-      t.last_executed <- seq;
-      t.last_ops_root <- ops_root;
-      Hashtbl.reset t.blocks;
-      Ok ()
+  | v -> v
+
+let install t (seq, ops_root, map) =
+  t.map <- map;
+  t.last_executed <- seq;
+  t.last_ops_root <- ops_root;
+  Hashtbl.reset t.blocks
+
+let load_snapshot t s =
+  Result.map (install t) (parse_snapshot s)
+
+let load_snapshot_checked t s ~expect =
+  match parse_snapshot s with
+  | Error _ as e -> e
+  | Ok ((seq, ops_root, map) as staged) ->
+      let d =
+        compute_digest ~seq ~state_root:(Merkle_map.root map) ~ops_root
+      in
+      if String.equal d expect then Ok (install t staged)
+      else Error "snapshot digest mismatch"
 
 let snapshot_digest_info s =
   match

@@ -102,5 +102,13 @@ val delayed_snapshot : t -> string Lazy.t
 val load_snapshot : t -> string -> (unit, string) result
 (** Replaces the store's state with the snapshot's. *)
 
+val load_snapshot_checked :
+  t -> string -> expect:string -> (unit, string) result
+(** Stages the snapshot in scratch storage, computes its state digest,
+    and installs it {e only} if the digest equals [expect] — the store
+    is untouched on any error, so an unverified snapshot can never
+    clobber live state.  This is the entry point state transfer must
+    use: the caller supplies the π-certified digest as [expect]. *)
+
 val snapshot_digest_info : string -> (int * string) option
 (** [(seq, ops_root)] carried by a snapshot, without loading it. *)

@@ -265,6 +265,160 @@ let test_threshold_cross_scheme_isolation () =
   let sig1 = Threshold.combine_exn s1 ~msg shares in
   check "isolated" false (Threshold.verify s2 ~msg sig1)
 
+let check_int = Alcotest.(check int)
+
+let test_combine_verified_optimistic () =
+  (* k honest shares: the optimistic path combines and checks the single
+     combined signature with zero per-share verifications. *)
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:7 ~k:5 in
+  let msg = "block" in
+  let shares = Array.to_list (Array.map (fun k -> Threshold.share_sign k ~msg) keys) in
+  let o = Threshold.combine_verified scheme ~msg shares in
+  check "no fallback" false o.Threshold.fallback;
+  check_int "zero per-share checks" 0 o.Threshold.fresh_checks;
+  check "no bad signers" true (List.length o.Threshold.bad_signers = 0);
+  match o.Threshold.signature with
+  | Some s ->
+      check "verifies" true (Threshold.verify scheme ~msg s);
+      check "matches pessimistic combine" true
+        (Field.equal s (Threshold.combine_exn scheme ~msg shares))
+  | None -> Alcotest.fail "optimistic combine failed"
+
+let test_combine_verified_fallback () =
+  (* A Byzantine share among the first k trips the combined check; the
+     fallback identifies exactly the bad signer, evicts it, and still
+     combines a valid signature from the honest remainder. *)
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:7 ~k:5 in
+  let msg = "block" in
+  let shares =
+    Array.to_list
+      (Array.mapi
+         (fun i k ->
+           if i = 1 then Threshold.forge_invalid_share ~signer:2
+           else Threshold.share_sign k ~msg)
+         keys)
+  in
+  let o = Threshold.combine_verified scheme ~msg shares in
+  check "fallback ran" true o.Threshold.fallback;
+  check "exactly the bad signer" true
+    (match o.Threshold.bad_signers with [ 2 ] -> true | _ -> false);
+  (* Identification checks every candidate share (all n of them here). *)
+  check_int "fresh checks cover all candidates" 7 o.Threshold.fresh_checks;
+  (match o.Threshold.signature with
+  | Some s -> check "recombined verifies" true (Threshold.verify scheme ~msg s)
+  | None -> Alcotest.fail "fallback should still combine from honest shares");
+  (* Not enough honest shares left: identification still names the bad
+     signers but no signature can form. *)
+  let two_bad =
+    List.filteri (fun i _ -> i < 5)
+      (List.mapi
+         (fun i sh ->
+           if i < 2 then Threshold.forge_invalid_share ~signer:(i + 1) else sh)
+         shares)
+  in
+  let o2 = Threshold.combine_verified scheme ~msg two_bad in
+  check "fallback ran (2 bad)" true o2.Threshold.fallback;
+  check "both bad signers named" true
+    (match o2.Threshold.bad_signers with [ 1; 2 ] -> true | _ -> false);
+  check "no signature from 3 honest" true (o2.Threshold.signature = None)
+
+let test_combine_verified_under_threshold () =
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:7 ~k:5 in
+  let msg = "m" in
+  let four =
+    List.filteri (fun i _ -> i < 4)
+      (Array.to_list (Array.map (fun k -> Threshold.share_sign k ~msg) keys))
+  in
+  let o = Threshold.combine_verified scheme ~msg four in
+  check "no signature" true (o.Threshold.signature = None);
+  check "no fallback below threshold" false o.Threshold.fallback
+
+let test_combine_coeff_memo () =
+  (* Repeated signer sets reuse the memoized Lagrange coefficients and
+     produce bit-identical signatures, regardless of share order. *)
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:7 ~k:5 in
+  let sign msg = Array.to_list (Array.map (fun k -> Threshold.share_sign k ~msg) keys) in
+  let o1 = Threshold.combine_verified scheme ~msg:"m1" (sign "m1") in
+  check "first combination computes coefficients" false o1.Threshold.coeffs_cached;
+  let o2 = Threshold.combine_verified scheme ~msg:"m2" (List.rev (sign "m2")) in
+  check "second combination hits the memo" true o2.Threshold.coeffs_cached;
+  (match o2.Threshold.signature with
+  | Some s ->
+      check "memoized result identical to uncached combine" true
+        (Field.equal s (Threshold.combine_exn scheme ~msg:"m2" (sign "m2")))
+  | None -> Alcotest.fail "memoized combine failed");
+  (* A different signer subset misses the memo. *)
+  let subset = List.filteri (fun i _ -> i >= 2) (sign "m3") in
+  let o3 = Threshold.combine_verified scheme ~msg:"m3" subset in
+  check "different signer set misses the memo" false o3.Threshold.coeffs_cached
+
+let test_share_verify_cache () =
+  let r = rng () in
+  let scheme, keys = Threshold.setup r ~n:7 ~k:5 in
+  let msg = "m" in
+  let sh = Threshold.share_sign keys.(0) ~msg in
+  check "cached verify agrees (valid)" true (Threshold.share_verify_cached scheme ~msg sh);
+  check "cached verify agrees on re-delivery" true
+    (Threshold.share_verify_cached scheme ~msg sh);
+  let forged = Threshold.forge_invalid_share ~signer:1 in
+  check "cached verify agrees (forged)" false
+    (Threshold.share_verify_cached scheme ~msg forged);
+  check "negative verdicts cached too" false
+    (Threshold.share_verify_cached scheme ~msg forged);
+  (* The cache key includes the share value: a Byzantine signer
+     re-sending a *different* share for the same message is re-checked,
+     not answered from the stale verdict. *)
+  check "same signer, fresh value, fresh verdict" true
+    (Threshold.share_verify_cached scheme ~msg sh);
+  (* Fallback identification over already-cached shares computes zero
+     fresh per-share verifications. *)
+  let shares =
+    Array.to_list
+      (Array.mapi
+         (fun i k ->
+           if i = 1 then Threshold.forge_invalid_share ~signer:2
+           else Threshold.share_sign k ~msg)
+         keys)
+  in
+  let o1 = Threshold.combine_verified scheme ~msg shares in
+  check "first fallback verifies afresh" true (o1.Threshold.fresh_checks > 0);
+  let o2 = Threshold.combine_verified scheme ~msg shares in
+  check "re-delivered shares answered from cache" true
+    (Int.equal o2.Threshold.fresh_checks 0)
+
+let test_group_combine_verified () =
+  let r = rng () in
+  let scheme, keys = Group_sig.setup r ~n:5 in
+  let msg = "block" in
+  let shares = Array.to_list (Array.map (fun k -> Group_sig.share_sign k ~msg) keys) in
+  let o = Group_sig.combine_verified scheme ~msg shares in
+  check "no fallback" false o.Group_sig.fallback;
+  (match o.Group_sig.signature with
+  | Some s -> check "verifies" true (Group_sig.verify scheme ~msg s)
+  | None -> Alcotest.fail "group combine failed");
+  (* Missing signer: no combination, no fallback (nothing to identify). *)
+  let o_missing = Group_sig.combine_verified scheme ~msg (List.tl shares) in
+  check "missing signer -> None" true (o_missing.Group_sig.signature = None);
+  check "missing signer -> no fallback" false o_missing.Group_sig.fallback;
+  (* Corrupt share: fallback names the culprit; n-of-n admits no
+     exclusion, so no signature. *)
+  let corrupted =
+    List.mapi
+      (fun i sh ->
+        if i = 2 then { sh with Group_sig.value = Field.add sh.Group_sig.value Field.one }
+        else sh)
+      shares
+  in
+  let o_bad = Group_sig.combine_verified scheme ~msg corrupted in
+  check "fallback ran" true o_bad.Group_sig.fallback;
+  check "culprit identified" true
+    (match o_bad.Group_sig.bad_signers with [ 3 ] -> true | _ -> false);
+  check "no signature possible" true (o_bad.Group_sig.signature = None)
+
 let threshold_props =
   [
     qtest "combine any k-subset" QCheck2.Gen.(pair (int_range 1 20) (int_range 0 1000))
@@ -535,12 +689,18 @@ let () =
           Alcotest.test_case "robustness" `Quick test_threshold_robustness;
           Alcotest.test_case "share verify" `Quick test_threshold_share_verify;
           Alcotest.test_case "scheme isolation" `Quick test_threshold_cross_scheme_isolation;
+          Alcotest.test_case "optimistic combine" `Quick test_combine_verified_optimistic;
+          Alcotest.test_case "fallback identification" `Quick test_combine_verified_fallback;
+          Alcotest.test_case "under threshold" `Quick test_combine_verified_under_threshold;
+          Alcotest.test_case "coefficient memo" `Quick test_combine_coeff_memo;
+          Alcotest.test_case "verify cache" `Quick test_share_verify_cache;
         ]
         @ threshold_props );
       ( "group_sig",
         [
           Alcotest.test_case "basic" `Quick test_group_sig;
           Alcotest.test_case "share verify" `Quick test_group_sig_share_verify;
+          Alcotest.test_case "optimistic combine" `Quick test_group_combine_verified;
         ] );
       ("pki", [ Alcotest.test_case "sign/verify" `Quick test_pki ]);
       ( "merkle",

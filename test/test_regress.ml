@@ -1,0 +1,217 @@
+(* Tests for the benchmark regression harness: the Json encoder/parser,
+   report round-tripping, the tolerance-band comparator, and the
+   determinism of the measured grid (which is what licenses the tight
+   bands in CI). *)
+
+open Sbft_harness
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Report.Json *)
+
+let test_json_roundtrip () =
+  let open Report.Json in
+  let v =
+    Obj
+      [
+        ("schema", Str "sbft-bench-v1");
+        ("ok", Bool true);
+        ("nothing", Null);
+        ("count", Num 42.);
+        ("rate", Num 123.456789);
+        ("tiny", Num 1.5e-9);
+        ("escapes", Str "line\nbreak \"quoted\" back\\slash");
+        ("items", Arr [ Num 1.; Str "two"; Bool false; Arr []; Obj [] ]);
+      ]
+  in
+  match parse (to_string v) with
+  | Error e -> Alcotest.fail ("round-trip parse failed: " ^ e)
+  | Ok v' ->
+      check "round-trip preserves the document" true (v = v');
+      (* Accessors *)
+      check "member hit" true (member "ok" v' = Some (Bool true));
+      check "member miss" true (member "absent" v' = None);
+      check "to_float" true
+        (match member "rate" v' with
+        | Some n -> to_float n = Some 123.456789
+        | None -> false);
+      check "to_str" true
+        (match member "schema" v' with
+        | Some s -> to_str s = Some "sbft-bench-v1"
+        | None -> false)
+
+let test_json_parse_edges () =
+  let open Report.Json in
+  let ok s v = check ("parse " ^ s) true (parse s = Ok v) in
+  ok "null" Null;
+  ok "true" (Bool true);
+  ok "-0.5e2" (Num (-50.));
+  ok "[]" (Arr []);
+  ok "{}" (Obj []);
+  ok "\"a\\u0041b\"" (Str "aAb");
+  ok " { \"a\" : [ 1 , 2 ] } " (Obj [ ("a", Arr [ Num 1.; Num 2. ]) ]);
+  let bad s = check ("reject " ^ s) true (match parse s with Error _ -> true | Ok _ -> false) in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "nul";
+  bad "\"unterminated";
+  bad "{} trailing"
+
+(* ------------------------------------------------------------------ *)
+(* Regress report serialization *)
+
+let sample_entry =
+  {
+    Regress.name = "sbft-fast-optimistic";
+    protocol = "sbft";
+    n = 6;
+    f = 1;
+    c = 1;
+    clients = 4;
+    throughput_ops = 29227.4;
+    p50_ms = 1.25;
+    p99_ms = 2.5;
+    fast_fraction = 1.0;
+    crypto_us = [ ("combine", 1200.5); ("combined_verify", 900.) ];
+  }
+
+let sample_report entries = { Regress.schema = Regress.schema_id; entries }
+
+let test_report_roundtrip () =
+  let r = sample_report [ sample_entry; { sample_entry with Regress.name = "pbft"; crypto_us = [] } ] in
+  match Regress.of_json (Regress.to_json r) with
+  | Error e -> Alcotest.fail ("report round-trip failed: " ^ e)
+  | Ok r' ->
+      check "report survives JSON round-trip" true (r = r');
+      (* File round-trip through write/load. *)
+      let path = Filename.temp_file "sbft_regress" ".json" in
+      Regress.write ~path r;
+      (match Regress.load ~path with
+      | Ok r'' -> check "file round-trip" true (r = r'')
+      | Error e -> Alcotest.fail e);
+      Sys.remove path
+
+let test_report_schema_check () =
+  let r = sample_report [ sample_entry ] in
+  let json = Regress.to_json r in
+  let wrong = Str.replace_first (Str.regexp_string Regress.schema_id) "other-v9" json in
+  check "foreign schema rejected" true
+    (match Regress.of_json wrong with Error _ -> true | Ok _ -> false);
+  check "non-JSON rejected" true
+    (match Regress.of_json "not json" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Comparator *)
+
+let test_compare_within_tolerance () =
+  let baseline = sample_report [ sample_entry ] in
+  (* 5% throughput drift and sub-floor latency drift stay inside the
+     default bands. *)
+  let drifted =
+    {
+      sample_entry with
+      Regress.throughput_ops = sample_entry.Regress.throughput_ops *. 1.05;
+      p50_ms = sample_entry.Regress.p50_ms +. 0.1;
+      crypto_us = [ ("combine", 1210.); ("combined_verify", 905.) ];
+    }
+  in
+  check "identical reports pass" true
+    (Regress.compare_reports ~baseline ~current:baseline () = []);
+  check "in-band drift passes" true
+    (Regress.compare_reports ~baseline ~current:(sample_report [ drifted ]) () = [])
+
+let test_compare_trips_on_regression () =
+  let baseline = sample_report [ sample_entry ] in
+  let trips label current =
+    let v = Regress.compare_reports ~baseline ~current:(sample_report [ current ]) () in
+    check (label ^ " trips the gate") true (v <> []);
+    check (label ^ " names the scenario") true
+      (List.exists
+         (fun s ->
+           (* every violation message carries the grid row id *)
+           try ignore (Str.search_forward (Str.regexp_string "sbft-fast-optimistic") s 0); true
+           with Not_found -> false)
+         v)
+  in
+  trips "throughput regression"
+    { sample_entry with Regress.throughput_ops = sample_entry.Regress.throughput_ops *. 0.8 };
+  trips "throughput improvement (baseline stale)"
+    { sample_entry with Regress.throughput_ops = sample_entry.Regress.throughput_ops *. 1.2 };
+  trips "latency regression" { sample_entry with Regress.p99_ms = 10. };
+  trips "fast-path fraction drop" { sample_entry with Regress.fast_fraction = 0.5 };
+  trips "crypto blow-up"
+    { sample_entry with Regress.crypto_us = [ ("combine", 5000.); ("combined_verify", 900.) ] };
+  trips "crypto label appears"
+    {
+      sample_entry with
+      Regress.crypto_us = sample_entry.Regress.crypto_us @ [ ("share_batch_verify", 9000.) ];
+    }
+
+let test_compare_shape_changes () =
+  let baseline = sample_report [ sample_entry ] in
+  check "missing scenario trips" true
+    (Regress.compare_reports ~baseline ~current:(sample_report []) () <> []);
+  check "extra scenario trips" true
+    (Regress.compare_reports ~baseline
+       ~current:(sample_report [ sample_entry; { sample_entry with Regress.name = "new-row" } ])
+       ()
+    <> []);
+  check "config shape change trips" true
+    (Regress.compare_reports ~baseline
+       ~current:(sample_report [ { sample_entry with Regress.clients = 8 } ])
+       ()
+    <> [])
+
+(* ------------------------------------------------------------------ *)
+(* The measured grid itself *)
+
+let test_measure_deterministic () =
+  (* Two runs of the quick grid are bit-identical: virtual time only.
+     This is the property that justifies tight tolerance bands in CI. *)
+  let r1 = Regress.measure `Quick in
+  let r2 = Regress.measure `Quick in
+  check_str "identical JSON across runs" (Regress.to_json r1) (Regress.to_json r2);
+  check_str "schema id" Regress.schema_id r1.Regress.schema;
+  check_int "grid size" 6 (List.length r1.Regress.entries);
+  (* The headline comparison rows exist and optimistic combining wins. *)
+  (match Regress.optimistic_speedup r1 with
+  | Some s -> check "optimistic combining is faster" true (s > 1.0)
+  | None -> Alcotest.fail "speedup rows missing from grid");
+  (* Every row did useful work and carries a crypto breakdown. *)
+  List.iter
+    (fun e ->
+      check (e.Regress.name ^ " throughput positive") true (e.Regress.throughput_ops > 0.);
+      check (e.Regress.name ^ " latency ordered") true (e.Regress.p99_ms >= e.Regress.p50_ms);
+      check (e.Regress.name ^ " has crypto tally") true (e.Regress.crypto_us <> []))
+    r1.Regress.entries;
+  (* A fresh measurement of the same grid passes its own gate. *)
+  check "self-comparison passes" true
+    (Regress.compare_reports ~baseline:r1 ~current:r2 () = [])
+
+let () =
+  Alcotest.run "sbft_regress"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse edges" `Quick test_json_parse_edges;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_report_roundtrip;
+          Alcotest.test_case "schema check" `Quick test_report_schema_check;
+        ] );
+      ( "comparator",
+        [
+          Alcotest.test_case "within tolerance" `Quick test_compare_within_tolerance;
+          Alcotest.test_case "trips on regression" `Quick test_compare_trips_on_regression;
+          Alcotest.test_case "shape changes" `Quick test_compare_shape_changes;
+        ] );
+      ( "measure",
+        [ Alcotest.test_case "deterministic grid" `Slow test_measure_deterministic ] );
+    ]

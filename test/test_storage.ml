@@ -223,6 +223,41 @@ let test_auth_store_snapshot () =
   check "corrupt snapshot rejected" true
     (match Auth_store.load_snapshot (fresh ()) "BOGUS" with Error _ -> true | Ok () -> false)
 
+let test_auth_store_snapshot_checked () =
+  let st = fresh () in
+  for s = 1 to 10 do
+    ignore
+      (Auth_store.execute_block st ~seq:s
+         ~ops:[ Kv_service.put ~key:(Printf.sprintf "k%d" s) ~value:(string_of_int s) ])
+  done;
+  let snap = Auth_store.snapshot st in
+  let d = Auth_store.digest st in
+  (* Matching expectation: the snapshot installs. *)
+  let st2 = fresh () in
+  (match Auth_store.load_snapshot_checked st2 snap ~expect:d with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_int "restored seq" 10 (Auth_store.last_executed st2);
+  check_str "digest matches expectation" (Sbft_crypto.Sha256.hex d)
+    (Sbft_crypto.Sha256.hex (Auth_store.digest st2));
+  (* Wrong expectation: a well-formed snapshot for a *different* digest
+     is rejected without mutating the target store. *)
+  let st3 = fresh () in
+  ignore (Auth_store.execute_block st3 ~seq:1 ~ops:[ Kv_service.put ~key:"own" ~value:"x" ]);
+  let d3 = Auth_store.digest st3 in
+  (match Auth_store.load_snapshot_checked st3 snap ~expect:"not-the-digest" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "digest mismatch accepted");
+  check_int "store untouched: seq" 1 (Auth_store.last_executed st3);
+  check_str "store untouched: digest" (Sbft_crypto.Sha256.hex d3)
+    (Sbft_crypto.Sha256.hex (Auth_store.digest st3));
+  (* Malformed snapshot: rejected before any digest computation, store
+     again untouched. *)
+  (match Auth_store.load_snapshot_checked st3 "BOGUS" ~expect:d with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "malformed snapshot accepted");
+  check_int "store untouched after parse failure" 1 (Auth_store.last_executed st3)
+
 let auth_store_props =
   [
     qtest "two replicas stay digest-identical under random workloads"
@@ -361,6 +396,7 @@ let () =
           Alcotest.test_case "query proofs" `Quick test_auth_store_query_proof;
           Alcotest.test_case "outputs and gc" `Quick test_auth_store_outputs_and_gc;
           Alcotest.test_case "snapshot" `Quick test_auth_store_snapshot;
+          Alcotest.test_case "snapshot checked" `Quick test_auth_store_snapshot_checked;
           Alcotest.test_case "shared exec cache" `Quick test_shared_exec_cache;
           Alcotest.test_case "clone" `Quick test_clone_independent;
           Alcotest.test_case "bootstrap" `Quick test_bootstrap;
