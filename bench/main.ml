@@ -12,7 +12,11 @@
      bench/main.exe micro           Bechamel micro-benchmarks
      bench/main.exe regress         regression grid -> BENCH_3.json, diffed
                                     against bench/baseline.json (CI gate);
-                                    --update-baseline rewrites the baseline *)
+                                    --update-baseline rewrites the baseline
+     bench/main.exe check ...       schedule fuzzer: generate -> run property
+                                    oracles -> shrink counterexamples (see
+                                    `check --help`; also `check replay-dir
+                                    test/corpus`) *)
 
 open Sbft_harness
 
@@ -144,6 +148,11 @@ let regress ~scale ~update_baseline =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* `check` owns its argument list (its --quick differs from the
+     benchmark-scale flag below), so dispatch before the flag filter. *)
+  (match args with
+  | "check" :: rest -> exit (Sbft_check.Check.main rest)
+  | _ -> ());
   let full = List.mem "--full" args in
   let update_baseline = List.mem "--update-baseline" args in
   let scale : Experiments.scale = if full then `Full else `Quick in

@@ -1,0 +1,38 @@
+(** CLI driver for the schedule fuzzer (invoked as
+    [bench/main.exe check ...]): generate → run → shrink, plus corpus
+    replay. All output derives from schedule contents and verdicts only,
+    so a fixed seed produces byte-identical output — CI diffs two
+    runs. *)
+
+type fuzz_result = {
+  ran : int;
+  failures : (Schedule.t * Schedule.t) list;  (** (original, shrunk) *)
+  expectation_errors : (string * string) list;  (** (name, error) *)
+}
+
+val fuzz :
+  ?seeds:int ->
+  ?quick:bool ->
+  ?mutate:bool ->
+  ?seed:int64 ->
+  ?out_dir:string ->
+  unit ->
+  fuzz_result
+(** Run [seeds] generated schedules; every failure is ddmin-shrunk and
+    the minimal [.schedule] artifact saved under [out_dir] (default
+    ["bench_out"]). *)
+
+val replay_one : string -> bool
+(** Load a [.schedule] file, run it, check it against its [expect]
+    header. *)
+
+val replay_dir : string -> bool
+(** Replay every [.schedule] in a directory; false if any misses its
+    expectation (or the directory holds none). *)
+
+val main : string list -> int
+(** The [check] subcommand: fuzz flags [--seeds N] [--seed S] [--quick]
+    [--mutate] [--out DIR], or [replay FILE...] / [replay-dir DIR].
+    Returns the exit code: 0 ok, 1 findings, 2 usage. In [--mutate]
+    mode the polarity flips: the run succeeds only if the oracles
+    caught the mutation. *)

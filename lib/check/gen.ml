@@ -1,0 +1,202 @@
+(* Seeded random schedule generation.
+
+   Generated schedules respect the fault model the safety proofs assume
+   (at most [f] replicas ever turn Byzantine) so that a failing oracle
+   is always a genuine protocol bug, never an over-budget adversary.
+   Crashes, partitions, drops, and delays are unbudgeted: they can stall
+   progress but must never break safety.
+
+   Eventually-synchronous schedules additionally guarantee the paper's
+   liveness precondition: at GST every injected fault is undone (heal,
+   drop 0, reconnect, recover, Byzantine replicas fall silent...
+   actually flip honest) and a quiet period follows, so the
+   liveness-after-GST oracle applies. *)
+
+open Sbft_sim
+
+type profile = {
+  quick : bool;  (** smaller clusters, shorter horizons *)
+  mutate : bool;  (** generate weak-sigma mutation schedules *)
+}
+
+let default_profile = { quick = false; mutate = false }
+
+(* Weighted fault-class choice. *)
+type klass = K_crash | K_recover | K_partition | K_heal | K_drop | K_delay | K_isolate | K_reconnect | K_byz
+
+let classes =
+  [|
+    (K_crash, 15); (K_recover, 10); (K_partition, 12); (K_heal, 8);
+    (K_drop, 10); (K_delay, 12); (K_isolate, 10); (K_reconnect, 7); (K_byz, 16);
+  |]
+
+let pick_class rng =
+  let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 classes in
+  let r = Rng.int rng total in
+  let acc = ref 0 in
+  let chosen = ref K_crash in
+  (try
+     Array.iter
+       (fun (k, w) ->
+         acc := !acc + w;
+         if r < !acc then begin
+           chosen := k;
+           raise Exit
+         end)
+       classes
+   with Exit -> ());
+  !chosen
+
+let random_partition rng ~num_replicas =
+  let nodes = Array.init num_replicas (fun i -> i) in
+  Rng.shuffle rng nodes;
+  let cut = 1 + Rng.int rng (num_replicas - 1) in
+  let a = Array.to_list (Array.sub nodes 0 cut) in
+  let b = Array.to_list (Array.sub nodes cut (num_replicas - cut)) in
+  [ List.sort Int.compare a; List.sort Int.compare b ]
+
+let byz_flavours = [| Schedule.Equivocate; Schedule.Silent; Schedule.Corrupt_shares; Schedule.Wrong_exec_digest; Schedule.Stale_vc |]
+
+(* Build the fault prefix: [count] weighted actions at sorted random
+   times within [0, window_ms).  [byz_pool] are the replicas allowed to
+   turn Byzantine (|byz_pool| <= f). *)
+let fault_steps rng ~num_replicas ~byz_pool ~count ~window_ms =
+  let crashed = Hashtbl.create 8 in
+  let isolated = Hashtbl.create 8 in
+  let steps = ref [] in
+  for _ = 1 to count do
+    let at_ms = 100 + Rng.int rng (max 1 (window_ms - 100)) in
+    let replica () = Rng.int rng num_replicas in
+    let action =
+      match pick_class rng with
+      | K_crash ->
+          let node = replica () in
+          Hashtbl.replace crashed node ();
+          Some (Schedule.Crash node)
+      | K_recover -> (
+          match Sbft_sim.Det.sorted_keys ~compare:Int.compare crashed with
+          | [] -> None
+          | nodes ->
+              let node = Rng.pick rng (Array.of_list nodes) in
+              Hashtbl.remove crashed node;
+              Some (Schedule.Recover node))
+      | K_partition -> Some (Schedule.Partition (random_partition rng ~num_replicas))
+      | K_heal -> Some Schedule.Heal
+      | K_drop -> Some (Schedule.Set_drop (float_of_int (1 + Rng.int rng 20) /. 100.))
+      | K_delay ->
+          let src = replica () and dst = replica () in
+          if Int.equal src dst then None
+          else Some (Schedule.Delay_link { src; dst; delay_ms = 50 + Rng.int rng 450 })
+      | K_isolate ->
+          let node = replica () in
+          Hashtbl.replace isolated node ();
+          Some (Schedule.Isolate node)
+      | K_reconnect -> (
+          match Sbft_sim.Det.sorted_keys ~compare:Int.compare isolated with
+          | [] -> None
+          | nodes ->
+              let node = Rng.pick rng (Array.of_list nodes) in
+              Hashtbl.remove isolated node;
+              Some (Schedule.Reconnect node))
+      | K_byz -> (
+          match byz_pool with
+          | [] -> None
+          | pool -> Some (Schedule.Byzantine (Rng.pick rng (Array.of_list pool), Rng.pick rng byz_flavours)))
+    in
+    match action with
+    | Some action -> steps := { Schedule.at_ms; action } :: !steps
+    | None -> ()
+  done;
+  List.rev !steps
+
+(* Undo every fault at GST so the quiet period is genuinely quiet. *)
+let heal_steps ~at_ms ~byz_pool steps =
+  let crashed = Hashtbl.create 8 in
+  let isolated = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Schedule.step) ->
+      match s.Schedule.action with
+      | Schedule.Crash n -> Hashtbl.replace crashed n ()
+      | Schedule.Recover n -> Hashtbl.remove crashed n
+      | Schedule.Isolate n -> Hashtbl.replace isolated n ()
+      | Schedule.Reconnect n -> Hashtbl.remove isolated n
+      | _ -> ())
+    steps;
+  let mk action = { Schedule.at_ms; action } in
+  [ mk Schedule.Heal; mk (Schedule.Set_drop 0.0) ]
+  @ List.map (fun n -> mk (Schedule.Reconnect n)) (Sbft_sim.Det.sorted_keys ~compare:Int.compare isolated)
+  @ List.map (fun n -> mk (Schedule.Recover n)) (Sbft_sim.Det.sorted_keys ~compare:Int.compare crashed)
+  @ List.map (fun n -> mk (Schedule.Byzantine (n, Schedule.Honest))) byz_pool
+
+let generate ?(profile = default_profile) ~seed index =
+  let rng = Rng.create (Int64.add seed (Int64.of_int (index * 2654435761))) in
+  let f, c =
+    if profile.quick then (1, 0)
+    else Rng.pick rng [| (1, 0); (1, 0); (1, 1); (2, 0) |]
+  in
+  let num_replicas = Sbft_core.Config.n (Sbft_core.Config.sbft ~f ~c) in
+  let clients = 1 + Rng.int rng (if profile.quick then 2 else 3) in
+  let requests = 3 + Rng.int rng (if profile.quick then 3 else 6) in
+  let eventually_synchronous = Rng.bool rng 0.65 in
+  let fault_window = if profile.quick then 8_000 else 15_000 in
+  let quiet = 40_000 + Rng.int rng 20_000 in
+  let count = 1 + Rng.int rng (if profile.quick then 4 else 7) in
+  (* Up to f replicas may misbehave; bias away from the initial primary
+     half the time so fault-free views also get explored. *)
+  let byz_pool =
+    let max_byz = Rng.int rng (f + 1) in
+    let candidates = Array.init num_replicas (fun i -> i) in
+    Rng.shuffle rng candidates;
+    Array.to_list (Array.sub candidates 0 max_byz) |> List.sort Int.compare
+  in
+  let prefix = fault_steps rng ~num_replicas ~byz_pool ~count ~window_ms:fault_window in
+  let gst_ms, steps, horizon_ms, expect =
+    if eventually_synchronous then
+      let gst = fault_window + 1_000 in
+      ( Some gst,
+        prefix @ heal_steps ~at_ms:gst ~byz_pool prefix,
+        gst + quiet,
+        Schedule.Expect_pass )
+    else (None, prefix, fault_window + (if profile.quick then 10_000 else 20_000), Schedule.Expect_any)
+  in
+  let mutation, expect =
+    if profile.mutate then (Schedule.Weak_sigma, Schedule.Expect_any) else (Schedule.No_mutation, expect)
+  in
+  {
+    Schedule.name = Printf.sprintf "gen-%Ld-%d" seed index;
+    seed = Int64.add (Int64.mul seed 1_000_003L) (Int64.of_int index);
+    f;
+    c;
+    clients;
+    requests;
+    win = (if Rng.bool rng 0.3 then 4 else 8);
+    topology = (if Rng.bool rng 0.8 then Schedule.Lan else Schedule.Continent);
+    acks = Rng.bool rng 0.75;
+    mutation;
+    gst_ms;
+    horizon_ms;
+    expect;
+    steps;
+  }
+
+(* The mutation check (§fuzzer design): weak-sigma schedules need an
+   equivocating primary and a cluster where sigma drops below the honest
+   intersection bound — f=1, c=1 (n=6) gives sigma 2f+c = 3 = n/2, so
+   two disjoint halves each reach a certificate. *)
+let generate_mutation ~seed index =
+  let rng = Rng.create (Int64.add seed (Int64.of_int ((index * 40503) + 7))) in
+  let base = generate ~profile:{ quick = false; mutate = true } ~seed index in
+  let extra = fault_steps rng ~num_replicas:6 ~byz_pool:[ 0 ] ~count:(Rng.int rng 4) ~window_ms:10_000 in
+  {
+    base with
+    Schedule.name = Printf.sprintf "mut-%Ld-%d" seed index;
+    f = 1;
+    c = 1;
+    clients = 2;
+    requests = 4;
+    mutation = Schedule.Weak_sigma;
+    gst_ms = None;
+    horizon_ms = 20_000;
+    expect = Schedule.Expect_any;
+    steps = { Schedule.at_ms = 200; action = Schedule.Byzantine (0, Schedule.Equivocate) } :: extra;
+  }

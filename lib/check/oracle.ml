@@ -1,0 +1,227 @@
+open Sbft_core
+
+type verdict = { name : string; pass : bool; detail : string }
+
+type ctx = {
+  cluster : Cluster.t;
+  sched : Schedule.t;
+  completions : (int * string) list array;
+      (* per client index, (timestamp, accepted value), completion order *)
+  ever_byzantine : int list;
+  sanitizer_violation : string option;
+}
+
+let is_byz ctx id = List.exists (Int.equal id) ctx.ever_byzantine
+
+let honest_replicas ctx =
+  Array.to_list ctx.cluster.Cluster.replicas
+  |> List.filter (fun r -> not (is_byz ctx (Replica.id r)))
+
+let expected_op client_index =
+  Sbft_store.Kv_service.add ~key:("ctr:" ^ string_of_int client_index) ~delta:1
+
+let counter_key client_index = "ctr:" ^ string_of_int client_index
+
+(* ------------------------------------------------------------------ *)
+(* Individual oracles.  Each returns (pass, detail). *)
+
+let canonical_block reqs =
+  List.map (fun (r : Types.request) -> (r.Types.client, r.Types.timestamp, r.Types.op)) reqs
+
+let block_equal a b =
+  List.equal
+    (fun (c1, t1, o1) (c2, t2, o2) ->
+      Int.equal c1 c2 && Int.equal t1 t2 && String.equal o1 o2)
+    a b
+
+(* Theorem VI.1: no two non-faulty replicas commit different blocks at
+   the same sequence number; and replicas at equal executed heights have
+   equal state digests. *)
+let agreement ctx =
+  let honest = honest_replicas ctx in
+  let max_h = List.fold_left (fun acc r -> max acc (Replica.last_executed r)) 0 honest in
+  let bad = ref [] in
+  for seq = 1 to max_h do
+    let blocks =
+      List.filter_map
+        (fun r ->
+          Option.map (fun reqs -> (Replica.id r, canonical_block reqs)) (Replica.committed_block r seq))
+        honest
+    in
+    match blocks with
+    | [] | [ _ ] -> ()
+    | (id0, first) :: rest ->
+        List.iter
+          (fun (id, b) ->
+            if not (block_equal first b) then
+              bad := Printf.sprintf "seq=%d replicas %d/%d committed different blocks" seq id0 id :: !bad)
+          rest
+  done;
+  List.iter
+    (fun ri ->
+      List.iter
+        (fun rj ->
+          if
+            Replica.id ri < Replica.id rj
+            && Int.equal (Replica.last_executed ri) (Replica.last_executed rj)
+            && Replica.last_executed ri > 0
+            && not (String.equal (Replica.state_digest ri) (Replica.state_digest rj))
+          then
+            bad :=
+              Printf.sprintf "digest divergence at height %d between replicas %d/%d"
+                (Replica.last_executed ri) (Replica.id ri) (Replica.id rj)
+              :: !bad)
+        honest)
+    honest;
+  match List.rev !bad with
+  | [] -> (true, Printf.sprintf "heights<=%d consistent" max_h)
+  | d :: _ -> (false, d)
+
+(* Every executed operation traces back to a client request (or is the
+   view change's null filler). *)
+let validity ctx =
+  let n = Cluster.num_replicas ctx.cluster in
+  let clients = ctx.cluster.Cluster.clients in
+  let bad = ref [] in
+  List.iter
+    (fun r ->
+      for seq = 1 to Replica.last_executed r do
+        match Replica.committed_block r seq with
+        | None -> ()
+        | Some reqs ->
+            List.iter
+              (fun (req : Types.request) ->
+                if req.Types.client < 0 then begin
+                  if not (String.equal req.Types.op "") then
+                    bad := Printf.sprintf "replica %d seq %d: non-null op without client" (Replica.id r) seq :: !bad
+                end
+                else begin
+                  let idx = req.Types.client - n in
+                  if idx < 0 || idx >= Array.length clients then
+                    bad := Printf.sprintf "replica %d seq %d: unknown client %d" (Replica.id r) seq req.Types.client :: !bad
+                  else begin
+                    let submitted = Client.last_timestamp clients.(idx) in
+                    if req.Types.timestamp < 1 || req.Types.timestamp > submitted then
+                      bad :=
+                        Printf.sprintf "replica %d seq %d: client %d never submitted timestamp %d"
+                          (Replica.id r) seq req.Types.client req.Types.timestamp
+                        :: !bad
+                    else if not (String.equal req.Types.op (expected_op idx)) then
+                      bad :=
+                        Printf.sprintf "replica %d seq %d: op bytes differ from client %d's submission"
+                          (Replica.id r) seq req.Types.client
+                        :: !bad
+                  end
+                end)
+              reqs
+      done)
+    (honest_replicas ctx);
+  match List.rev !bad with
+  | [] -> (true, "all executed ops trace to client requests")
+  | d :: _ -> (false, d)
+
+(* π-certified checkpoint digests agree across non-faulty replicas. *)
+let checkpoints ctx =
+  let honest = honest_replicas ctx in
+  let bad = ref [] in
+  List.iter
+    (fun ri ->
+      List.iter
+        (fun rj ->
+          if Replica.id ri < Replica.id rj then
+            List.iter
+              (fun (seq, di) ->
+                List.iter
+                  (fun (seq', dj) ->
+                    if Int.equal seq seq' && not (String.equal di dj) then
+                      bad :=
+                        Printf.sprintf "checkpoint digest mismatch at seq %d between replicas %d/%d"
+                          seq (Replica.id ri) (Replica.id rj)
+                        :: !bad)
+                  (Replica.certified_checkpoints rj))
+              (Replica.certified_checkpoints ri))
+        honest)
+    honest;
+  match List.rev !bad with
+  | [] -> (true, "certified checkpoint digests consistent")
+  | d :: _ -> (false, d)
+
+(* At-most-once execution of retried requests: every client's counter
+   equals the number of distinct requests executed for it (server side),
+   and the value each client accepted for its k-th request is exactly
+   the k-th counter reading (client side). *)
+let at_most_once ctx =
+  let n = Cluster.num_replicas ctx.cluster in
+  let bad = ref [] in
+  List.iter
+    (fun r ->
+      if Replica.last_executed r > 0 then begin
+        let state = Sbft_store.Auth_store.state (Replica.store r) in
+        Array.iteri
+          (fun idx _ ->
+            let counter =
+              match Sbft_store.Kv_service.read state ~key:(counter_key idx) with
+              | Some v -> Option.value ~default:(-1) (int_of_string_opt v)
+              | None -> 0
+            in
+            let executed =
+              Option.value ~default:0
+                (Replica.client_last_timestamp r ~client:(n + idx))
+            in
+            if not (Int.equal counter executed) then
+              bad :=
+                Printf.sprintf
+                  "replica %d: client %d counter=%d but %d distinct requests executed"
+                  (Replica.id r) (n + idx) counter executed
+                :: !bad)
+          ctx.cluster.Cluster.clients
+      end)
+    (honest_replicas ctx);
+  Array.iteri
+    (fun idx completions ->
+      List.iter
+        (fun (timestamp, value) ->
+          if not (String.equal value (string_of_int timestamp)) then
+            bad :=
+              Printf.sprintf "client %d accepted value %S for request %d (expected %d)"
+                idx value timestamp timestamp
+              :: !bad)
+        completions)
+    ctx.completions;
+  match List.rev !bad with
+  | [] -> (true, "counters match distinct executions")
+  | d :: _ -> (false, d)
+
+(* Liveness after GST: an eventually-synchronous schedule guarantees a
+   heal + quiet period, so every submitted operation must complete
+   within the horizon. *)
+let liveness ctx =
+  match ctx.sched.Schedule.gst_ms with
+  | None -> (true, "not an eventually-synchronous schedule (skipped)")
+  | Some gst ->
+      let expected = ctx.sched.Schedule.requests in
+      let lagging =
+        Array.to_list ctx.cluster.Cluster.clients
+        |> List.mapi (fun idx c -> (idx, Client.completed c))
+        |> List.filter (fun (_, done_) -> done_ < expected)
+      in
+      (match lagging with
+      | [] -> (true, Printf.sprintf "all %d ops done after gst=%dms" (expected * Array.length ctx.cluster.Cluster.clients) gst)
+      | (idx, done_) :: _ ->
+          (false, Printf.sprintf "client %d completed %d/%d after gst=%dms" idx done_ expected gst))
+
+let sanitizer ctx =
+  match ctx.sanitizer_violation with
+  | None -> (true, "no runtime invariant violation")
+  | Some msg -> (false, msg)
+
+let evaluate ctx =
+  let mk name (pass, detail) = { name; pass; detail } in
+  [
+    mk "sanitizer" (sanitizer ctx);
+    mk "agreement" (agreement ctx);
+    mk "validity" (validity ctx);
+    mk "checkpoints" (checkpoints ctx);
+    mk "at-most-once" (at_most_once ctx);
+    mk "liveness" (liveness ctx);
+  ]

@@ -1,0 +1,36 @@
+(** Property oracles evaluated over the final cluster state and the
+    per-client completion log after a schedule runs to its horizon.
+
+    The suite: runtime-sanitizer verdict, agreement (Theorem VI.1: no
+    two honest replicas commit different blocks at the same sequence
+    number; equal executed heights imply equal state digests), validity
+    (every executed op traces to a known client's submission),
+    checkpoint-digest consistency, at-most-once execution under client
+    retries, and liveness after GST (only asserted on
+    eventually-synchronous schedules).
+
+    Replicas the schedule ever flips Byzantine are excluded from every
+    oracle — state corrupted while Byzantine persists even after a
+    post-GST flip back to honest. *)
+
+type verdict = { name : string; pass : bool; detail : string }
+
+type ctx = {
+  cluster : Sbft_core.Cluster.t;
+  sched : Schedule.t;
+  completions : (int * string) list array;
+      (** per client index, (timestamp, accepted value), in completion
+          order *)
+  ever_byzantine : int list;
+  sanitizer_violation : string option;
+}
+
+val expected_op : int -> string
+(** [expected_op client_index] is the operation every client submits on
+    every request: increment its own counter cell. The oracles rely on
+    this shape — the counter value equals the number of distinct
+    executions, and the reply value equals the request's timestamp. *)
+
+val evaluate : ctx -> verdict list
+(** All six verdicts, in a fixed order (sanitizer, agreement, validity,
+    checkpoints, at-most-once, liveness). *)

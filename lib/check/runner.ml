@@ -1,0 +1,149 @@
+open Sbft_core
+open Sbft_sim
+
+type outcome = {
+  sched : Schedule.t;
+  verdicts : Oracle.verdict list;
+  failed : Oracle.verdict option;  (** first failing oracle, if any *)
+  completed : int;
+  events : int;
+}
+
+let config_of (s : Schedule.t) =
+  let base = Config.sbft ~f:s.Schedule.f ~c:s.Schedule.c in
+  {
+    base with
+    Config.win = s.Schedule.win;
+    execution_acks = s.Schedule.acks;
+    mutation =
+      (match s.Schedule.mutation with
+      | Schedule.No_mutation -> None
+      | Schedule.Weak_sigma -> Some Config.Weak_sigma_quorum);
+    (* A mutated protocol violates invariants by design; the sanitizer
+       would abort the run before the oracles get to observe the
+       divergence, which is the whole point of the mutation check. *)
+    sanitize =
+      (match s.Schedule.mutation with
+      | Schedule.No_mutation -> true
+      | Schedule.Weak_sigma -> false);
+  }
+
+let topology_of = function
+  | Schedule.Lan -> fun ~num_nodes -> Topology.lan ~num_nodes
+  | Schedule.Continent -> fun ~num_nodes -> Topology.continent ~num_nodes
+  | Schedule.World -> fun ~num_nodes -> Topology.world ~num_nodes
+
+let replica_byz = function
+  | Schedule.Equivocate -> Replica.Equivocating_primary
+  | Schedule.Silent -> Replica.Silent
+  | Schedule.Corrupt_shares -> Replica.Corrupt_shares
+  | Schedule.Wrong_exec_digest -> Replica.Wrong_exec_digest
+  | Schedule.Stale_vc -> Replica.Stale_view_change
+  | Schedule.Honest -> Replica.Honest
+
+(* Replicas the schedule ever flips to a non-honest behaviour.  The
+   oracles exclude these even if a later step (the post-GST quiet
+   period) flips them back: state corrupted while Byzantine persists. *)
+let ever_byzantine (s : Schedule.t) =
+  let n = Schedule.num_replicas s in
+  List.filter_map
+    (fun (step : Schedule.step) ->
+      match step.Schedule.action with
+      | Schedule.Byzantine (node, b)
+        when node >= 0 && node < n
+             && not (match b with Schedule.Honest -> true | _ -> false) ->
+          Some node
+      | _ -> None)
+    s.Schedule.steps
+  |> List.sort_uniq Int.compare
+
+let apply (cluster : Cluster.t) (sched : Schedule.t) action =
+  let num_nodes = Schedule.num_nodes sched in
+  let n = Schedule.num_replicas sched in
+  let valid_node node = node >= 0 && node < num_nodes in
+  match action with
+  | Schedule.Crash node -> if valid_node node then Engine.crash cluster.Cluster.engine node
+  | Schedule.Recover node -> if valid_node node then Engine.recover cluster.Cluster.engine node
+  | Schedule.Partition groups ->
+      let g = Array.make num_nodes 0 in
+      List.iteri
+        (fun i nodes -> List.iter (fun node -> if valid_node node then g.(node) <- i) nodes)
+        groups;
+      Network.set_partition cluster.Cluster.network ~groups:(Some g)
+  | Schedule.Heal -> Network.set_partition cluster.Cluster.network ~groups:None
+  | Schedule.Set_drop p -> Network.set_drop_prob cluster.Cluster.network p
+  | Schedule.Delay_link { src; dst; delay_ms } ->
+      if valid_node src && valid_node dst then
+        Network.set_extra_delay cluster.Cluster.network ~src ~dst (Engine.ms delay_ms)
+  | Schedule.Isolate node ->
+      if valid_node node then Network.isolate_node cluster.Cluster.network ~node ~num_nodes
+  | Schedule.Reconnect node ->
+      if valid_node node then Network.reconnect_node cluster.Cluster.network ~node ~num_nodes
+  | Schedule.Byzantine (node, b) ->
+      if node >= 0 && node < n then Replica.set_byzantine cluster.Cluster.replicas.(node) (replica_byz b)
+
+let run (sched : Schedule.t) =
+  let config = config_of sched in
+  let completions = Array.make sched.Schedule.clients [] in
+  let on_complete ~client ~timestamp ~value =
+    completions.(client) <- (timestamp, value) :: completions.(client)
+  in
+  let cluster =
+    Cluster.create ~seed:sched.Schedule.seed ~on_complete ~config
+      ~num_clients:sched.Schedule.clients
+      ~topology:(topology_of sched.Schedule.topology)
+      ~service:Cluster.kv_service ()
+  in
+  Cluster.start_clients cluster ~requests_per_client:sched.Schedule.requests
+    ~make_op:(fun ~client _ -> Oracle.expected_op client);
+  List.iter
+    (fun (step : Schedule.step) ->
+      Engine.schedule cluster.Cluster.engine ~at:(Engine.ms step.Schedule.at_ms) (fun () ->
+          apply cluster sched step.Schedule.action))
+    (Schedule.sorted_steps sched);
+  let violation = ref None in
+  (try Engine.run_until cluster.Cluster.engine (Engine.ms sched.Schedule.horizon_ms)
+   with Sanitizer.Violation msg -> violation := Some msg);
+  let ctx =
+    {
+      Oracle.cluster;
+      sched;
+      completions = Array.map List.rev completions;
+      ever_byzantine = ever_byzantine sched;
+      sanitizer_violation = !violation;
+    }
+  in
+  let verdicts = Oracle.evaluate ctx in
+  {
+    sched;
+    verdicts;
+    failed = List.find_opt (fun (v : Oracle.verdict) -> not v.Oracle.pass) verdicts;
+    completed = Cluster.total_completed cluster;
+    events = Engine.events_executed cluster.Cluster.engine;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus expectations *)
+
+let failure_name outcome =
+  Option.map (fun (v : Oracle.verdict) -> v.Oracle.name) outcome.failed
+
+let meets_expectation outcome =
+  match (outcome.sched.Schedule.expect, outcome.failed) with
+  | Schedule.Expect_any, _ -> Ok ()
+  | Schedule.Expect_pass, None -> Ok ()
+  | Schedule.Expect_pass, Some v ->
+      Error (Printf.sprintf "expected pass, oracle %s failed: %s" v.Oracle.name v.Oracle.detail)
+  | Schedule.Expect_fail oracle, Some v when String.equal v.Oracle.name oracle -> Ok ()
+  | Schedule.Expect_fail oracle, Some v ->
+      Error (Printf.sprintf "expected %s to fail but %s failed first: %s" oracle v.Oracle.name v.Oracle.detail)
+  | Schedule.Expect_fail oracle, None ->
+      Error (Printf.sprintf "expected oracle %s to fail, but all oracles passed" oracle)
+
+(* [fails_same outcome] is what shrinking preserves: the run fails, on
+   the same oracle as the original counterexample. *)
+let fails_on (sched : Schedule.t) ~oracle =
+  let outcome = run sched in
+  match outcome.failed with
+  | Some v -> String.equal v.Oracle.name oracle
+  | None -> false

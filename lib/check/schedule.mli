@@ -1,0 +1,102 @@
+(** The schedule DSL: a serializable adversarial scenario for the
+    deterministic simulator.
+
+    A schedule is a cluster shape (f, c, clients, window, topology,
+    feature switches) plus a list of [(virtual_time, action)] fault
+    injections — crash/recover, partition/heal, message drop
+    probability, per-link delay, node isolation, and Byzantine
+    behaviour flips.  The textual encoding is line-based and
+    deterministic (emit ∘ parse ∘ emit is byte-identical), so any run —
+    in particular a shrunk counterexample — reproduces exactly from a
+    committed [.schedule] file:
+
+    {v
+    sbft-schedule v1
+    name crashed-collector
+    seed 7
+    f 1
+    c 1
+    clients 2
+    requests 6
+    win 8
+    topology lan
+    acks on
+    mutation none
+    gst 15000
+    horizon 60000
+    expect pass
+    step 1000 crash 3
+    step 15000 heal
+    end
+    v} *)
+
+type byz =
+  | Equivocate
+  | Silent
+  | Corrupt_shares
+  | Wrong_exec_digest
+  | Stale_vc
+  | Honest  (** flip back (used by the post-GST quiet period) *)
+
+type action =
+  | Crash of int
+  | Recover of int
+  | Partition of int list list
+      (** Groups of node ids; nodes not listed (typically the clients)
+          join group 0. *)
+  | Heal
+  | Set_drop of float
+  | Delay_link of { src : int; dst : int; delay_ms : int }
+  | Isolate of int  (** all links to/from the node go down *)
+  | Reconnect of int
+  | Byzantine of int * byz
+
+type step = { at_ms : int; action : action }
+
+type mutation = No_mutation | Weak_sigma
+(** [Weak_sigma] maps to {!Config.mutation} [Weak_sigma_quorum]. *)
+
+type expect = Expect_pass | Expect_fail of string | Expect_any
+(** Corpus replay expectation: pass all oracles, fail the named oracle,
+    or no expectation (fuzzer-generated schedules). *)
+
+type topology = Lan | Continent | World
+
+type t = {
+  name : string;
+  seed : int64;
+  f : int;
+  c : int;
+  clients : int;
+  requests : int;  (** closed-loop requests per client *)
+  win : int;
+  topology : topology;
+  acks : bool;  (** {!Config.execution_acks} *)
+  mutation : mutation;
+  gst_ms : int option;
+      (** Eventual synchrony: after this point the schedule guarantees a
+          heal + quiet period, and the liveness oracle applies. *)
+  horizon_ms : int;  (** run the simulation until this virtual time *)
+  expect : expect;
+  steps : step list;
+}
+
+val num_replicas : t -> int
+val num_nodes : t -> int
+
+val default : name:string -> seed:int64 -> t
+(** A small healthy baseline (f=1, c=0, 2 clients, no steps). *)
+
+val sorted_steps : t -> step list
+(** Steps in schedule order (stable by time). *)
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+(** [parse (to_string t)] succeeds, and re-emitting the result is
+    byte-identical. *)
+
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result
+
+val byz_to_string : byz -> string
+val action_to_string : action -> string

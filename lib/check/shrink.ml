@@ -1,0 +1,85 @@
+(* Counterexample shrinking: greedy delta-debugging (ddmin) on the step
+   list, then workload reduction.  The predicate preserved throughout is
+   "the schedule still fails on the same oracle", so a shrunk artifact
+   is a locally-minimal reproduction of the original violation: removing
+   any single remaining step (or halving the workload again) makes the
+   failure disappear. *)
+
+let with_steps sched steps = { sched with Schedule.steps }
+
+(* Remove complements at increasing granularity (Zeller & Hildebrandt's
+   ddmin).  When granularity reaches [List.length steps], complements
+   are single-step removals, so the result is 1-minimal with respect to
+   [still_fails]. *)
+let ddmin ~still_fails steps0 =
+  let chunk lst n =
+    (* n near-equal contiguous chunks *)
+    let len = List.length lst in
+    let base = len / n and extra = len mod n in
+    let rec take k lst acc =
+      if Int.equal k 0 then (List.rev acc, lst)
+      else
+        match lst with
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) rest (x :: acc)
+    in
+    let rec go i lst acc =
+      if Int.equal i n then List.rev acc
+      else
+        let size = base + if i < extra then 1 else 0 in
+        let c, rest = take size lst [] in
+        go (i + 1) rest (c :: acc)
+    in
+    go 0 lst []
+  in
+  let rec loop steps n =
+    let len = List.length steps in
+    if len <= 1 then steps
+    else
+      let chunks = chunk steps n in
+      let complements = List.mapi (fun i _ -> List.concat (List.filteri (fun j _ -> not (Int.equal i j)) chunks)) chunks in
+      match List.find_opt still_fails complements with
+      | Some smaller ->
+          (* restart at coarse granularity on the smaller input *)
+          loop smaller (max 2 (n - 1))
+      | None -> if n >= len then steps else loop steps (min len (2 * n))
+  in
+  match steps0 with [] -> [] | steps -> loop steps 2
+
+let ddmin_steps ~oracle sched =
+  let still_fails steps = Runner.fails_on (with_steps sched steps) ~oracle in
+  with_steps sched (ddmin ~still_fails sched.Schedule.steps)
+
+(* Halve the closed-loop workload while the failure persists. *)
+let shrink_requests ~oracle sched =
+  let rec loop sched =
+    let requests = sched.Schedule.requests / 2 in
+    if requests < 1 then sched
+    else
+      let candidate = { sched with Schedule.requests } in
+      if Runner.fails_on candidate ~oracle then loop candidate else sched
+  in
+  loop sched
+
+let shrink_clients ~oracle sched =
+  let rec loop sched =
+    let clients = sched.Schedule.clients - 1 in
+    if clients < 1 then sched
+    else
+      let candidate = { sched with Schedule.clients } in
+      if Runner.fails_on candidate ~oracle then loop candidate else sched
+  in
+  loop sched
+
+(* [minimize ~oracle sched] assumes [sched] currently fails on [oracle]
+   and returns a locally minimal schedule that still does, renamed and
+   re-expected so it can be committed to the corpus as-is. *)
+let minimize ~oracle sched =
+  let sched = ddmin_steps ~oracle sched in
+  let sched = shrink_requests ~oracle sched in
+  let sched = shrink_clients ~oracle sched in
+  {
+    sched with
+    Schedule.name = sched.Schedule.name ^ "-shrunk";
+    expect = Schedule.Expect_fail oracle;
+  }

@@ -54,6 +54,7 @@ let create ~env ~id ~keypair ~on_complete =
 let id t = t.id
 let completed t = t.completed
 let retries t = t.retries
+let last_timestamp t = t.timestamp
 
 let config t = t.env.Replica.keys.Keys.config
 let num_replicas t = Config.n (config t)

@@ -44,3 +44,9 @@ val run_closed_loop :
 
 val completed : t -> int
 val retries : t -> int
+
+val last_timestamp : t -> int
+(** Timestamp of the most recently submitted request (0 before any).
+    Timestamps are assigned densely from 1, so this is also the number
+    of distinct requests the client has issued — the validity and
+    at-most-once oracles bound executed requests against it. *)

@@ -37,8 +37,9 @@ type t = {
 (* CPU cost of pushing one message out (syscall + TLS record). *)
 let send_overhead = Engine.us 20
 
-let create ?(seed = 1L) ?(trace = false) ?(cpu_scale = 1.0) ~config ~num_clients
-    ~topology ~service () =
+let create ?(seed = 1L) ?(trace = false) ?(cpu_scale = 1.0)
+    ?(on_complete = fun ~client:_ ~timestamp:_ ~value:_ -> ()) ~config
+    ~num_clients ~topology ~service () =
   (match Config.validate config with
   | Ok () -> ()
   | Error e -> invalid_arg ("Cluster.create: " ^ e));
@@ -74,9 +75,10 @@ let create ?(seed = 1L) ?(trace = false) ?(cpu_scale = 1.0) ~config ~num_clients
     Array.init num_clients (fun i ->
         let cid = n + i in
         Client.create ~env ~id:cid ~keypair:client_kps.(i)
-          ~on_complete:(fun ~timestamp:_ ~latency:l ~value:_ ->
+          ~on_complete:(fun ~timestamp ~latency:l ~value ->
             Stats.Latency.add latency l;
-            Stats.Throughput.add throughput ~at:(Engine.now engine) 1))
+            Stats.Throughput.add throughput ~at:(Engine.now engine) 1;
+            on_complete ~client:i ~timestamp ~value))
   in
   deliver :=
     (fun ctx ~src ~dst msg ->

@@ -29,6 +29,7 @@ val create :
   ?seed:int64 ->
   ?trace:bool ->
   ?cpu_scale:float ->
+  ?on_complete:(client:int -> timestamp:int -> value:string -> unit) ->
   config:Config.t ->
   num_clients:int ->
   topology:(num_nodes:int -> Sbft_sim.Topology.t) ->
@@ -36,7 +37,10 @@ val create :
   unit ->
   t
 (** [cpu_scale] scales every node's CPU speed (0.5 = twice as fast;
-    used to model the multicore replicas of the paper's testbed). *)
+    used to model the multicore replicas of the paper's testbed).
+    [on_complete] observes every request completion ([client] is the
+    client index, not its node id) — the schedule fuzzer's oracles
+    record accepted values through it. *)
 
 val num_replicas : t -> int
 val client_id : t -> int -> int

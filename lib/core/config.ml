@@ -1,5 +1,7 @@
 open Sbft_sim
 
+type mutation = Weak_sigma_quorum
+
 type t = {
   f : int;
   c : int;
@@ -15,10 +17,15 @@ type t = {
   use_group_sig : bool;
   optimistic_combine : bool;
   sanitize : bool;
+  mutation : mutation option;
 }
 
 let n t = (3 * t.f) + (2 * t.c) + 1
-let sigma_threshold t = (3 * t.f) + t.c + 1
+
+let sigma_threshold t =
+  match t.mutation with
+  | Some Weak_sigma_quorum -> (2 * t.f) + t.c
+  | None -> (3 * t.f) + t.c + 1
 let tau_threshold t = (2 * t.f) + t.c + 1
 let pi_threshold t = t.f + 1
 let quorum_vc t = (2 * t.f) + (2 * t.c) + 1
@@ -42,6 +49,7 @@ let default ~f ~c =
     use_group_sig = false;
     optimistic_combine = true;
     sanitize = true;
+    mutation = None;
   }
 
 let linear_pbft ~f = { (default ~f ~c:0) with fast_path = false; execution_acks = false }

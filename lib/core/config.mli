@@ -5,6 +5,14 @@
     schemes have thresholds [3f + c + 1] (σ, fast commit),
     [2f + c + 1] (τ, linear-PBFT commit), and [f + 1] (π, execution). *)
 
+type mutation = Weak_sigma_quorum
+      (** Test-only protocol weakening: the σ fast-commit threshold drops
+          to [2f + c] (below the [2f + c + 1] honest-intersection bound),
+          so an equivocating primary can drive two conflicting σ
+          certificates.  Exists solely so the schedule fuzzer can prove
+          its agreement oracle detects real safety violations
+          (mutation-testing the checker, never for deployment). *)
+
 type t = {
   f : int;  (** tolerated Byzantine replicas *)
   c : int;  (** additional crashed/slow replicas the fast path tolerates *)
@@ -39,6 +47,8 @@ type t = {
   sanitize : bool;
       (** run the {!Sanitizer} protocol-invariant checks at replica
           state transitions (on by default; cheap assert-style checks) *)
+  mutation : mutation option;
+      (** [None] in every real configuration; see {!mutation}. *)
 }
 
 val n : t -> int

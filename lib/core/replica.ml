@@ -180,6 +180,15 @@ let view_changes_completed t = t.n_view_changes
 let fast_commits t = t.n_fast
 let slow_commits t = t.n_slow
 let set_byzantine t b = t.byz <- b
+let byzantine t = t.byz
+
+let certified_checkpoints t =
+  List.map
+    (fun (seq, (_, digest)) -> (seq, digest))
+    (Det.sorted_bindings ~compare:Int.compare t.checkpoint_pis)
+
+let client_last_timestamp t ~client =
+  Option.map (fun (ts, _, _, _) -> ts) (Hashtbl.find_opt t.client_table client)
 
 let committed_block t seq =
   match Hashtbl.find_opt t.slots seq with
@@ -190,7 +199,8 @@ let committed_block t seq =
           (* Reconstructed from the persisted ledger after GC. *)
           Some
             (List.map
-               (fun op -> { Types.client = -1; timestamp = 0; op; signature = "" })
+               (fun (o : Sbft_store.Block_store.op) ->
+                 { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
                e.Sbft_store.Block_store.ops)
       | None -> None)
 
@@ -206,6 +216,19 @@ let trace t ctx kind detail =
   Trace.emit t.env.trace ~time:(Engine.ctx_now ctx) ~node:t.id ~kind ~detail
 
 let send t ctx ~dst msg = t.env.send ctx ~src:t.id ~dst msg
+
+(* Client table as sorted rows (checkpoint capture / state transfer). *)
+let client_table_rows t =
+  List.map
+    (fun (client, (ts, value, seq, index)) ->
+      {
+        Sbft_store.Block_store.ce_client = client;
+        ce_timestamp = ts;
+        ce_value = value;
+        ce_seq = seq;
+        ce_index = index;
+      })
+    (Det.sorted_bindings ~compare:Int.compare t.client_table)
 
 let broadcast_replicas t ctx msg =
   for r = 0 to num_replicas t - 1 do
@@ -311,8 +334,8 @@ let rec on_message t ctx ~src msg =
       | Types.Get_block { seq; replica } -> on_get_block t ctx ~seq ~replica
       | Types.Block_resp { seq; view; reqs } -> on_block_resp t ctx ~seq ~view ~reqs
       | Types.Get_state { upto; replica } -> on_get_state t ctx ~upto ~replica
-      | Types.State_resp { snapshot; snap_seq; pi; digest; blocks } ->
-          on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks)
+      | Types.State_resp { snapshot; snap_seq; pi; digest; blocks; table } ->
+          on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks ~table)
 
 (* ------------------------------------------------------------------ *)
 (* Request intake and proposing (primary) *)
@@ -715,7 +738,11 @@ and commit t ctx sl ~reqs ~view ~fast ~cert =
       {
         Sbft_store.Block_store.seq = sl.seq;
         view;
-        ops = List.map (fun (r : Types.request) -> r.op) reqs;
+        ops =
+          List.map
+            (fun (r : Types.request) ->
+              { Sbft_store.Block_store.client = r.client; timestamp = r.timestamp; op = r.op })
+            reqs;
         cert;
       }
     in
@@ -770,10 +797,12 @@ and try_execute t ctx =
               | _ -> Hashtbl.replace t.client_table r.client (r.timestamp, value, next, index)
             end)
           (List.combine reqs outputs);
-        (* Periodic checkpoint snapshot for state transfer. *)
+        (* Periodic checkpoint snapshot for state transfer.  The client
+           table rides along: resuming dedup is part of resuming state. *)
         if next mod Config.checkpoint_interval config = 0 then
           Sbft_store.Block_store.set_checkpoint t.blocks ~seq:next
-            ~snapshot:(Sbft_store.Auth_store.delayed_snapshot t.store);
+            ~snapshot:(Sbft_store.Auth_store.delayed_snapshot t.store)
+            ~table:(client_table_rows t);
         (* sign-state: every block when execution acks are on, otherwise
            only at checkpoint boundaries. *)
         if config.Config.execution_acks || next mod Config.checkpoint_interval config = 0
@@ -805,6 +834,16 @@ and try_execute t ctx =
           List.iteri
             (fun _index ((r : Types.request), value) ->
               if r.client >= 0 then begin
+                (* A re-proposed duplicate degrades to a no-op above, so
+                   [value] would be [""] here; answer from the client
+                   table (the original execution's result) instead, so
+                   every replica replies with the same bytes and the
+                   client's f+1 match cannot mix "" with real values. *)
+                let value =
+                  match Hashtbl.find_opt t.client_table r.client with
+                  | Some (ts, v, _, _) when Int.equal ts r.timestamp -> v
+                  | _ -> value
+                in
                 (* Direct replies are signed server messages ([31]);
                    this per-request signing cost is exactly what
                    ingredient 3 removes. *)
@@ -1002,8 +1041,8 @@ and maybe_state_transfer t ctx seq =
 and on_get_state t ctx ~upto ~replica =
   ignore upto;
   match Sbft_store.Block_store.checkpoint t.blocks with
-  | Some (snap_seq, lazy_snapshot) -> (
-      let snapshot = Lazy.force lazy_snapshot in
+  | Some { Sbft_store.Block_store.cp_seq = snap_seq; cp_snapshot; cp_table } -> (
+      let snapshot = Lazy.force cp_snapshot in
       match Hashtbl.find_opt t.checkpoint_pis snap_seq with
       | Some (pi, digest) ->
           let blocks = ref [] in
@@ -1012,8 +1051,8 @@ and on_get_state t ctx ~upto ~replica =
             | Some e ->
                 let reqs =
                   List.map
-                    (fun op ->
-                      { Types.client = -1; timestamp = 0; op; signature = "" })
+                    (fun (o : Sbft_store.Block_store.op) ->
+                      { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
                     e.Sbft_store.Block_store.ops
                 in
                 blocks := (s, e.Sbft_store.Block_store.view, reqs) :: !blocks
@@ -1021,11 +1060,18 @@ and on_get_state t ctx ~upto ~replica =
           done;
           send t ctx ~dst:replica
             (Types.State_resp
-               { snapshot; snap_seq; pi; digest; blocks = List.rev !blocks })
+               {
+                 snapshot;
+                 snap_seq;
+                 pi;
+                 digest;
+                 blocks = List.rev !blocks;
+                 table = cp_table;
+               })
       | None -> ())
   | None -> ()
 
-and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks =
+and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks ~table =
   if snap_seq > last_executed t then begin
     Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
     if Threshold.verify (keys t).Keys.pi ~msg:(Types.pi_message ~seq:snap_seq ~digest) pi
@@ -1042,6 +1088,16 @@ and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks =
           Sanitizer.record_state_transfer t.san ~seq:snap_seq;
           if snap_seq > t.stable then t.stable <- snap_seq;
           if snap_seq > t.ls then t.ls <- snap_seq;
+          (* Adopt the sender's client table as of the snapshot: the
+             snapshot's state already reflects those executions, and
+             without the rows this replica would re-execute retried
+             requests (at-most-once violation) once it resumes. *)
+          Hashtbl.reset t.client_table;
+          List.iter
+            (fun (ce : Sbft_store.Block_store.client_entry) ->
+              Hashtbl.replace t.client_table ce.ce_client
+                (ce.ce_timestamp, ce.ce_value, ce.ce_seq, ce.ce_index))
+            table;
           (* Adopt and replay the certified suffix. *)
           List.iter
             (fun (s, view, reqs) ->

@@ -56,6 +56,15 @@ val view_changes_completed : t -> int
 val fast_commits : t -> int
 val slow_commits : t -> int
 
+val certified_checkpoints : t -> (int * string) list
+(** π-certified (sequence, state digest) pairs this replica currently
+    holds, sorted by sequence — the fuzzer's checkpoint-consistency
+    oracle compares them across non-faulty replicas. *)
+
+val client_last_timestamp : t -> client:int -> int option
+(** Highest client-request timestamp this replica has executed for
+    [client] (its client-table row), if any. *)
+
 (** {2 Byzantine behaviours (tests only)} *)
 
 type byzantine =
@@ -72,3 +81,6 @@ type byzantine =
       (** Sends view-change messages with stale/partial information. *)
 
 val set_byzantine : t -> byzantine -> unit
+
+val byzantine : t -> byzantine
+(** Current behaviour (property oracles exclude non-honest replicas). *)

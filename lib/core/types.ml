@@ -115,6 +115,11 @@ type msg =
       pi : Field.t;
       digest : string;
       blocks : (int * int * request list) list;
+      table : Sbft_store.Block_store.client_entry list;
+          (** Sender's client table as of [snap_seq]: lets the receiver
+              resume exactly-once request deduplication (without it, a
+              state-transferred replica re-executes retried requests its
+              snapshot already covers). *)
     }
 
 module Block_memo = Ephemeron.K1.Make (struct
@@ -212,11 +217,15 @@ let size = function
   | Query_resp { value; proof; _ } ->
       header + sig_size + 32 + String.length value + String.length proof
   | Get_state _ -> header
-  | State_resp { snapshot; blocks; _ } ->
+  | State_resp { snapshot; blocks; table; _ } ->
       List.fold_left
         (fun acc (_, _, reqs) -> acc + 16 + requests_bytes reqs)
         (header + String.length snapshot + sig_size + 32)
         blocks
+      + List.fold_left
+          (fun acc (ce : Sbft_store.Block_store.client_entry) ->
+            acc + 32 + String.length ce.ce_value)
+          0 table
 
 let kind = function
   | Request _ -> "request"

@@ -119,6 +119,9 @@ type msg =
       pi : Sbft_crypto.Field.t;  (** π(d) over the snapshot's digest *)
       digest : string;
       blocks : (int * int * request list) list;  (** (seq, view, reqs) after snap *)
+      table : Sbft_store.Block_store.client_entry list;
+          (** Sender's client table as of [snap_seq], so the receiver
+              resumes exactly-once request deduplication. *)
     }
 
 val block_hash : seq:int -> view:int -> reqs:request list -> string

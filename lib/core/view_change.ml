@@ -147,8 +147,24 @@ let compute_slot keys ~seq entries =
       | _, Some reqs when v_hat > v_star -> Adopt reqs
       | _ -> Fill_null
 
+(* A Byzantine sender may appear several times in a relayed message set
+   (the per-view receive table dedups, but [compute] must stay safe on
+   raw lists: quorum intersection counts {e distinct} replicas).  Keep
+   the first message per sender. *)
+let dedup_senders msgs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (vc : Types.view_change) ->
+      if Hashtbl.mem seen vc.vc_replica then false
+      else begin
+        Hashtbl.replace seen vc.vc_replica ();
+        true
+      end)
+    msgs
+
 let compute ~keys ~new_view msgs =
   ignore new_view;
+  let msgs = dedup_senders msgs in
   let ls = select_stable ~keys msgs in
   (* Gather per-slot entries; senders without info for a slot implicitly
      contribute (No_commit, No_preprepare), which never changes the

@@ -79,6 +79,22 @@ let set_extra_delay t ~src ~dst d =
 
 let set_drop_prob t p = t.drop_prob <- p
 
+let isolate_node t ~node ~num_nodes =
+  for other = 0 to num_nodes - 1 do
+    if other <> node then begin
+      set_link t ~src:node ~dst:other ~up:false;
+      set_link t ~src:other ~dst:node ~up:false
+    end
+  done
+
+let reconnect_node t ~node ~num_nodes =
+  for other = 0 to num_nodes - 1 do
+    if other <> node then begin
+      set_link t ~src:node ~dst:other ~up:true;
+      set_link t ~src:other ~dst:node ~up:true
+    end
+  done
+
 let messages_sent t = t.messages_sent
 let bytes_sent t = t.bytes_sent
 let messages_dropped t = t.messages_dropped

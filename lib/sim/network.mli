@@ -48,6 +48,15 @@ val set_extra_delay : t -> src:int -> dst:int -> Engine.time -> unit
 
 val set_drop_prob : t -> float -> unit
 
+val isolate_node : t -> node:int -> num_nodes:int -> unit
+(** Take down every link to and from [node] (the node stays alive: its
+    timers run, but nothing it sends leaves and nothing reaches it).
+    Used by the schedule fuzzer to isolate a specific collector. *)
+
+val reconnect_node : t -> node:int -> num_nodes:int -> unit
+(** Undo {!isolate_node} (restores every link touching [node], including
+    any taken down individually via {!set_link}). *)
+
 (** {2 Accounting} *)
 
 val messages_sent : t -> int

@@ -109,7 +109,17 @@ let execute_uncached t ~seq ~ops =
   t.last_ops_root <- ops_root;
   record
 
-let ops_digest ops = Sha256.digest_list ("sbft-ops" :: ops)
+(* Length-prefixed: plain concatenation would let ["x"] and ["x"; ""]
+   collide, and duplicate requests degraded to no-ops ("") make such
+   pairs reachable — a collision hands back a cached outputs array of
+   the wrong length.  Found by the schedule fuzzer (see
+   test/corpus/weak-sigma-agreement.schedule). *)
+let ops_digest ops =
+  let w = Codec.Writer.create () in
+  Codec.Writer.str w "sbft-ops";
+  Codec.Writer.u32 w (List.length ops);
+  List.iter (fun op -> Codec.Writer.str w op) ops;
+  Sha256.digest (Codec.Writer.contents w)
 
 let execute_block t ~seq ~ops =
   if seq <> t.last_executed + 1 then

@@ -1,11 +1,27 @@
 type certificate = Fast of string | Slow of string
 
-type entry = { seq : int; view : int; ops : string list; cert : certificate }
+type op = { client : int; timestamp : int; op : string }
+
+type entry = { seq : int; view : int; ops : op list; cert : certificate }
+
+type client_entry = {
+  ce_client : int;
+  ce_timestamp : int;
+  ce_value : string;
+  ce_seq : int;
+  ce_index : int;
+}
+
+type checkpoint = {
+  cp_seq : int;
+  cp_snapshot : string Lazy.t;
+  cp_table : client_entry list;
+}
 
 type t = {
   blocks : (int, entry) Hashtbl.t;
   mutable highest : int;
-  mutable checkpoint : (int * string Lazy.t) option;
+  mutable checkpoint : checkpoint option;
 }
 
 let create () = { blocks = Hashtbl.create 256; highest = 0; checkpoint = None }
@@ -27,13 +43,15 @@ let prune_below t seq =
   in
   List.iter (Hashtbl.remove t.blocks) stale
 
-let set_checkpoint t ~seq ~snapshot =
+let set_checkpoint t ~seq ~snapshot ~table =
   match t.checkpoint with
-  | Some (s, _) when s >= seq -> ()
-  | _ -> t.checkpoint <- Some (seq, snapshot)
+  | Some { cp_seq; _ } when cp_seq >= seq -> ()
+  | _ -> t.checkpoint <- Some { cp_seq = seq; cp_snapshot = snapshot; cp_table = table }
 
 let checkpoint t = t.checkpoint
 
 let entry_size e =
   let cert_size = match e.cert with Fast s | Slow s -> String.length s in
-  List.fold_left (fun acc op -> acc + String.length op + 4) (16 + cert_size) e.ops
+  List.fold_left
+    (fun acc o -> acc + String.length o.op + 20)
+    (16 + cert_size) e.ops

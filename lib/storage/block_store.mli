@@ -9,11 +9,41 @@ type certificate =
   | Fast of string  (** σ(h) combined signature bytes *)
   | Slow of string  (** τ(τ(h)) combined signature bytes *)
 
+type op = {
+  client : int;  (** issuing client's node id, [-1] for null fillers *)
+  timestamp : int;  (** client request timestamp *)
+  op : string;  (** encoded service operation as proposed (pre-dedup) *)
+}
+(** Persisted operations keep the issuing client's identity so a replica
+    replaying a transferred block suffix can apply the same
+    exactly-once degradation the original executors did (a bare op
+    string cannot be deduplicated against the client table). *)
+
 type entry = {
   seq : int;
   view : int;
-  ops : string list;
+  ops : op list;
   cert : certificate;
+}
+
+type client_entry = {
+  ce_client : int;
+  ce_timestamp : int;
+  ce_value : string;
+  ce_seq : int;
+  ce_index : int;
+}
+(** One client-table row: last executed (timestamp, value, seq, index)
+    for a client, as of the checkpoint. *)
+
+type checkpoint = {
+  cp_seq : int;
+  cp_snapshot : string Lazy.t;
+      (** Serialized only when first served. *)
+  cp_table : client_entry list;
+      (** Client table at the checkpoint, sorted by client id.  State
+          transfer ships it with the snapshot so the receiver resumes
+          request deduplication where the sender's state left off. *)
 }
 
 type t
@@ -30,11 +60,11 @@ val highest : t -> int
 
 val prune_below : t -> int -> unit
 
-val set_checkpoint : t -> seq:int -> snapshot:string Lazy.t -> unit
-(** Retains the latest stable checkpoint snapshot (serialized only when
-    first served). *)
+val set_checkpoint :
+  t -> seq:int -> snapshot:string Lazy.t -> table:client_entry list -> unit
+(** Retains the latest stable checkpoint (snapshot + client table). *)
 
-val checkpoint : t -> (int * string Lazy.t) option
+val checkpoint : t -> checkpoint option
 
 val entry_size : entry -> int
 (** Approximate persisted size in bytes (for disk-cost accounting). *)

@@ -3,6 +3,7 @@ open Sbft_wire
 type t =
   | Put of { key : string; value : string }
   | Get of { key : string }
+  | Add of { key : string; delta : int }
   | Batch of t list
   | Noop
 
@@ -15,6 +16,10 @@ let rec write w op =
   | Get { key } ->
       Codec.Writer.u8 w 2;
       Codec.Writer.str w key
+  | Add { key; delta } ->
+      Codec.Writer.u8 w 4;
+      Codec.Writer.str w key;
+      Codec.Writer.u64 w delta
   | Batch ops ->
       Codec.Writer.u8 w 3;
       Codec.Writer.list w (write w) ops
@@ -32,6 +37,10 @@ let rec read r =
       let value = Codec.Reader.str r in
       Some (Put { key; value })
   | 2 -> Some (Get { key = Codec.Reader.str r })
+  | 4 ->
+      let key = Codec.Reader.str r in
+      let delta = Codec.Reader.u64 r in
+      Some (Add { key; delta })
   | 3 ->
       let ops = Codec.Reader.list r read in
       if List.exists Option.is_none ops then None
@@ -45,12 +54,13 @@ let decode s =
   | exception Codec.Reader.Truncated -> None
 
 let rec count = function
-  | Put _ | Get _ | Noop -> 1
+  | Put _ | Get _ | Add _ | Noop -> 1
   | Batch ops -> List.fold_left (fun acc op -> acc + count op) 0 ops
 
 let rec pp fmt = function
   | Put { key; value } -> Format.fprintf fmt "put(%s=%s)" key value
   | Get { key } -> Format.fprintf fmt "get(%s)" key
+  | Add { key; delta } -> Format.fprintf fmt "add(%s+=%d)" key delta
   | Batch ops ->
       Format.fprintf fmt "batch[%a]"
         (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp)

@@ -9,6 +9,11 @@
 type t =
   | Put of { key : string; value : string }
   | Get of { key : string }
+  | Add of { key : string; delta : int }
+      (** Read-modify-write counter increment, returning the new value.
+          Unlike [Put], a duplicated execution is {e observable} (the
+          counter overshoots), which is what the fuzzer's at-most-once
+          oracle keys on. *)
   | Batch of t list
       (** Several operations submitted as one request — the paper's
           batching mode packs 64 puts per client request. *)

@@ -1,114 +1,114 @@
-(* Randomized safety testing: Theorem VI.1 states that no two non-faulty
-   replicas ever commit different blocks at the same sequence number, in
-   the fully asynchronous model with up to f Byzantine replicas.  These
-   property tests run small clusters through randomized fault schedules
-   — crashes, recoveries, partitions, message drops, Byzantine replicas
-   (equivocation, corrupt shares, stale view-change info) — and assert
-   agreement after every run.  Liveness is deliberately not asserted
-   here: the schedules are adversarial. *)
+(* Randomized safety testing, rebuilt on the schedule DSL (lib/check).
 
-open Sbft_sim
-open Sbft_core
+   Theorem VI.1 states that no two non-faulty replicas ever commit
+   different blocks at the same sequence number, in the fully
+   asynchronous model with up to f Byzantine replicas.  These property
+   tests drive the same generator the `bench/main.exe check` fuzzer
+   uses: fixed seeds produce fixed schedules, each run evaluates the
+   full oracle suite (agreement, validity, checkpoint consistency,
+   at-most-once, liveness-after-GST), and a failure prints the schedule
+   text so the counterexample can be committed to test/corpus/ as-is. *)
 
-let put ~client i =
-  Sbft_store.Kv_service.put ~key:(Printf.sprintf "k%d-%d" client i) ~value:(string_of_int i)
+open Sbft_check
 
 let qtest name count gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
 
-(* One randomized execution: returns (agreement, completed). *)
-let run_random_schedule seed =
-  let rng = Rng.create (Int64.of_int (0x5EED + seed)) in
-  let f = 1 + Rng.int rng 2 in
-  let c = Rng.int rng 2 in
-  let config = Config.sbft ~f ~c in
-  let n = Config.n config in
-  let cluster =
-    Cluster.create
-      ~seed:(Int64.of_int (seed * 31))
-      ~config ~num_clients:2
-      ~topology:(fun ~num_nodes ->
-        if Rng.bool rng 0.5 then Topology.lan ~num_nodes
-        else Topology.continent ~num_nodes)
-      ~service:Cluster.kv_service ()
-  in
-  let engine = cluster.Cluster.engine in
-  (* Up to f Byzantine replicas with random behaviours. *)
-  let behaviours =
-    [| Replica.Equivocating_primary; Replica.Silent; Replica.Corrupt_shares;
-       Replica.Wrong_exec_digest; Replica.Stale_view_change |]
-  in
-  let byz_count = Rng.int rng (f + 1) in
-  let byz = Array.init byz_count (fun i -> i * 2 mod n) in
-  Array.iter
-    (fun r -> Replica.set_byzantine cluster.Cluster.replicas.(r) (Rng.pick rng behaviours))
-    byz;
-  (* Random drop probability. *)
-  if Rng.bool rng 0.4 then
-    Network.set_drop_prob cluster.Cluster.network (0.01 *. Rng.float rng);
-  (* Random crash / recover / partition events over the first 20 s;
-     crashes are capped so Byzantine + crashed never exceed f. *)
-  let crashable = max 0 (f - byz_count) in
-  let crashed = ref [] in
-  for ev = 1 to 6 do
-    let at = Engine.ms (200 + Rng.int rng 20_000) in
-    match Rng.int rng 4 with
-    | 0 when List.length !crashed < crashable ->
-        let victim = Rng.int rng n in
-        if not (Array.mem victim byz) && not (List.mem victim !crashed) then begin
-          crashed := victim :: !crashed;
-          Engine.schedule engine ~at (fun () -> Engine.crash engine victim)
-        end
-    | 1 -> (
-        match !crashed with
-        | v :: rest ->
-            crashed := rest;
-            Engine.schedule engine ~at (fun () -> Engine.recover engine v)
-        | [] -> ())
-    | 2 ->
-        (* Transient partition cutting off a random minority. *)
-        let cut = Rng.int rng (max 1 f) + 1 in
-        let groups = Array.init (n + 2) (fun i -> if i < cut then 1 else 0) in
-        Engine.schedule engine ~at (fun () ->
-            Network.set_partition cluster.Cluster.network ~groups:(Some groups));
-        Engine.schedule engine ~at:(at + Engine.sec 3) (fun () ->
-            Network.set_partition cluster.Cluster.network ~groups:None)
-    | _ -> ignore ev
-  done;
-  Cluster.start_clients cluster ~requests_per_client:15 ~make_op:put;
-  Cluster.run_for cluster (Engine.sec 45);
-  (Cluster.agreement_ok cluster, Cluster.total_completed cluster)
+let fail_with sched (v : Oracle.verdict) =
+  QCheck2.Test.fail_reportf "oracle %s: %s\nschedule:\n%s" v.Oracle.name
+    v.Oracle.detail (Schedule.to_string sched)
+
+(* Safety oracles (everything but liveness) must hold on any generated
+   schedule — the generator keeps the adversary within the f-budget. *)
+let safety_only (outcome : Runner.outcome) =
+  List.filter
+    (fun (v : Oracle.verdict) -> not (String.equal v.Oracle.name "liveness"))
+    outcome.Runner.verdicts
 
 let prop_safety =
-  qtest "agreement holds under random fault schedules" 12
+  qtest "safety oracles hold under random fault schedules" 10
     QCheck2.Gen.(int_range 0 10_000)
-    (fun seed ->
-      let agreement, _ = run_random_schedule seed in
-      agreement)
+    (fun index ->
+      let sched = Gen.generate ~profile:{ Gen.quick = true; mutate = false } ~seed:0x5EEDL index in
+      let outcome = Runner.run sched in
+      match List.find_opt (fun (v : Oracle.verdict) -> not v.Oracle.pass) (safety_only outcome) with
+      | Some v -> fail_with sched v
+      | None -> true)
 
-let prop_crash_only_liveness =
-  (* With crash faults only (no Byzantine, no drops), runs must also make
-     progress, not merely stay safe. *)
-  qtest "liveness under crash-only schedules" 8
+let prop_liveness_after_gst =
+  (* Eventually-synchronous schedules guarantee a heal and quiet period
+     after GST; every closed-loop request must then complete, and the
+     at-most-once oracle pins the values clients accepted. *)
+  qtest "liveness after GST" 6
     QCheck2.Gen.(int_range 0 10_000)
-    (fun seed ->
-      let rng = Rng.create (Int64.of_int (7 * seed)) in
-      let config = Config.sbft ~f:1 ~c:0 in
-      let cluster =
-        Cluster.create
-          ~seed:(Int64.of_int seed)
-          ~config ~num_clients:2
-          ~topology:(fun ~num_nodes -> Topology.lan ~num_nodes)
-          ~service:Cluster.kv_service ()
-      in
-      let victim = Rng.int rng (Config.n config) in
-      Engine.schedule cluster.Cluster.engine
-        ~at:(Engine.ms (100 + Rng.int rng 2000))
-        (fun () -> Engine.crash cluster.Cluster.engine victim);
-      Cluster.start_clients cluster ~requests_per_client:10 ~make_op:put;
-      Cluster.run_for cluster (Engine.sec 120);
-      Cluster.agreement_ok cluster && Cluster.total_completed cluster = 20)
+    (fun index ->
+      let base = Gen.generate ~profile:{ Gen.quick = true; mutate = false } ~seed:0x11FEL index in
+      let sched = base in
+      match sched.Schedule.gst_ms with
+      | None -> true (* generator chose an async schedule: nothing to assert *)
+      | Some _ -> (
+          let outcome = Runner.run sched in
+          match outcome.Runner.failed with
+          | Some v -> fail_with sched v
+          | None -> true))
+
+let test_crash_only_liveness () =
+  (* Deterministic regression: one crash + recovery, every request
+     completes and at-most-once holds. *)
+  let sched =
+    {
+      (Schedule.default ~name:"crash-only" ~seed:99L) with
+      Schedule.requests = 10;
+      gst_ms = Some 5_000;
+      horizon_ms = 120_000;
+      expect = Schedule.Expect_pass;
+      steps =
+        [
+          { Schedule.at_ms = 700; action = Schedule.Crash 2 };
+          { Schedule.at_ms = 5_000; action = Schedule.Recover 2 };
+        ];
+    }
+  in
+  let outcome = Runner.run sched in
+  (match Runner.meets_expectation outcome with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "all requests completed" 20 outcome.Runner.completed
+
+let test_at_most_once_under_retries () =
+  (* Drops + a link delay force client retries to all replicas; the
+     at-most-once oracle checks no retried request executed twice (each
+     counter cell equals the client's request count). *)
+  let sched =
+    {
+      (Schedule.default ~name:"retry-dedup" ~seed:5L) with
+      Schedule.requests = 8;
+      acks = false;
+      gst_ms = Some 8_000;
+      horizon_ms = 120_000;
+      expect = Schedule.Expect_pass;
+      steps =
+        [
+          { Schedule.at_ms = 300; action = Schedule.Set_drop 0.3 };
+          { Schedule.at_ms = 1_000; action = Schedule.Delay_link { src = 0; dst = 1; delay_ms = 600 } };
+          { Schedule.at_ms = 8_000; action = Schedule.Set_drop 0.0 };
+          { Schedule.at_ms = 8_000; action = Schedule.Delay_link { src = 0; dst = 1; delay_ms = 0 } };
+        ];
+    }
+  in
+  let outcome = Runner.run sched in
+  match Runner.meets_expectation outcome with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
 
 let () =
   Alcotest.run "sbft_safety_properties"
-    [ ("random-schedules", [ prop_safety; prop_crash_only_liveness ]) ]
+    [
+      ( "random-schedules",
+        [ prop_safety; prop_liveness_after_gst ] );
+      ( "fixed-schedules",
+        [
+          Alcotest.test_case "crash-only liveness" `Quick test_crash_only_liveness;
+          Alcotest.test_case "at-most-once under retries" `Quick test_at_most_once_under_retries;
+        ] );
+    ]

@@ -351,29 +351,41 @@ let test_bootstrap () =
 (* ------------------------------------------------------------------ *)
 (* Block_store *)
 
+let bop ?(client = 7) ?(timestamp = 1) op = { Block_store.client; timestamp; op }
+
 let test_block_store () =
   let bs = Block_store.create () in
   check_int "empty highest" 0 (Block_store.highest bs);
-  Block_store.add bs { seq = 1; view = 0; ops = [ "a" ]; cert = Fast "sig1" };
-  Block_store.add bs { seq = 3; view = 0; ops = [ "b" ]; cert = Slow "sig3" };
+  Block_store.add bs { seq = 1; view = 0; ops = [ bop "a" ]; cert = Fast "sig1" };
+  Block_store.add bs { seq = 3; view = 0; ops = [ bop "b" ]; cert = Slow "sig3" };
   check_int "highest" 3 (Block_store.highest bs);
   check "mem" true (Block_store.mem bs 1);
   check "not mem" false (Block_store.mem bs 2);
   (* First write wins. *)
-  Block_store.add bs { seq = 1; view = 9; ops = [ "z" ]; cert = Fast "other" };
+  Block_store.add bs { seq = 1; view = 9; ops = [ bop "z" ]; cert = Fast "other" };
   (match Block_store.find bs 1 with
-  | Some e -> check "idempotent" true (e.ops = [ "a" ])
+  | Some e ->
+      check "idempotent" true
+        (match e.ops with [ o ] -> String.equal o.Block_store.op "a" | _ -> false);
+      check "client identity persisted" true
+        (match e.ops with [ o ] -> o.Block_store.client = 7 && o.Block_store.timestamp = 1 | _ -> false)
   | None -> Alcotest.fail "missing");
   Block_store.prune_below bs 3;
   check "pruned" false (Block_store.mem bs 1);
   check "kept" true (Block_store.mem bs 3);
-  Block_store.set_checkpoint bs ~seq:5 ~snapshot:(lazy "snapA");
-  Block_store.set_checkpoint bs ~seq:4 ~snapshot:(lazy "old");
+  let row =
+    { Block_store.ce_client = 9; ce_timestamp = 3; ce_value = "v"; ce_seq = 5; ce_index = 0 }
+  in
+  Block_store.set_checkpoint bs ~seq:5 ~snapshot:(lazy "snapA") ~table:[ row ];
+  Block_store.set_checkpoint bs ~seq:4 ~snapshot:(lazy "old") ~table:[];
   (match Block_store.checkpoint bs with
-  | Some (5, s) when Lazy.force s = "snapA" -> ()
+  | Some cp
+    when cp.Block_store.cp_seq = 5
+         && Lazy.force cp.Block_store.cp_snapshot = "snapA"
+         && cp.Block_store.cp_table = [ row ] -> ()
   | _ -> Alcotest.fail "checkpoint regression");
   check "entry size positive" true
-    (Block_store.entry_size { seq = 1; view = 0; ops = [ "abc" ]; cert = Fast "s" } > 0)
+    (Block_store.entry_size { seq = 1; view = 0; ops = [ bop "abc" ]; cert = Fast "s" } > 0)
 
 let () =
   Alcotest.run "sbft_store"

@@ -291,6 +291,96 @@ let test_slots_above_checkpoint_only () =
   check_int "stable respected" 3 ls;
   check "no decisions below ls" true (List.for_all (fun (s, _) -> s > 3) ds)
 
+let test_exactly_quorum_adopts () =
+  (* The adoption threshold is exact: f+c+1 = 2 pre-prepare shares adopt
+     a fast value, and the quorum set itself is exactly quorum_vc = 3
+     messages with no slack.  Dropping either witness message falls
+     below the threshold and the slot goes null. *)
+  let mk r v =
+    Types.Fast_preprepared
+      { share = sigma_share ~replica:r ~seq:1 ~view:v reqs_a; view = v; reqs = reqs_a }
+  in
+  let w0 = vc ~replica:0 [ slot 1 Types.No_commit (mk 0 2) ] in
+  let w1 = vc ~replica:1 [ slot 1 Types.No_commit (mk 1 2) ] in
+  let empty = vc ~replica:2 [] in
+  check "exact threshold adopts" true
+    (decision_for 1 [ w0; w1; empty ] = Some (View_change.Adopt reqs_a));
+  check "one witness below threshold -> null" true
+    (decision_for 1 [ w0; empty; vc ~replica:3 [] ] = Some View_change.Fill_null);
+  (* v̂ is the (f+c+1)-th largest view among the value's shares: with
+     shares at views 3 and 1, v̂ = 1, so a prepare certificate at view 2
+     must win even though one share sits at view 3. *)
+  let tau = tau_sig ~seq:1 ~view:2 reqs_b in
+  let msgs =
+    [
+      vc ~replica:0 [ slot 1 Types.No_commit (mk 0 3) ];
+      vc ~replica:1 [ slot 1 Types.No_commit (mk 1 1) ];
+      vc ~replica:2
+        [ slot 1 (Types.Slow_prepared { tau; view = 2; reqs = reqs_b }) Types.No_preprepare ];
+    ]
+  in
+  check "kth-largest view bounds the fast value" true
+    (decision_for 1 msgs = Some (View_change.Adopt reqs_b))
+
+let test_duplicate_senders_deduped () =
+  (* A Byzantine replica relays two view-change messages under the same
+     sender id, each contributing a share for reqs_b: counted twice they
+     would fake the f+c+1 = 2 threshold and adopt reqs_b.  [compute]
+     must count distinct replicas only (first message wins), leaving a
+     single share -> null. *)
+  let mk v =
+    Types.Fast_preprepared
+      { share = sigma_share ~replica:0 ~seq:1 ~view:v reqs_b; view = v; reqs = reqs_b }
+  in
+  let first = vc ~replica:0 [ slot 1 Types.No_commit (mk 2) ] in
+  let second = vc ~replica:0 [ slot 1 Types.No_commit (mk 3) ] in
+  let msgs = [ first; second; vc ~replica:1 []; vc ~replica:2 [] ] in
+  check "duplicate sender not double-counted" true
+    (decision_for 1 msgs = Some View_change.Fill_null);
+  (* The honest two-sender version of the same evidence does adopt —
+     the dedup is what separates the cases. *)
+  let honest =
+    [
+      vc ~replica:0 [ slot 1 Types.No_commit (mk 2) ];
+      vc ~replica:1
+        [ slot 1 Types.No_commit
+            (Types.Fast_preprepared
+               { share = sigma_share ~replica:1 ~seq:1 ~view:3 reqs_b; view = 3; reqs = reqs_b }) ];
+      vc ~replica:2 [];
+    ]
+  in
+  check "distinct senders adopt" true (decision_for 1 honest = Some (View_change.Adopt reqs_b))
+
+let test_stale_view_entries_ignored () =
+  (* A laggard (or Stale_view_change Byzantine) replica contributes
+     entries anchored below the quorum's certified checkpoint and a
+     stale low-view prepare for a conflicting value.  The stable
+     sequence must come from the valid checkpoint, slots at or below it
+     are not decided, and above it the fresher prepare wins. *)
+  let digest = Sha256.digest "state-3" in
+  let pi = pi_sig ~seq:3 ~digest in
+  let stale_tau = tau_sig ~seq:2 ~view:0 reqs_b in
+  let stale_above = tau_sig ~seq:4 ~view:0 reqs_b in
+  let fresh = tau_sig ~seq:4 ~view:2 reqs_a in
+  let msgs =
+    [
+      vc ~ls:3 ~checkpoint:(Some (pi, digest)) ~replica:0
+        [ slot 4 (Types.Slow_prepared { tau = fresh; view = 2; reqs = reqs_a })
+            Types.No_preprepare ];
+      vc ~replica:1
+        [ slot 2 (Types.Slow_prepared { tau = stale_tau; view = 0; reqs = reqs_b })
+            Types.No_preprepare;
+          slot 4 (Types.Slow_prepared { tau = stale_above; view = 0; reqs = reqs_b })
+            Types.No_preprepare ];
+      vc ~replica:2 [];
+    ]
+  in
+  let ls, ds = decide msgs in
+  check_int "checkpoint anchors ls" 3 ls;
+  check "stale below-ls slot dropped" true (List.assoc_opt 2 ds = None);
+  check "fresh prepare beats stale one" true
+    (List.assoc_opt 4 ds = Some (View_change.Adopt reqs_a))
+
 (* ------------------------------------------------------------------ *)
 (* Property: a value committed on either path survives any view change
    quorum that includes its honest witnesses. *)
@@ -388,6 +478,9 @@ let () =
           Alcotest.test_case "decision reqs" `Quick test_decision_reqs;
           Alcotest.test_case "multi-slot window" `Quick test_multi_slot_window;
           Alcotest.test_case "checkpoint bounds slots" `Quick test_slots_above_checkpoint_only;
+          Alcotest.test_case "exactly-quorum adoption" `Quick test_exactly_quorum_adopts;
+          Alcotest.test_case "duplicate senders deduped" `Quick test_duplicate_senders_deduped;
+          Alcotest.test_case "stale-view entries ignored" `Quick test_stale_view_entries_ignored;
         ] );
       ("properties", [ prop_committed_value_survives; prop_decisions_deterministic ]);
     ]
