@@ -22,11 +22,11 @@ type profile = {
 let default_profile = { quick = false; mutate = false }
 
 (* Weighted fault-class choice. *)
-type klass = K_crash | K_recover | K_partition | K_heal | K_drop | K_delay | K_isolate | K_reconnect | K_byz
+type klass = K_crash | K_amnesia | K_recover | K_partition | K_heal | K_drop | K_delay | K_isolate | K_reconnect | K_byz
 
 let classes =
   [|
-    (K_crash, 15); (K_recover, 10); (K_partition, 12); (K_heal, 8);
+    (K_crash, 15); (K_amnesia, 8); (K_recover, 10); (K_partition, 12); (K_heal, 8);
     (K_drop, 10); (K_delay, 12); (K_isolate, 10); (K_reconnect, 7); (K_byz, 16);
   |]
 
@@ -73,6 +73,13 @@ let fault_steps rng ~num_replicas ~byz_pool ~count ~window_ms =
           let node = replica () in
           Hashtbl.replace crashed node ();
           Some (Schedule.Crash node)
+      | K_amnesia ->
+          (* Same crashed-pool as K_crash, so K_recover and the GST heal
+             cover amnesia crashes too (Recover routes through the
+             rebuild-from-durable path automatically). *)
+          let node = replica () in
+          Hashtbl.replace crashed node ();
+          Some (Schedule.Crash_amnesia node)
       | K_recover -> (
           match Sbft_sim.Det.sorted_keys ~compare:Int.compare crashed with
           | [] -> None
@@ -116,7 +123,7 @@ let heal_steps ~at_ms ~byz_pool steps =
   List.iter
     (fun (s : Schedule.step) ->
       match s.Schedule.action with
-      | Schedule.Crash n -> Hashtbl.replace crashed n ()
+      | Schedule.Crash n | Schedule.Crash_amnesia n -> Hashtbl.replace crashed n ()
       | Schedule.Recover n -> Hashtbl.remove crashed n
       | Schedule.Isolate n -> Hashtbl.replace isolated n ()
       | Schedule.Reconnect n -> Hashtbl.remove isolated n
@@ -172,6 +179,9 @@ let generate ?(profile = default_profile) ~seed index =
     win = (if Rng.bool rng 0.3 then 4 else 8);
     topology = (if Rng.bool rng 0.8 then Schedule.Lan else Schedule.Continent);
     acks = Rng.bool rng 0.75;
+    (* Always durable: amnesia crashes without a WAL can legitimately
+       lose promises, so a generated Expect_pass schedule would flake. *)
+    wal = true;
     mutation;
     gst_ms;
     horizon_ms;

@@ -15,6 +15,7 @@ let config_of (s : Schedule.t) =
     base with
     Config.win = s.Schedule.win;
     execution_acks = s.Schedule.acks;
+    durable_wal = s.Schedule.wal;
     mutation =
       (match s.Schedule.mutation with
       | Schedule.No_mutation -> None
@@ -63,7 +64,12 @@ let apply (cluster : Cluster.t) (sched : Schedule.t) action =
   let valid_node node = node >= 0 && node < num_nodes in
   match action with
   | Schedule.Crash node -> if valid_node node then Engine.crash cluster.Cluster.engine node
-  | Schedule.Recover node -> if valid_node node then Engine.recover cluster.Cluster.engine node
+  | Schedule.Crash_amnesia node ->
+      (* Replicas only: clients have no durable state to lose. *)
+      if node >= 0 && node < n then Cluster.crash_amnesia cluster node
+  | Schedule.Recover node ->
+      if node >= 0 && node < n then Cluster.recover_replica cluster node
+      else if valid_node node then Engine.recover cluster.Cluster.engine node
   | Schedule.Partition groups ->
       let g = Array.make num_nodes 0 in
       List.iteri

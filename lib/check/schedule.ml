@@ -8,6 +8,7 @@ type byz =
 
 type action =
   | Crash of int
+  | Crash_amnesia of int
   | Recover of int
   | Partition of int list list
   | Heal
@@ -35,6 +36,7 @@ type t = {
   win : int;
   topology : topology;
   acks : bool;
+  wal : bool;
   mutation : mutation;
   gst_ms : int option;
   horizon_ms : int;
@@ -68,6 +70,7 @@ let groups_to_string groups =
 
 let action_to_string = function
   | Crash n -> Printf.sprintf "crash %d" n
+  | Crash_amnesia n -> Printf.sprintf "crash-amnesia %d" n
   | Recover n -> Printf.sprintf "recover %d" n
   | Partition groups -> Printf.sprintf "partition %s" (groups_to_string groups)
   | Heal -> "heal"
@@ -103,6 +106,7 @@ let to_string t =
   line "win %d" t.win;
   line "topology %s" (topology_to_string t.topology);
   line "acks %s" (if t.acks then "on" else "off");
+  line "wal %s" (if t.wal then "on" else "off");
   line "mutation %s" (match t.mutation with No_mutation -> "none" | Weak_sigma -> "weak-sigma");
   (match t.gst_ms with None -> line "gst none" | Some g -> line "gst %d" g);
   line "horizon %d" t.horizon_ms;
@@ -147,6 +151,7 @@ let parse_groups s =
 let parse_action words =
   match words with
   | [ "crash"; n ] -> Result.map (fun n -> Crash n) (parse_int "node" n)
+  | [ "crash-amnesia"; n ] -> Result.map (fun n -> Crash_amnesia n) (parse_int "node" n)
   | [ "recover"; n ] -> Result.map (fun n -> Recover n) (parse_int "node" n)
   | [ "partition"; spec ] -> Result.map (fun g -> Partition g) (parse_groups spec)
   | [ "heal" ] -> Ok Heal
@@ -180,6 +185,7 @@ let default ~name ~seed =
     win = 8;
     topology = Lan;
     acks = true;
+    wal = true;
     mutation = No_mutation;
     gst_ms = None;
     horizon_ms = 30_000;
@@ -227,6 +233,8 @@ let parse text =
             | [ "topology"; other ] -> fail (Printf.sprintf "unknown topology %S" other)
             | [ "acks"; "on" ] -> t := { !t with acks = true }
             | [ "acks"; "off" ] -> t := { !t with acks = false }
+            | [ "wal"; "on" ] -> t := { !t with wal = true }
+            | [ "wal"; "off" ] -> t := { !t with wal = false }
             | [ "mutation"; "none" ] -> t := { !t with mutation = No_mutation }
             | [ "mutation"; "weak-sigma" ] -> t := { !t with mutation = Weak_sigma }
             | [ "mutation"; other ] -> fail (Printf.sprintf "unknown mutation %S" other)

@@ -40,6 +40,10 @@ type byz =
 
 type action =
   | Crash of int
+  | Crash_amnesia of int
+      (** Crash AND lose volatile state: on the matching [Recover] the
+          replica is rebuilt from its WAL + persisted blocks (or from
+          genesis when the [wal] switch is off). *)
   | Recover of int
   | Partition of int list list
       (** Groups of node ids; nodes not listed (typically the clients)
@@ -72,6 +76,10 @@ type t = {
   win : int;
   topology : topology;
   acks : bool;  (** {!Config.execution_acks} *)
+  wal : bool;
+      (** {!Config.durable_wal}: switching it off turns every
+          crash-amnesia recovery into a from-genesis restart, which is
+          how the corpus proves the WAL is load-bearing. *)
   mutation : mutation;
   gst_ms : int option;
       (** Eventual synchrony: after this point the schedule guarantees a

@@ -32,6 +32,13 @@ type t = {
   clients : Client.t array;
   latency : Stats.Latency.t;
   throughput : Stats.Throughput.t;
+  (* rebuild machinery for crash-amnesia recovery *)
+  service : service;
+  env : Replica.env;
+  replica_keys : Keys.replica_keys array;
+  exec_cache : Sbft_store.Auth_store.cache;
+  durables : Replica.durable array;
+  amnesia : bool array;  (* crashed with volatile state wiped *)
 }
 
 (* CPU cost of pushing one message out (syscall + TLS record). *)
@@ -63,11 +70,15 @@ let create ?(seed = 1L) ?(trace = false) ?(cpu_scale = 1.0)
   (* All honest replicas execute identical blocks: share the execution
      work and the resulting persistent state across them. *)
   let exec_cache = Sbft_store.Auth_store.new_cache () in
+  let durables =
+    Array.init n (fun _ ->
+        { Replica.wal = Sbft_store.Wal.create (); blocks = Sbft_store.Block_store.create () })
+  in
   let replicas =
     Array.init n (fun i ->
         let store = service.make_store () in
         Sbft_store.Auth_store.set_cache store exec_cache;
-        Replica.create ~env ~my:replica_keys.(i) ~store)
+        Replica.create ~env ~my:replica_keys.(i) ~store ~durable:durables.(i))
   in
   let latency = Stats.Latency.create () in
   let throughput = Stats.Throughput.create () in
@@ -87,7 +98,23 @@ let create ?(seed = 1L) ?(trace = false) ?(cpu_scale = 1.0)
   Array.iter
     (fun r -> Engine.dispatch engine ~dst:(Replica.id r) ~at:0 (fun ctx -> Replica.start r ctx))
     replicas;
-  { engine; network; trace = tr; keys; config; replicas; clients; latency; throughput }
+  {
+    engine;
+    network;
+    trace = tr;
+    keys;
+    config;
+    replicas;
+    clients;
+    latency;
+    throughput;
+    service;
+    env;
+    replica_keys;
+    exec_cache;
+    durables;
+    amnesia = Array.make n false;
+  }
 
 let num_replicas t = Array.length t.replicas
 let client_id t i = num_replicas t + i
@@ -101,6 +128,47 @@ let start_clients t ~requests_per_client ~make_op =
     t.clients
 
 let crash_replicas t ids = List.iter (Engine.crash t.engine) ids
+
+(* Crash-amnesia: the node stops AND its volatile state (protocol
+   state, service store, client table) is gone.  Only the durable WAL +
+   block store survive — and the WAL loses its unsynced tail, exactly
+   like a real fsync-based log.  The actual wipe happens at recovery
+   (the dead replica object can't act meanwhile). *)
+let crash_amnesia t id =
+  Engine.crash t.engine id;
+  Sbft_store.Wal.drop_pending t.durables.(id).Replica.wal;
+  t.amnesia.(id) <- true
+
+(* Recover a crashed node.  A plain crash resumes with full memory (the
+   legacy pause semantics); an amnesia crash rebuilds the replica from
+   scratch around its durable state and runs the recovery protocol. *)
+let recover_replica t id =
+  if t.amnesia.(id) then begin
+    t.amnesia.(id) <- false;
+    (* The old object is dead: its timers must not fire into the rebuilt
+       replica's world. *)
+    Replica.retire t.replicas.(id);
+    let durable =
+      if t.config.Config.durable_wal then t.durables.(id)
+      else begin
+        (* Durability disabled: model the restart as losing the disk
+           too, so the fuzzer can prove the WAL is load-bearing. *)
+        let d =
+          { Replica.wal = Sbft_store.Wal.create (); blocks = Sbft_store.Block_store.create () }
+        in
+        t.durables.(id) <- d;
+        d
+      end
+    in
+    let store = t.service.make_store () in
+    Sbft_store.Auth_store.set_cache store t.exec_cache;
+    let r = Replica.create ~env:t.env ~my:t.replica_keys.(id) ~store ~durable in
+    t.replicas.(id) <- r;
+    Engine.recover t.engine id;
+    Engine.dispatch t.engine ~dst:id ~at:(Engine.now t.engine) (fun ctx ->
+        Replica.recover r ctx)
+  end
+  else Engine.recover t.engine id
 
 let run_for t duration = Engine.run_until t.engine (Engine.now t.engine + duration)
 

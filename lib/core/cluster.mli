@@ -23,6 +23,14 @@ type t = {
   clients : Client.t array;
   latency : Sbft_sim.Stats.Latency.t;
   throughput : Sbft_sim.Stats.Throughput.t;
+  service : service;
+  env : Replica.env;
+  replica_keys : Keys.replica_keys array;
+  exec_cache : Sbft_store.Auth_store.cache;
+  durables : Replica.durable array;
+  amnesia : bool array;
+      (** Per-replica flag: crashed with volatile state wiped; the next
+          {!recover_replica} rebuilds from durable state. *)
 }
 
 val create :
@@ -52,6 +60,20 @@ val start_clients :
     cluster's latency/throughput accumulators. *)
 
 val crash_replicas : t -> int list -> unit
+
+val crash_amnesia : t -> int -> unit
+(** Crash a replica AND mark its volatile state (protocol state, service
+    store, client table) as lost.  The unsynced WAL tail is dropped, so
+    only group-committed records survive — recovery must rebuild from
+    the WAL plus the persisted block store. *)
+
+val recover_replica : t -> int -> unit
+(** Bring a crashed replica back.  After a plain crash it resumes with
+    full memory; after {!crash_amnesia} a fresh replica is built around
+    the durable state and runs {!Replica.recover} (when
+    [Config.durable_wal] is off, the disk is lost too — the rebuilt
+    replica starts from genesis). *)
+
 val run_for : t -> Sbft_sim.Engine.time -> unit
 
 val total_completed : t -> int

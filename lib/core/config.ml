@@ -17,6 +17,8 @@ type t = {
   use_group_sig : bool;
   optimistic_combine : bool;
   sanitize : bool;
+  durable_wal : bool;
+  state_transfer_retry : Engine.time;
   mutation : mutation option;
 }
 
@@ -49,6 +51,8 @@ let default ~f ~c =
     use_group_sig = false;
     optimistic_combine = true;
     sanitize = true;
+    durable_wal = true;
+    state_transfer_retry = Engine.ms 300;
     mutation = None;
   }
 

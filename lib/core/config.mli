@@ -47,6 +47,15 @@ type t = {
   sanitize : bool;
       (** run the {!Sanitizer} protocol-invariant checks at replica
           state transitions (on by default; cheap assert-style checks) *)
+  durable_wal : bool;
+      (** replicas write protocol-critical transitions to a write-ahead
+          log ({!Sbft_store.Wal}) with group-commit fsyncs, so a
+          crash-amnesia restart recovers from the durable prefix; off =
+          restarts lose everything (benchmark reference point and the
+          fuzzer's proof that the fault class has teeth) *)
+  state_transfer_retry : Sbft_sim.Engine.time;
+      (** base retry timer for an unanswered [Get_state] (doubles per
+          attempt, capped; each retry rotates to the next peer) *)
   mutation : mutation option;
       (** [None] in every real configuration; see {!mutation}. *)
 }

@@ -17,6 +17,18 @@ type byzantine =
   | Wrong_exec_digest
   | Stale_view_change
 
+type durable = { wal : Sbft_store.Wal.t; blocks : Sbft_store.Block_store.t }
+
+(* State-transfer retry state: one outstanding Get_state at a time,
+   re-sent with exponential backoff and peer rotation until the replica
+   catches up or learns the response shows nothing newer. *)
+type st_pending = {
+  mutable st_target : int;
+  st_base : int;  (* random initial peer offset *)
+  mutable st_attempt : int;
+  mutable st_timer : Engine.timer option;
+}
+
 type slot = {
   seq : int;
   (* accepted pre-prepare for the current view: (view, reqs, h) *)
@@ -106,6 +118,14 @@ type t = {
   mutable sent_vc_for : int; (* highest view we issued a view-change for *)
   vc_msgs : (int, (int, Types.view_change) Hashtbl.t) Hashtbl.t;
   checkpoint_pis : (int, Field.t * string) Hashtbl.t;
+  mutable last_new_view : (int * Types.view_change list) option;
+      (* latest validated new-view proofs, retransmitted to stale
+         complainers so a rejoining replica can learn the current view *)
+  mutable st : st_pending option;
+  wal : Sbft_store.Wal.t;
+  mutable retired : bool;
+      (* set when a crash-amnesia rebuild replaces this object: pending
+         timer callbacks on the old incarnation must become no-ops *)
   mutable failures_observed : bool;
   mutable fast_eta : float;
       (* EWMA of observed pre-prepare -> full-commit-proof time (ns): the
@@ -124,7 +144,7 @@ let cfg t = t.env.keys.Keys.config
 let num_replicas t = Config.n (cfg t)
 let keys t = t.env.keys
 
-let create ~env ~my ~store =
+let create ~env ~my ~store ~(durable : durable) =
   let config = env.keys.Keys.config in
   let san =
     Sanitizer.create ~enabled:config.Config.sanitize ~f:config.Config.f
@@ -137,7 +157,7 @@ let create ~env ~my ~store =
     id = my.Keys.replica_id;
     san;
     store;
-    blocks = Sbft_store.Block_store.create ();
+    blocks = durable.blocks;
     view = 0;
     next_seq = 1;
     ls = 0;
@@ -155,6 +175,10 @@ let create ~env ~my ~store =
     sent_vc_for = 0;
     vc_msgs = Hashtbl.create 4;
     checkpoint_pis = Hashtbl.create 8;
+    last_new_view = None;
+    st = None;
+    wal = durable.wal;
+    retired = false;
     failures_observed = false;
     fast_eta = float_of_int (env.keys.Keys.config.Config.fast_path_timeout / 2);
     byz = Honest;
@@ -181,6 +205,7 @@ let fast_commits t = t.n_fast
 let slow_commits t = t.n_slow
 let set_byzantine t b = t.byz <- b
 let byzantine t = t.byz
+let wal t = t.wal
 
 let certified_checkpoints t =
   List.map
@@ -215,6 +240,15 @@ let slot t seq =
 let trace t ctx kind detail =
   Trace.emit t.env.trace ~time:(Engine.ctx_now ctx) ~node:t.id ~kind ~detail
 
+(* Every replica timer goes through this wrapper so that retiring the
+   object (crash-amnesia rebuild) silences callbacks still in flight on
+   the old incarnation. *)
+let set_replica_timer t ~after f =
+  Engine.set_timer t.env.engine ~node:t.id ~after (fun ctx ->
+      if not t.retired then f ctx)
+
+let retire t = t.retired <- true
+
 let send t ctx ~dst msg = t.env.send ctx ~src:t.id ~dst msg
 
 (* Client table as sorted rows (checkpoint capture / state transfer). *)
@@ -234,6 +268,28 @@ let broadcast_replicas t ctx msg =
   for r = 0 to num_replicas t - 1 do
     send t ctx ~dst:r msg
   done
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead logging (crash-amnesia durability).
+
+   [wal_log] buffers a record and charges the append; [wal_sync]
+   group-commits whatever the current handler buffered and charges one
+   fsync.  Handlers call [wal_sync] immediately before sending a message
+   that promises the logged state (sign shares, commit shares,
+   view-change votes), so a restart never forgets a promise the network
+   already saw — the unsynced tail is exactly what a crash may lose. *)
+
+let wal_log t ctx record =
+  if (cfg t).Config.durable_wal then
+    let bytes = Sbft_store.Wal.append t.wal record in
+    Engine.charge ctx (Cost_model.Tally.note "wal_append" (Cost_model.wal_append bytes))
+
+let wal_sync t ctx =
+  if (cfg t).Config.durable_wal && Sbft_store.Wal.sync t.wal then
+    Engine.charge ctx (Cost_model.Tally.note "wal_fsync" Cost_model.wal_fsync)
+
+let wal_ops reqs =
+  List.map (fun (r : Types.request) -> (r.Types.client, r.Types.timestamp, r.Types.op)) reqs
 
 (* ------------------------------------------------------------------ *)
 (* Progress tracking for the view-change trigger *)
@@ -409,7 +465,7 @@ and try_propose t ctx =
     then begin
       t.batch_timer_armed <- true;
       ignore
-        (Engine.set_timer t.env.engine ~node:t.id ~after:config.Config.batch_timeout
+        (set_replica_timer t ~after:config.Config.batch_timeout
            (fun ctx ->
              t.batch_timer_armed <- false;
              if is_primary t && not t.in_view_change then begin
@@ -480,6 +536,11 @@ and on_pre_prepare t ctx ~seq ~view ~reqs =
           | _ -> (sigma_share, tau_share)
         in
         sl.highest_preprepare <- Some (view, sigma_share, reqs);
+        (* The sign share is a promise: persist the accepted block
+           before the network can observe it. *)
+        wal_log t ctx
+          (Sbft_store.Wal.Accepted_pre_prepare { seq; view; ops = wal_ops reqs });
+        wal_sync t ctx;
         List.iter
           (fun c ->
             send t ctx ~dst:c
@@ -544,7 +605,7 @@ and collector_check t ctx sl ~view =
             in
             let stagger = rank * config.Config.collector_stagger in
             if stagger = 0 then act ctx
-            else ignore (Engine.set_timer t.env.engine ~node:t.id ~after:stagger act)
+            else ignore (set_replica_timer t ~after:stagger act)
         | Some _ -> ())
   | _ -> ());
   (* Slow path trigger: 2f+c+1 τ shares, after the fast-path timeout
@@ -594,7 +655,7 @@ and collector_check t ctx sl ~view =
               end
             in
             if wait = 0 then act ctx
-            else sl.fast_timer <- Some (Engine.set_timer t.env.engine ~node:t.id ~after:wait act)
+            else sl.fast_timer <- Some (set_replica_timer t ~after:wait act)
         | Some _ -> ()
       end)
 
@@ -630,6 +691,10 @@ and on_prepare t ctx ~seq ~view ~tau =
             sl.sent_commit <- true;
             sl.prepare_tau <- Some tau;
             sl.highest_prepare <- Some (view, tau, reqs);
+            wal_log t ctx
+              (Sbft_store.Wal.Accepted_prepare
+                 { seq; view; tau = Threshold.signature_bytes tau });
+            wal_sync t ctx;
             Engine.charge ctx (Cost_model.Tally.note "share_sign" Cost_model.bls_share_sign);
             let share =
               match t.byz with
@@ -748,6 +813,7 @@ and commit t ctx sl ~reqs ~view ~fast ~cert =
     in
     Engine.charge ctx (Cost_model.Tally.note "persist" (Cost_model.persist_block (Sbft_store.Block_store.entry_size entry)));
     Sbft_store.Block_store.add t.blocks entry;
+    wal_log t ctx (Sbft_store.Wal.Commit_cert { seq = sl.seq; view; fast });
     (* Fast-path checkpointing rule (§V-F). *)
     if fast then begin
       let candidate = sl.seq - Config.active_window (cfg t) in
@@ -794,7 +860,17 @@ and try_execute t ctx =
             if r.client >= 0 then begin
               match Hashtbl.find_opt t.client_table r.client with
               | Some (ts, _, _, _) when ts >= r.timestamp -> ()
-              | _ -> Hashtbl.replace t.client_table r.client (r.timestamp, value, next, index)
+              | _ ->
+                  Hashtbl.replace t.client_table r.client (r.timestamp, value, next, index);
+                  wal_log t ctx
+                    (Sbft_store.Wal.Client_row
+                       {
+                         client = r.client;
+                         timestamp = r.timestamp;
+                         value;
+                         seq = next;
+                         index;
+                       })
             end)
           (List.combine reqs outputs);
         (* Periodic checkpoint snapshot for state transfer.  The client
@@ -803,6 +879,10 @@ and try_execute t ctx =
           Sbft_store.Block_store.set_checkpoint t.blocks ~seq:next
             ~snapshot:(Sbft_store.Auth_store.delayed_snapshot t.store)
             ~table:(client_table_rows t);
+        (* Group commit: one fsync covers the block's rows and any
+           commit certificates buffered earlier in this handler, before
+           the execution results go on the wire. *)
+        wal_sync t ctx;
         (* sign-state: every block when execution acks are on, otherwise
            only at checkpoint boundaries. *)
         if config.Config.execution_acks || next mod Config.checkpoint_interval config = 0
@@ -907,6 +987,10 @@ and on_sign_state t ctx ~seq ~digest ~share =
             | Some pi ->
                 sl.exec_proof_sent <- true;
                 Hashtbl.replace t.checkpoint_pis seq (pi, digest);
+                wal_log t ctx
+                  (Sbft_store.Wal.Stable_checkpoint
+                     { seq; digest; pi = Threshold.signature_bytes pi });
+                wal_sync t ctx;
                 trace t ctx "send:full-execute-proof" (Printf.sprintf "seq=%d" seq);
                 broadcast_replicas t ctx (Types.Full_execute_proof { seq; digest; pi });
                 maybe_send_acks t ctx sl
@@ -915,7 +999,7 @@ and on_sign_state t ctx ~seq ~digest ~share =
         in
         let stagger = rank * config.Config.collector_stagger in
         if stagger = 0 then act ctx
-        else ignore (Engine.set_timer t.env.engine ~node:t.id ~after:stagger act)
+        else ignore (set_replica_timer t ~after:stagger act)
       end
     end
   end
@@ -964,6 +1048,9 @@ and on_full_execute_proof t ctx ~seq ~digest ~pi ~src =
   Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
   if Threshold.verify (keys t).Keys.pi ~msg:(Types.pi_message ~seq ~digest) pi then begin
     Hashtbl.replace t.checkpoint_pis seq (pi, digest);
+    wal_log t ctx
+      (Sbft_store.Wal.Stable_checkpoint
+         { seq; digest; pi = Threshold.signature_bytes pi });
     if seq > t.stable then begin
       t.stable <- seq;
       let candidate = seq - Config.active_window (cfg t) in
@@ -971,9 +1058,10 @@ and on_full_execute_proof t ctx ~seq ~digest ~pi ~src =
       garbage_collect t
     end;
     note_progress t ctx;
-    (* Fell too far behind the certified execution frontier? *)
+    (* Fell too far behind the certified execution frontier?  [src]
+       certified the state, so probe it first; retries rotate. *)
     if seq > last_executed t + (cfg t).Config.win then
-      send t ctx ~dst:src (Types.Get_state { upto = seq; replica = t.id })
+      start_state_transfer t ctx ~target:seq ~first_peer:(Some src)
   end
 
 and garbage_collect t =
@@ -991,7 +1079,9 @@ and garbage_collect t =
     List.iter (Hashtbl.remove t.checkpoint_pis) stale_pis;
     Sanitizer.prune_below t.san ~seq:horizon;
     Sbft_store.Block_store.prune_below t.blocks horizon;
-    Sbft_store.Auth_store.gc_below t.store ~seq:horizon
+    Sbft_store.Auth_store.gc_below t.store ~seq:horizon;
+    if (cfg t).Config.durable_wal then
+      Sbft_store.Wal.truncate_below t.wal ~seq:horizon
   end
 
 (* Read-only queries (§IV): answered by one replica against its latest
@@ -1031,48 +1121,154 @@ and on_block_resp t ctx ~seq ~view ~reqs =
     try_pending_proofs t ctx sl
   end
 
-and maybe_state_transfer t ctx seq =
-  if seq > last_executed t + (cfg t).Config.win then begin
-    let n = num_replicas t in
-    let peer = (t.id + 1 + Rng.int (Engine.rng t.env.engine) (n - 1)) mod n in
-    send t ctx ~dst:peer (Types.Get_state { upto = seq; replica = t.id })
-  end
+(* One Get_state in flight at a time.  Each (re)send goes to the next
+   peer in a rotation that starts at a random offset, and arms a retry
+   timer with exponential backoff; the pending record is cleared when a
+   response shows we caught up (or that nobody is ahead), and a failed
+   response rotates to the next peer immediately. *)
+and send_get_state t ctx st =
+  let n = num_replicas t in
+  let peer = (t.id + 1 + ((st.st_base + st.st_attempt) mod (n - 1))) mod n in
+  send t ctx ~dst:peer (Types.Get_state { upto = st.st_target; replica = t.id });
+  let config = cfg t in
+  let backoff =
+    config.Config.state_transfer_retry * (1 lsl min 6 st.st_attempt)
+  in
+  (match st.st_timer with Some tm -> Engine.cancel_timer tm | None -> ());
+  st.st_timer <-
+    Some
+      (set_replica_timer t ~after:backoff (fun ctx ->
+           match t.st with
+           | Some st' when st' == st ->
+               if st.st_target > last_executed t then begin
+                 st.st_attempt <- st.st_attempt + 1;
+                 send_get_state t ctx st
+               end
+               else clear_state_transfer t
+           | _ -> ()))
 
-and on_get_state t ctx ~upto ~replica =
-  ignore upto;
-  match Sbft_store.Block_store.checkpoint t.blocks with
-  | Some { Sbft_store.Block_store.cp_seq = snap_seq; cp_snapshot; cp_table } -> (
-      let snapshot = Lazy.force cp_snapshot in
-      match Hashtbl.find_opt t.checkpoint_pis snap_seq with
-      | Some (pi, digest) ->
-          let blocks = ref [] in
-          for s = snap_seq + 1 to last_executed t do
-            match Sbft_store.Block_store.find t.blocks s with
-            | Some e ->
-                let reqs =
-                  List.map
-                    (fun (o : Sbft_store.Block_store.op) ->
-                      { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
-                    e.Sbft_store.Block_store.ops
-                in
-                blocks := (s, e.Sbft_store.Block_store.view, reqs) :: !blocks
-            | None -> ()
-          done;
-          send t ctx ~dst:replica
-            (Types.State_resp
-               {
-                 snapshot;
-                 snap_seq;
-                 pi;
-                 digest;
-                 blocks = List.rev !blocks;
-                 table = cp_table;
-               })
-      | None -> ())
+and clear_state_transfer t =
+  match t.st with
+  | Some st ->
+      (match st.st_timer with Some tm -> Engine.cancel_timer tm | None -> ());
+      t.st <- None
   | None -> ()
 
+and start_state_transfer t ctx ~target ~first_peer =
+  match t.st with
+  | Some st -> if target > st.st_target then st.st_target <- target
+  | None ->
+      let n = num_replicas t in
+      let st =
+        {
+          st_target = target;
+          st_base =
+            (match first_peer with
+            | Some p -> (p - t.id - 1 + n) mod n mod (n - 1)
+            | None -> Rng.int (Engine.rng t.env.engine) (n - 1));
+          st_attempt = 0;
+          st_timer = None;
+        }
+      in
+      t.st <- Some st;
+      send_get_state t ctx st
+
+(* A state-transfer response that failed validation: rotate to the next
+   peer and retry immediately instead of giving up forever. *)
+and state_transfer_failed t ctx =
+  t.failures_observed <- true;
+  match t.st with
+  | Some st ->
+      st.st_attempt <- st.st_attempt + 1;
+      send_get_state t ctx st
+  | None -> ()
+
+and maybe_state_transfer t ctx seq =
+  if seq > last_executed t + (cfg t).Config.win then
+    start_state_transfer t ctx ~target:seq ~first_peer:None
+
+and on_get_state t ctx ~upto ~replica =
+  (* Serve blocks after [from_seq] straight from the persisted ledger
+     (contiguous run only: the receiver executes in order anyway). *)
+  let suffix_blocks ~from_seq =
+    let blocks = ref [] in
+    let stop = ref false in
+    for s = from_seq + 1 to last_executed t do
+      if not !stop then
+        match Sbft_store.Block_store.find t.blocks s with
+        | Some e ->
+            let reqs =
+              List.map
+                (fun (o : Sbft_store.Block_store.op) ->
+                  { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
+                e.Sbft_store.Block_store.ops
+            in
+            blocks := (s, e.Sbft_store.Block_store.view, reqs) :: !blocks
+        | None -> stop := true
+    done;
+    List.rev !blocks
+  in
+  let certified_checkpoint =
+    match Sbft_store.Block_store.checkpoint t.blocks with
+    | Some { Sbft_store.Block_store.cp_seq = snap_seq; cp_snapshot; cp_table } -> (
+        match Hashtbl.find_opt t.checkpoint_pis snap_seq with
+        | Some (pi, digest) -> Some (snap_seq, cp_snapshot, cp_table, pi, digest)
+        | None -> None)
+    | None -> None
+  in
+  match certified_checkpoint with
+  | Some (snap_seq, cp_snapshot, cp_table, pi, digest) ->
+      send t ctx ~dst:replica
+        (Types.State_resp
+           {
+             snapshot = Lazy.force cp_snapshot;
+             snap_seq;
+             pi;
+             digest;
+             blocks = suffix_blocks ~from_seq:snap_seq;
+             table = cp_table;
+           })
+  | None ->
+      (* No certified checkpoint (early in a run, or the π for the
+         latest snapshot never arrived): answer blocks-only so a lagging
+         replica still catches up.  snap_seq = 0 marks the degraded
+         form; each block is individually re-checked by the receiver's
+         ordinary commit path semantics (executed strictly in order). *)
+      let blocks = suffix_blocks ~from_seq:0 in
+      if blocks <> [] then
+        send t ctx ~dst:replica
+          (Types.State_resp
+             {
+               snapshot = "";
+               snap_seq = 0;
+               pi = Field.zero;
+               digest = "";
+               blocks = List.filter (fun (s, _, _) -> s <= upto) blocks;
+               table = [];
+             })
+
+and adopt_block_suffix t ctx blocks =
+  List.iter
+    (fun (s, view, reqs) ->
+      if Int.equal s (last_executed t + 1) then begin
+        let sl = slot t s in
+        if sl.committed = None then begin
+          Sanitizer.record_commit t.san ~seq:s ~view
+            ~digest:(Types.block_hash ~seq:s ~view ~reqs);
+          sl.committed <- Some reqs;
+          sl.executed <- false
+        end;
+        try_execute t ctx
+      end)
+    blocks
+
 and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks ~table =
-  if snap_seq > last_executed t then begin
+  if snap_seq = 0 then begin
+    (* Blocks-only answer from a peer with no certified checkpoint. *)
+    clear_state_transfer t;
+    adopt_block_suffix t ctx blocks
+  end
+  else if snap_seq > last_executed t then begin
     Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
     if Threshold.verify (keys t).Keys.pi ~msg:(Types.pi_message ~seq:snap_seq ~digest) pi
     then begin
@@ -1082,12 +1278,13 @@ and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks ~table =
          π-certified digest, so a corrupt payload can never clobber the
          live store (it previously loaded first and checked after). *)
       match Sbft_store.Auth_store.load_snapshot_checked t.store snapshot ~expect:digest with
-      | Error _ -> t.failures_observed <- true
+      | Error _ -> state_transfer_failed t ctx
       | Ok () ->
           trace t ctx "state-transfer" (Printf.sprintf "to=%d" snap_seq);
           Sanitizer.record_state_transfer t.san ~seq:snap_seq;
           if snap_seq > t.stable then t.stable <- snap_seq;
           if snap_seq > t.ls then t.ls <- snap_seq;
+          Hashtbl.replace t.checkpoint_pis snap_seq (pi, digest);
           (* Adopt the sender's client table as of the snapshot: the
              snapshot's state already reflects those executions, and
              without the rows this replica would re-execute retried
@@ -1098,20 +1295,41 @@ and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks ~table =
               Hashtbl.replace t.client_table ce.ce_client
                 (ce.ce_timestamp, ce.ce_value, ce.ce_seq, ce.ce_index))
             table;
-          (* Adopt and replay the certified suffix. *)
+          (* Persist the transferred state: the snapshot becomes this
+             replica's own durable checkpoint (blocks before it are not
+             in our ledger, so recovery must restart from here), and the
+             WAL records the certificate + rows. *)
+          Sbft_store.Block_store.set_checkpoint t.blocks ~seq:snap_seq
+            ~snapshot:(lazy snapshot) ~table;
+          Engine.charge ctx
+            (Cost_model.Tally.note "persist"
+               (Cost_model.persist_block (String.length snapshot)));
+          wal_log t ctx
+            (Sbft_store.Wal.Stable_checkpoint
+               { seq = snap_seq; digest; pi = Threshold.signature_bytes pi });
           List.iter
-            (fun (s, view, reqs) ->
-              if Int.equal s (last_executed t + 1) then begin
-                let sl = slot t s in
-                Sanitizer.record_commit t.san ~seq:s ~view
-                  ~digest:(Types.block_hash ~seq:s ~view ~reqs);
-                sl.committed <- Some reqs;
-                sl.executed <- false;
-                try_execute t ctx
-              end)
-            blocks
+            (fun (ce : Sbft_store.Block_store.client_entry) ->
+              wal_log t ctx
+                (Sbft_store.Wal.Client_row
+                   {
+                     client = ce.ce_client;
+                     timestamp = ce.ce_timestamp;
+                     value = ce.ce_value;
+                     seq = ce.ce_seq;
+                     index = ce.ce_index;
+                   }))
+            table;
+          wal_sync t ctx;
+          clear_state_transfer t;
+          (* Adopt and replay the certified suffix. *)
+          adopt_block_suffix t ctx blocks
     end
+    else state_transfer_failed t ctx
   end
+  else
+    (* The peer is no further ahead than we are: stop retrying (new
+       evidence of a gap restarts the probe). *)
+    clear_state_transfer t
 
 (* ------------------------------------------------------------------ *)
 (* View change *)
@@ -1169,6 +1387,10 @@ and start_view_change t ctx ~target_view =
     trace t ctx "view-change" (Printf.sprintf "to=%d" target_view);
     let vc = { (build_view_change t) with Types.vc_view = target_view - 1 } in
     Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
+    (* The vote is a promise not to help the old view: persist it
+       before anyone can count it. *)
+    wal_log t ctx (Sbft_store.Wal.View_change_started target_view);
+    wal_sync t ctx;
     (* Broadcast so that other replicas can join after f+1 complaints. *)
     broadcast_replicas t ctx (Types.View_change vc)
   end
@@ -1176,7 +1398,17 @@ and start_view_change t ctx ~target_view =
 and on_view_change t ctx (vc : Types.view_change) =
   let config = cfg t in
   let target = vc.Types.vc_view + 1 in
-  if target > t.view then begin
+  if target <= t.view then begin
+    (* Stale complaint — typically a replica that rejoined after losing
+       the view change (crash-amnesia or a long partition).  Retransmit
+       the self-certifying new-view evidence for our current view so it
+       can catch up instead of complaining forever. *)
+    match t.last_new_view with
+    | Some (v, proofs) when v >= target && not (Int.equal vc.Types.vc_replica t.id) ->
+        send t ctx ~dst:vc.Types.vc_replica (Types.New_view { view = v; proofs })
+    | _ -> ()
+  end
+  else begin
     Engine.charge ctx (Cost_model.Tally.note "rsa_verify" Cost_model.rsa_verify);
     let tbl =
       match Hashtbl.find_opt t.vc_msgs target with
@@ -1224,6 +1456,8 @@ and on_new_view t ctx ~view ~proofs =
     if List.length valid >= Config.quorum_vc config then begin
       Sanitizer.check_quorum t.san Sanitizer.Vc ~count:(List.length valid);
       let ls, decisions = View_change.compute ~keys:(keys t) ~new_view:view valid in
+      (* Keep the evidence for retransmission to stale complainers. *)
+      t.last_new_view <- Some (view, valid);
       enter_view t ctx ~view;
       if ls > last_executed t then maybe_state_transfer t ctx (ls + config.Config.win + 1);
       List.iter
@@ -1271,6 +1505,9 @@ and adopt_pre_prepare t ctx ~seq ~view ~reqs =
   let sigma_share = Threshold.share_sign t.my.Keys.sigma_sk ~msg:h in
   let tau_share = Threshold.share_sign t.my.Keys.tau_sk ~msg:h in
   sl.highest_preprepare <- Some (view, sigma_share, reqs);
+  wal_log t ctx
+    (Sbft_store.Wal.Accepted_pre_prepare { seq; view; ops = wal_ops reqs });
+  wal_sync t ctx;
   let config = cfg t in
   List.iter
     (fun c ->
@@ -1285,6 +1522,8 @@ and enter_view t ctx ~view =
     t.in_view_change <- false;
     t.n_view_changes <- t.n_view_changes + 1;
     t.vc_backoff <- 0;
+    wal_log t ctx (Sbft_store.Wal.View_entered view);
+    wal_sync t ctx;
     note_progress t ctx;
     Hashtbl.remove t.vc_msgs view;
     (* Fresh view: per-view collection state of open slots resets. *)
@@ -1343,7 +1582,7 @@ and liveness_tick t ctx =
 
 let rec arm_liveness t =
   ignore
-    (Engine.set_timer t.env.engine ~node:t.id
+    (set_replica_timer t
        ~after:((cfg t).Config.view_change_timeout / 2)
        (fun ctx ->
          liveness_tick t ctx;
@@ -1352,3 +1591,220 @@ let rec arm_liveness t =
 let start t ctx =
   note_progress t ctx;
   arm_liveness t
+
+(* ------------------------------------------------------------------ *)
+(* Crash-amnesia recovery.
+
+   Called (by {!Cluster}) on a freshly created replica whose durable
+   state — WAL + block store — survived a crash that wiped everything
+   else.  Reconstruction order matters:
+
+   1. reload the latest durable checkpoint (service state + client
+      table as of the snapshot);
+   2. WAL pass one: re-enter the highest logged view, restore
+      view-change votes and π-certified checkpoints;
+   3. replay the persisted ledger above the checkpoint — the client
+      table evolves exactly as it did originally, so duplicate
+      suppression replays deterministically and the state digest
+      matches what the cluster agreed on;
+   4. WAL pass two: restore open-slot promises (re-send the identical
+      sign share for an accepted pre-prepare; never re-sign after an
+      accepted prepare) and any client rows whose blocks were pruned;
+   5. rejoin conservatively: probe a peer for missed view changes and
+      checkpoints via state transfer, and resume the liveness ticker. *)
+
+let recover t ctx =
+  let config = cfg t in
+  trace t ctx "recover" "replaying durable state";
+  (* A restart is an observed failure: no group-signature optimism. *)
+  t.failures_observed <- true;
+  (* 1. Durable checkpoint. *)
+  (match Sbft_store.Block_store.checkpoint t.blocks with
+  | Some { Sbft_store.Block_store.cp_seq; cp_snapshot; cp_table } when cp_seq > 0
+    -> (
+      let snapshot = Lazy.force cp_snapshot in
+      Engine.charge ctx
+        (Cost_model.Tally.note "hash" (Cost_model.sha256 (String.length snapshot)));
+      match Sbft_store.Auth_store.load_snapshot t.store snapshot with
+      | Ok () ->
+          Sanitizer.record_state_transfer t.san ~seq:cp_seq;
+          if cp_seq > t.ls then t.ls <- cp_seq;
+          List.iter
+            (fun (ce : Sbft_store.Block_store.client_entry) ->
+              Hashtbl.replace t.client_table ce.ce_client
+                (ce.ce_timestamp, ce.ce_value, ce.ce_seq, ce.ce_index))
+            cp_table
+      | Error _ -> () (* corrupt local checkpoint: state transfer heals *))
+  | _ -> ());
+  (* 2. WAL pass one: views and certified checkpoints. *)
+  let records =
+    if config.Config.durable_wal then Sbft_store.Wal.replay t.wal else []
+  in
+  let restored_view = ref 0 in
+  List.iter
+    (fun (r : Sbft_store.Wal.record) ->
+      match r with
+      | Sbft_store.Wal.View_entered v ->
+          if v > !restored_view then restored_view := v
+      | Sbft_store.Wal.View_change_started v ->
+          if v > t.sent_vc_for then t.sent_vc_for <- v
+      | Sbft_store.Wal.Stable_checkpoint { seq; digest; pi } ->
+          Hashtbl.replace t.checkpoint_pis seq (Field.of_bytes pi, digest);
+          if seq > t.stable then t.stable <- seq;
+          if seq > t.ls then t.ls <- seq
+      | _ -> ())
+    records;
+  if !restored_view > 0 then begin
+    Sanitizer.record_view_entry t.san ~view:!restored_view;
+    t.view <- !restored_view
+  end;
+  (* 3. Ledger replay: quiet re-commit + re-execution of the contiguous
+     run above the checkpoint (no network sends, no new WAL records). *)
+  let replaying = ref true in
+  while !replaying do
+    let next = last_executed t + 1 in
+    match Sbft_store.Block_store.find t.blocks next with
+    | Some e ->
+        let reqs =
+          List.map
+            (fun (o : Sbft_store.Block_store.op) ->
+              { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
+            e.Sbft_store.Block_store.ops
+        in
+        let view = e.Sbft_store.Block_store.view in
+        let h = Types.block_hash ~seq:next ~view ~reqs in
+        Sanitizer.record_commit t.san ~seq:next ~view ~digest:h;
+        Sanitizer.record_execute t.san ~seq:next;
+        let sl = slot t next in
+        sl.pp <- Some (view, reqs, h);
+        sl.committed <- Some reqs;
+        sl.executed <- true;
+        Engine.charge ctx (Cost_model.Tally.note "exec" (t.env.exec_cost reqs));
+        let is_duplicate (r : Types.request) =
+          r.client >= 0
+          &&
+          match Hashtbl.find_opt t.client_table r.client with
+          | Some (ts, _, _, _) -> ts >= r.timestamp
+          | None -> false
+        in
+        let ops =
+          List.map
+            (fun (r : Types.request) -> if is_duplicate r then "" else r.op)
+            reqs
+        in
+        let outputs = Sbft_store.Auth_store.execute_block t.store ~seq:next ~ops in
+        List.iteri
+          (fun index ((r : Types.request), value) ->
+            if r.client >= 0 then
+              match Hashtbl.find_opt t.client_table r.client with
+              | Some (ts, _, _, _) when ts >= r.timestamp -> ()
+              | _ ->
+                  Hashtbl.replace t.client_table r.client
+                    (r.timestamp, value, next, index))
+          (List.combine reqs outputs)
+    | None -> replaying := false
+  done;
+  (* Blocks beyond a gap (committed while we were down, fetched before
+     the crash): mark committed so execution resumes once state
+     transfer fills the gap. *)
+  List.iter
+    (fun s ->
+      if s > last_executed t then
+        match Sbft_store.Block_store.find t.blocks s with
+        | Some e ->
+            let reqs =
+              List.map
+                (fun (o : Sbft_store.Block_store.op) ->
+                  { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
+                e.Sbft_store.Block_store.ops
+            in
+            let view = e.Sbft_store.Block_store.view in
+            let h = Types.block_hash ~seq:s ~view ~reqs in
+            let sl = slot t s in
+            if sl.committed = None then begin
+              Sanitizer.record_commit t.san ~seq:s ~view ~digest:h;
+              sl.pp <- Some (view, reqs, h);
+              sl.committed <- Some reqs
+            end
+        | None -> ())
+    (Sbft_store.Block_store.sorted_seqs t.blocks);
+  (* 4. WAL pass two: open-slot promises and pruned-block client rows. *)
+  let promised_seq = ref 0 in
+  List.iter
+    (fun (r : Sbft_store.Wal.record) ->
+      match r with
+      | Sbft_store.Wal.Client_row { client; timestamp; value; seq; index } -> (
+          match Hashtbl.find_opt t.client_table client with
+          | Some (ts, _, _, _) when ts >= timestamp -> ()
+          | _ -> Hashtbl.replace t.client_table client (timestamp, value, seq, index))
+      | Sbft_store.Wal.Accepted_pre_prepare { seq; view; ops } ->
+          if seq > !promised_seq then promised_seq := seq;
+          if Int.equal view t.view && seq > last_executed t then begin
+            let sl = slot t seq in
+            if sl.pp = None && sl.committed = None then begin
+              let reqs =
+                List.map
+                  (fun (client, timestamp, op) ->
+                    { Types.client; timestamp; op; signature = "" })
+                  ops
+              in
+              let h = Types.block_hash ~seq ~view ~reqs in
+              sl.pp <- Some (view, reqs, h);
+              (* Honour the logged promise by re-issuing the identical
+                 (deterministic) sign share — safe, and keeps the slot
+                 live rather than silently abstaining. *)
+              sl.sent_sign_share <- true;
+              Engine.charge ctx
+                (Cost_model.Tally.note "share_sign" (2 * Cost_model.bls_share_sign));
+              let sigma_share = Threshold.share_sign t.my.Keys.sigma_sk ~msg:h in
+              let tau_share = Threshold.share_sign t.my.Keys.tau_sk ~msg:h in
+              sl.highest_preprepare <- Some (view, sigma_share, reqs);
+              List.iter
+                (fun c ->
+                  send t ctx ~dst:c
+                    (Types.Sign_share { seq; view; sigma_share; tau_share; replica = t.id }))
+                (Collectors.slow_path_collectors ~config ~view ~seq)
+            end
+          end
+      | Sbft_store.Wal.Accepted_prepare { seq; view; tau } ->
+          if Int.equal view t.view && seq > last_executed t then begin
+            let sl = slot t seq in
+            (* We promised a commit share: restore the prepare report
+               for view changes and never sign a conflicting block, but
+               do not re-sign (the exact share already went out, or was
+               lost with the unsynced send — either is safe). *)
+            sl.sent_commit <- true;
+            let tau = Field.of_bytes tau in
+            sl.prepare_tau <- Some tau;
+            match sl.pp with
+            | Some (v, reqs, _) when Int.equal v view ->
+                sl.highest_prepare <- Some (view, tau, reqs)
+            | _ -> ()
+          end
+      | _ -> ())
+    records;
+  (* 5. Conservative rejoin. *)
+  t.next_seq <-
+    max t.next_seq (max (Sbft_store.Block_store.highest t.blocks) !promised_seq + 1);
+  note_progress t ctx;
+  arm_liveness t;
+  (* Probe for whatever we missed while down (newer checkpoints, view
+     changes); peers answer blocks-only when they have no checkpoint,
+     and stale view-change complaints trigger new-view retransmission. *)
+  start_state_transfer t ctx
+    ~target:(last_executed t + config.Config.win + 1)
+    ~first_peer:None;
+  (* View-discovery probe: a view-change vote for the view we are
+     already in.  Peers at our view or ahead see it as stale and answer
+     with their stored new-view evidence (the on_view_change stale
+     branch); peers behind us count it as a legitimate vote toward the
+     view we genuinely occupy.  Either way it casts no ballot toward
+     any NEWER view, so a healthy cluster cannot be destabilised by a
+     rejoining replica.  Without this, a replica that slept through a
+     view change and returns to an idle cluster would wait in its old
+     view forever (state transfer moves data, not views). *)
+  Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
+  let probe = { (build_view_change t) with Types.vc_view = t.view - 1 } in
+  broadcast_replicas t ctx (Types.View_change probe);
+  trace t ctx "recovered"
+    (Printf.sprintf "view=%d le=%d stable=%d" t.view (last_executed t) t.stable)

@@ -23,9 +23,32 @@ type env = {
           operations (KV ≈ µs/op, EVM ≈ ms/tx). *)
 }
 
+type durable = { wal : Sbft_store.Wal.t; blocks : Sbft_store.Block_store.t }
+(** The replica state that survives a crash-amnesia restart: the
+    write-ahead log and the persisted decision-block ledger (which also
+    holds the latest stable checkpoint snapshot).  Owned by the caller
+    ({!Cluster}) so it can be handed to a rebuilt replica. *)
+
 type t
 
-val create : env:env -> my:Keys.replica_keys -> store:Sbft_store.Auth_store.t -> t
+val create :
+  env:env ->
+  my:Keys.replica_keys ->
+  store:Sbft_store.Auth_store.t ->
+  durable:durable ->
+  t
+
+val recover : t -> Sbft_sim.Engine.ctx -> unit
+(** Crash-amnesia recovery on a freshly created replica whose [durable]
+    state survived: reload the latest checkpoint, replay the WAL and the
+    ledger (re-entering the highest logged view, restoring open-slot
+    promises), then rejoin conservatively via state transfer and resume
+    the liveness ticker.  Call instead of {!start}. *)
+
+val retire : t -> unit
+(** Permanently deactivate this replica object's timers.  Called on the
+    old instance when an amnesia restart replaces it, so stale closures
+    (liveness ticker, batch loop, retry timers) can no longer act. *)
 
 val id : t -> int
 val view : t -> int
@@ -64,6 +87,9 @@ val certified_checkpoints : t -> (int * string) list
 val client_last_timestamp : t -> client:int -> int option
 (** Highest client-request timestamp this replica has executed for
     [client] (its client-table row), if any. *)
+
+val wal : t -> Sbft_store.Wal.t
+(** The replica's write-ahead log (tests inspect append/sync counts). *)
 
 (** {2 Byzantine behaviours (tests only)} *)
 

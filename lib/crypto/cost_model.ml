@@ -52,6 +52,14 @@ let merkle_verify depth = us_f 1. + (depth * us_f 0.5)
 let kv_execute_op = us_f 4.
 let persist_block bytes = us_f 50. + (bytes * 25 / 1000)
 
+(* Sequential WAL append into the OS page cache: ~1 GB/s effective plus
+   a small fixed cost per record. *)
+let wal_append bytes = us_f 0.5 + bytes
+
+(* Group-commit flush of the WAL tail (NVMe-class fsync).  Charged once
+   per handler that dirtied the log, not per record. *)
+let wal_fsync = us_f 120.
+
 (* Calibrated to the paper's unreplicated baseline of ~840 contract
    transactions per second on one machine (execution + RocksDB commit). *)
 let evm_execute_tx = us_f 1190.

@@ -79,6 +79,14 @@ val kv_execute_op : time
 val persist_block : int -> time
 (** [persist_block bytes]: write-batch a decision block to disk. *)
 
+val wal_append : int -> time
+(** [wal_append bytes]: sequential append of a framed WAL record into
+    the OS page cache (~1 ns/byte plus fixed overhead). *)
+
+val wal_fsync : time
+(** Group-commit flush of the WAL tail — charged once per handler that
+    dirtied the log (NVMe-class flush latency). *)
+
 val evm_execute_tx : time
 (** Average smart-contract transaction: EVM interpretation + state
     update + persistence (calibrated to the 840 tx/s baseline). *)

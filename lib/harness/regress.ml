@@ -54,6 +54,12 @@ let grid (scale : Experiments.scale) =
     s ~name:"sbft-fast-pershare" ~protocol:(Scenario.SBFT 0)
       ~tweak:(fun c -> { c with Sbft_core.Config.optimistic_combine = false })
       ();
+    (* Durability-overhead pair: the same scenario with the write-ahead
+       log (group-committed fsyncs on the protocol's critical path)
+       switched off.  The gap is the price of crash-amnesia recovery. *)
+    s ~name:"sbft-no-wal" ~protocol:(Scenario.SBFT 0)
+      ~tweak:(fun c -> { c with Sbft_core.Config.durable_wal = false })
+      ();
     s ~name:"sbft-c1" ~protocol:(Scenario.SBFT 1) ();
     s ~name:"sbft-slowpath" ~protocol:(Scenario.SBFT 0) ~failures:1 ();
     s ~name:"linear-pbft" ~protocol:Scenario.Linear_PBFT ();
@@ -336,6 +342,16 @@ let optimistic_speedup r =
       Some (opt.throughput_ops /. pess.throughput_ops)
   | _ -> None
 
+(* Headline number: the throughput cost of WAL durability (group-
+   committed fsyncs on the critical path) on the same scenario. *)
+let durability_overhead r =
+  match
+    (find_entry "sbft-fast-optimistic" r.entries, find_entry "sbft-no-wal" r.entries)
+  with
+  | Some wal, Some nowal when wal.throughput_ops > 0.0 ->
+      Some ((nowal.throughput_ops /. wal.throughput_ops -. 1.0) *. 100.)
+  | _ -> None
+
 let print r =
   Printf.printf "\nBenchmark regression grid (%s)\n%s\n" r.schema
     (String.make 96 '-');
@@ -353,5 +369,11 @@ let print r =
       Printf.printf
         "optimistic combine-then-verify speedup vs per-share verification: %.2fx\n"
         s
+  | None -> ());
+  (match durability_overhead r with
+  | Some pct ->
+      Printf.printf
+        "throughput without the WAL vs with it (durability overhead): %+.1f%%\n"
+        pct
   | None -> ());
   Printf.printf "%!"

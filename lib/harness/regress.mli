@@ -66,5 +66,10 @@ val compare_reports :
 val optimistic_speedup : report -> float option
 (** Throughput ratio [sbft-fast-optimistic / sbft-fast-pershare]. *)
 
+val durability_overhead : report -> float option
+(** Throughput delta (percent) of [sbft-no-wal] over
+    [sbft-fast-optimistic]: what disabling the write-ahead log buys,
+    i.e. the price of crash-amnesia durability. *)
+
 val print : report -> unit
 (** Table + headline speedup to stdout. *)

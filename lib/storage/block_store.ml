@@ -36,6 +36,9 @@ let find t seq = Hashtbl.find_opt t.blocks seq
 let mem t seq = Hashtbl.mem t.blocks seq
 let highest t = t.highest
 
+let sorted_seqs t =
+  Hashtbl.fold (fun s _ acc -> s :: acc) t.blocks [] |> List.sort Int.compare
+
 let prune_below t seq =
   let stale =
     Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.blocks []

@@ -58,6 +58,10 @@ val mem : t -> int -> bool
 val highest : t -> int
 (** Highest stored sequence number; 0 when empty. *)
 
+val sorted_seqs : t -> int list
+(** All stored sequence numbers in ascending order (recovery replay and
+    blocks-only state-transfer answers walk the ledger with this). *)
+
 val prune_below : t -> int -> unit
 
 val set_checkpoint :

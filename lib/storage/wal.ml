@@ -1,0 +1,251 @@
+(* Simulated write-ahead log.
+
+   Replicas append protocol-critical transitions (view entries, accepted
+   pre-prepares/prepares, commit certificates, stable checkpoints,
+   client-table rows) and group-commit them with [sync]: appends land in
+   a pending buffer and only become durable once synced, so a
+   crash-amnesia restart loses exactly the unsynced tail — the same
+   window a real fsync-based log exposes.  The store is byte-faithful:
+   records are framed (varint length + FNV-1a checksum + payload) into a
+   single buffer so that replay can tolerate a torn tail, and tests can
+   corrupt trailing bytes to exercise that path.
+
+   This module is pure storage: it never touches the simulator clock.
+   Callers charge [Cost_model.wal_append]/[wal_fsync] for the bytes and
+   syncs it reports. *)
+
+open Sbft_wire
+
+type record =
+  | View_entered of int
+  | View_change_started of int
+  | Accepted_pre_prepare of {
+      seq : int;
+      view : int;
+      ops : (int * int * string) list;  (* client, timestamp, op *)
+    }
+  | Accepted_prepare of { seq : int; view : int; tau : string }
+  | Commit_cert of { seq : int; view : int; fast : bool }
+  | Stable_checkpoint of { seq : int; digest : string; pi : string }
+  | Client_row of {
+      client : int;
+      timestamp : int;
+      value : string;
+      seq : int;
+      index : int;
+    }
+
+type t = {
+  durable : Buffer.t;  (** synced frames; survives crash-amnesia *)
+  pending : Buffer.t;  (** appended but not yet synced; lost on crash *)
+  mutable appends : int;
+  mutable syncs : int;
+}
+
+let create () =
+  { durable = Buffer.create 1024; pending = Buffer.create 256; appends = 0; syncs = 0 }
+
+(* Signed ints (client ids can be -1 for null-request fillers) go
+   through a zigzag varint so the codec only ever sees naturals. *)
+let zig w v = Codec.Writer.varint w (if v >= 0 then 2 * v else (-2 * v) - 1)
+
+let zag r =
+  let v = Codec.Reader.varint r in
+  if v land 1 = 0 then v / 2 else -((v + 1) / 2)
+
+let payload record =
+  let w = Codec.Writer.create () in
+  (match record with
+  | View_entered v ->
+      Codec.Writer.u8 w 1;
+      zig w v
+  | View_change_started v ->
+      Codec.Writer.u8 w 2;
+      zig w v
+  | Accepted_pre_prepare { seq; view; ops } ->
+      Codec.Writer.u8 w 3;
+      zig w seq;
+      zig w view;
+      Codec.Writer.list w
+        (fun (client, timestamp, op) ->
+          zig w client;
+          zig w timestamp;
+          Codec.Writer.str w op)
+        ops
+  | Accepted_prepare { seq; view; tau } ->
+      Codec.Writer.u8 w 4;
+      zig w seq;
+      zig w view;
+      Codec.Writer.str w tau
+  | Commit_cert { seq; view; fast } ->
+      Codec.Writer.u8 w 5;
+      zig w seq;
+      zig w view;
+      Codec.Writer.u8 w (if fast then 1 else 0)
+  | Stable_checkpoint { seq; digest; pi } ->
+      Codec.Writer.u8 w 6;
+      zig w seq;
+      Codec.Writer.str w digest;
+      Codec.Writer.str w pi
+  | Client_row { client; timestamp; value; seq; index } ->
+      Codec.Writer.u8 w 7;
+      zig w client;
+      zig w timestamp;
+      Codec.Writer.str w value;
+      zig w seq;
+      zig w index);
+  Codec.Writer.contents w
+
+let parse_payload r =
+  match Codec.Reader.u8 r with
+  | 1 -> Some (View_entered (zag r))
+  | 2 -> Some (View_change_started (zag r))
+  | 3 ->
+      let seq = zag r in
+      let view = zag r in
+      let ops =
+        Codec.Reader.list r (fun r ->
+            let client = zag r in
+            let timestamp = zag r in
+            let op = Codec.Reader.str r in
+            (client, timestamp, op))
+      in
+      Some (Accepted_pre_prepare { seq; view; ops })
+  | 4 ->
+      let seq = zag r in
+      let view = zag r in
+      let tau = Codec.Reader.str r in
+      Some (Accepted_prepare { seq; view; tau })
+  | 5 ->
+      let seq = zag r in
+      let view = zag r in
+      let fast = Codec.Reader.u8 r = 1 in
+      Some (Commit_cert { seq; view; fast })
+  | 6 ->
+      let seq = zag r in
+      let digest = Codec.Reader.str r in
+      let pi = Codec.Reader.str r in
+      Some (Stable_checkpoint { seq; digest; pi })
+  | 7 ->
+      let client = zag r in
+      let timestamp = zag r in
+      let value = Codec.Reader.str r in
+      let seq = zag r in
+      let index = zag r in
+      Some (Client_row { client; timestamp; value; seq; index })
+  | _ -> None
+
+(* FNV-1a over the payload, folded to 32 bits. *)
+let checksum s =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let frame record =
+  let p = payload record in
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w (String.length p);
+  Codec.Writer.u32 w (checksum p);
+  Codec.Writer.raw w p;
+  Codec.Writer.contents w
+
+let append t record =
+  let f = frame record in
+  Buffer.add_string t.pending f;
+  t.appends <- t.appends + 1;
+  String.length f
+
+let dirty t = Buffer.length t.pending > 0
+
+let sync t =
+  if dirty t then begin
+    Buffer.add_buffer t.durable t.pending;
+    Buffer.clear t.pending;
+    t.syncs <- t.syncs + 1;
+    true
+  end
+  else false
+
+let drop_pending t = Buffer.clear t.pending
+
+let replay_string bytes =
+  let r = Codec.Reader.of_string bytes in
+  let out = ref [] in
+  (try
+     let stop = ref false in
+     while (not !stop) && not (Codec.Reader.at_end r) do
+       let len = Codec.Reader.varint r in
+       let sum = Codec.Reader.u32 r in
+       let p = Codec.Reader.raw r len in
+       if sum <> checksum p then stop := true
+       else
+         match parse_payload (Codec.Reader.of_string p) with
+         | Some record -> out := record :: !out
+         | None -> stop := true
+     done
+   with Codec.Reader.Truncated -> ());
+  List.rev !out
+
+(* Only the synced prefix exists after a crash, so only it replays. *)
+let replay t = replay_string (Buffer.contents t.durable)
+
+let record_seq = function
+  | View_entered _ | View_change_started _ -> None
+  | Accepted_pre_prepare { seq; _ }
+  | Accepted_prepare { seq; _ }
+  | Commit_cert { seq; _ }
+  | Stable_checkpoint { seq; _ }
+  | Client_row { seq; _ } ->
+      Some seq
+
+(* Checkpoint-time compaction: everything below [seq] is captured by the
+   stable checkpoint, except view records (always retained, latest wins
+   at replay) and the latest [Stable_checkpoint] at or below [seq]. *)
+let truncate_below t ~seq =
+  let records = replay t in
+  let latest_cp =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Stable_checkpoint { seq = s; _ } when s <= seq -> (
+            match acc with
+            | Some (Stable_checkpoint { seq = best; _ }) when best >= s -> acc
+            | _ -> Some r)
+        | _ -> acc)
+      None records
+  in
+  let keep r =
+    match record_seq r with
+    | None -> true
+    | Some s -> s >= seq
+  in
+  Buffer.clear t.durable;
+  (match latest_cp with
+  | Some cp -> Buffer.add_string t.durable (frame cp)
+  | None -> ());
+  List.iter
+    (fun r -> if keep r then Buffer.add_string t.durable (frame r))
+    records
+
+let durable_bytes t = Buffer.length t.durable
+let pending_bytes t = Buffer.length t.pending
+let appends t = t.appends
+let syncs t = t.syncs
+
+let reset t =
+  Buffer.clear t.durable;
+  Buffer.clear t.pending;
+  t.appends <- 0;
+  t.syncs <- 0
+
+(* Test helper: simulate a torn write by overwriting the last [bytes]
+   durable bytes with garbage. *)
+let corrupt_tail t ~bytes =
+  let s = Buffer.contents t.durable in
+  let n = String.length s in
+  let k = min bytes n in
+  Buffer.clear t.durable;
+  Buffer.add_string t.durable (String.sub s 0 (n - k));
+  Buffer.add_string t.durable (String.make k '\xFF')

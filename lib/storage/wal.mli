@@ -1,0 +1,71 @@
+(** Simulated write-ahead log for crash-amnesia recovery.
+
+    Appends land in a pending buffer; [sync] group-commits them to the
+    durable buffer.  A crash-amnesia restart keeps only the durable
+    prefix ([drop_pending] models the lost tail), and [replay] tolerates
+    a torn/corrupt tail by stopping at the first bad frame.
+
+    Pure storage — no simulator dependency.  Callers charge
+    [Cost_model.wal_append] per appended byte count and
+    [Cost_model.wal_fsync] per effective [sync]. *)
+
+type record =
+  | View_entered of int
+  | View_change_started of int
+  | Accepted_pre_prepare of {
+      seq : int;
+      view : int;
+      ops : (int * int * string) list;  (** client, timestamp, op *)
+    }
+  | Accepted_prepare of { seq : int; view : int; tau : string }
+      (** [tau] is the serialized prepare certificate, so recovery can
+          restore the replica's highest-prepare report for view changes. *)
+  | Commit_cert of { seq : int; view : int; fast : bool }
+  | Stable_checkpoint of { seq : int; digest : string; pi : string }
+  | Client_row of {
+      client : int;
+      timestamp : int;
+      value : string;
+      seq : int;
+      index : int;
+    }
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> int
+(** Buffer a record; returns the framed byte count (for cost charging).
+    Not durable until [sync]. *)
+
+val dirty : t -> bool
+(** [true] when appends are pending a sync. *)
+
+val sync : t -> bool
+(** Group-commit pending appends.  Returns [true] when a sync actually
+    happened (caller charges one fsync), [false] when clean. *)
+
+val drop_pending : t -> unit
+(** Crash: the unsynced tail is gone. *)
+
+val replay : t -> record list
+(** Decode the durable prefix in append order, stopping at the first
+    truncated or checksum-failing frame. *)
+
+val truncate_below : t -> seq:int -> unit
+(** Checkpoint-time compaction: drop records whose sequence number is
+    below [seq], keeping view records and the latest stable checkpoint
+    at or below [seq]. *)
+
+val durable_bytes : t -> int
+val pending_bytes : t -> int
+val appends : t -> int
+val syncs : t -> int
+
+val reset : t -> unit
+(** Wipe everything (models losing the disk; used when durability is
+    disabled). *)
+
+val corrupt_tail : t -> bytes:int -> unit
+(** Test helper: overwrite the last [bytes] durable bytes with garbage
+    to simulate a torn write. *)

@@ -32,6 +32,7 @@ let sample_schedule =
     requests = 6;
     topology = Schedule.Continent;
     acks = false;
+    wal = false;
     mutation = Schedule.Weak_sigma;
     gst_ms = Some 15_000;
     horizon_ms = 60_000;
@@ -39,6 +40,7 @@ let sample_schedule =
     steps =
       [
         { Schedule.at_ms = 1_000; action = Schedule.Crash 3 };
+        { Schedule.at_ms = 1_200; action = Schedule.Crash_amnesia 1 };
         { Schedule.at_ms = 1_500; action = Schedule.Partition [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ] };
         { Schedule.at_ms = 2_000; action = Schedule.Set_drop 0.25 };
         { Schedule.at_ms = 2_500; action = Schedule.Delay_link { src = 0; dst = 4; delay_ms = 120 } };

@@ -177,11 +177,18 @@ let test_measure_deterministic () =
   let r2 = Regress.measure `Quick in
   check_str "identical JSON across runs" (Regress.to_json r1) (Regress.to_json r2);
   check_str "schema id" Regress.schema_id r1.Regress.schema;
-  check_int "grid size" 6 (List.length r1.Regress.entries);
+  check_int "grid size" 7 (List.length r1.Regress.entries);
   (* The headline comparison rows exist and optimistic combining wins. *)
   (match Regress.optimistic_speedup r1 with
   | Some s -> check "optimistic combining is faster" true (s > 1.0)
   | None -> Alcotest.fail "speedup rows missing from grid");
+  (* Durability costs something, but not everything: disabling the WAL
+     must speed the same scenario up, within reason. *)
+  (match Regress.durability_overhead r1 with
+  | Some pct ->
+      check "wal-off is faster" true (pct > 0.);
+      check "durability overhead sane (< 50%)" true (pct < 50.)
+  | None -> Alcotest.fail "durability rows missing from grid");
   (* Every row did useful work and carries a crypto breakdown. *)
   List.iter
     (fun e ->

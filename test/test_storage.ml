@@ -387,6 +387,136 @@ let test_block_store () =
   check "entry size positive" true
     (Block_store.entry_size { seq = 1; view = 0; ops = [ bop "abc" ]; cert = Fast "s" } > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Wal *)
+
+let wal_records =
+  [
+    Wal.View_entered 2;
+    Wal.View_change_started 3;
+    Wal.Accepted_pre_prepare
+      { seq = 4; view = 2; ops = [ (7, 1, "op-a"); (-1, 0, "") ] };
+    Wal.Accepted_prepare { seq = 4; view = 2; tau = "tau-bytes" };
+    Wal.Commit_cert { seq = 4; view = 2; fast = false };
+    Wal.Stable_checkpoint { seq = 8; digest = "digest"; pi = "pi-bytes" };
+    Wal.Client_row { client = 7; timestamp = 1; value = "v"; seq = 4; index = 0 };
+  ]
+
+let test_wal_roundtrip () =
+  let w = Wal.create () in
+  List.iter (fun r -> ignore (Wal.append w r)) wal_records;
+  check "dirty before sync" true (Wal.dirty w);
+  check "replay sees nothing unsynced" true (Wal.replay w = []);
+  check "sync commits" true (Wal.sync w);
+  check "clean after sync" false (Wal.dirty w);
+  check "second sync is a no-op" false (Wal.sync w);
+  check "replay in append order" true (Wal.replay w = wal_records);
+  (* Replay is read-only: doing it again gives the same records. *)
+  check "replay idempotent" true (Wal.replay w = wal_records);
+  check_int "append count" (List.length wal_records) (Wal.appends w);
+  check_int "sync count" 1 (Wal.syncs w)
+
+let test_wal_crash_loses_tail () =
+  let w = Wal.create () in
+  ignore (Wal.append w (Wal.View_entered 1));
+  ignore (Wal.sync w);
+  ignore (Wal.append w (Wal.Commit_cert { seq = 1; view = 1; fast = true }));
+  (* Crash before the group commit: only the synced prefix survives. *)
+  Wal.drop_pending w;
+  check "unsynced record gone" true (Wal.replay w = [ Wal.View_entered 1 ]);
+  check "nothing left pending" false (Wal.dirty w)
+
+let test_wal_corrupt_tail () =
+  let w = Wal.create () in
+  ignore (Wal.append w (Wal.View_entered 1));
+  ignore (Wal.append w (Wal.Commit_cert { seq = 1; view = 1; fast = true }));
+  ignore (Wal.sync w);
+  (* A torn write garbles the last frame: replay keeps the prefix. *)
+  Wal.corrupt_tail w ~bytes:3;
+  check "prefix survives torn tail" true (Wal.replay w = [ Wal.View_entered 1 ]);
+  (* Garbling everything yields an empty (not crashing) replay. *)
+  Wal.corrupt_tail w ~bytes:(Wal.durable_bytes w);
+  check "fully corrupt log replays empty" true (Wal.replay w = [])
+
+let test_wal_truncate_below () =
+  let w = Wal.create () in
+  List.iter
+    (fun r -> ignore (Wal.append w r))
+    [
+      Wal.View_entered 1;
+      Wal.Commit_cert { seq = 1; view = 1; fast = true };
+      Wal.Stable_checkpoint { seq = 4; digest = "d4"; pi = "p4" };
+      Wal.Commit_cert { seq = 5; view = 1; fast = false };
+      Wal.Stable_checkpoint { seq = 8; digest = "d8"; pi = "p8" };
+      Wal.Commit_cert { seq = 9; view = 1; fast = true };
+    ];
+  ignore (Wal.sync w);
+  let before = Wal.durable_bytes w in
+  Wal.truncate_below w ~seq:8;
+  check "truncation shrinks the log" true (Wal.durable_bytes w < before);
+  let kept = Wal.replay w in
+  check "view records retained" true (List.mem (Wal.View_entered 1) kept);
+  check "latest checkpoint retained" true
+    (List.mem (Wal.Stable_checkpoint { seq = 8; digest = "d8"; pi = "p8" }) kept);
+  check "older checkpoint dropped" false
+    (List.mem (Wal.Stable_checkpoint { seq = 4; digest = "d4"; pi = "p4" }) kept);
+  check "pre-checkpoint record dropped" false
+    (List.mem (Wal.Commit_cert { seq = 5; view = 1; fast = false }) kept);
+  check "post-checkpoint record kept" true
+    (List.mem (Wal.Commit_cert { seq = 9; view = 1; fast = true }) kept);
+  (* Truncation preserves replayability: sync more records after. *)
+  ignore (Wal.append w (Wal.Commit_cert { seq = 10; view = 1; fast = true }));
+  ignore (Wal.sync w);
+  check "appends after truncation replay" true
+    (List.mem (Wal.Commit_cert { seq = 10; view = 1; fast = true }) (Wal.replay w))
+
+let wal_props =
+  [
+    qtest "random record sequences replay exactly"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let r = Sbft_sim.Rng.create (Int64.of_int ((seed * 31) + 5)) in
+        let random_record () =
+          match Sbft_sim.Rng.int r 7 with
+          | 0 -> Wal.View_entered (Sbft_sim.Rng.int r 100)
+          | 1 -> Wal.View_change_started (Sbft_sim.Rng.int r 100)
+          | 2 ->
+              Wal.Accepted_pre_prepare
+                {
+                  seq = Sbft_sim.Rng.int r 1000;
+                  view = Sbft_sim.Rng.int r 10;
+                  ops = [ (Sbft_sim.Rng.int r 20 - 1, Sbft_sim.Rng.int r 50, "x") ];
+                }
+          | 3 ->
+              Wal.Accepted_prepare
+                { seq = Sbft_sim.Rng.int r 1000; view = Sbft_sim.Rng.int r 10; tau = "t" }
+          | 4 ->
+              Wal.Commit_cert
+                {
+                  seq = Sbft_sim.Rng.int r 1000;
+                  view = Sbft_sim.Rng.int r 10;
+                  fast = Sbft_sim.Rng.bool r 0.5;
+                }
+          | 5 ->
+              Wal.Stable_checkpoint
+                { seq = Sbft_sim.Rng.int r 1000; digest = "d"; pi = "p" }
+          | _ ->
+              Wal.Client_row
+                {
+                  client = Sbft_sim.Rng.int r 20;
+                  timestamp = Sbft_sim.Rng.int r 50;
+                  value = "v";
+                  seq = Sbft_sim.Rng.int r 1000;
+                  index = Sbft_sim.Rng.int r 4;
+                }
+        in
+        let records = List.init (1 + Sbft_sim.Rng.int r 30) (fun _ -> random_record ()) in
+        let w = Wal.create () in
+        List.iter (fun rc -> ignore (Wal.append w rc)) records;
+        ignore (Wal.sync w);
+        Wal.replay w = records);
+  ]
+
 let () =
   Alcotest.run "sbft_store"
     [
@@ -415,4 +545,12 @@ let () =
         ]
         @ auth_store_props );
       ("block_store", [ Alcotest.test_case "basics" `Quick test_block_store ]);
+      ( "wal",
+        [
+          Alcotest.test_case "append/sync/replay" `Quick test_wal_roundtrip;
+          Alcotest.test_case "crash loses unsynced tail" `Quick test_wal_crash_loses_tail;
+          Alcotest.test_case "corrupt tail tolerated" `Quick test_wal_corrupt_tail;
+          Alcotest.test_case "truncate below checkpoint" `Quick test_wal_truncate_below;
+        ]
+        @ wal_props );
     ]
