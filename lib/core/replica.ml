@@ -121,6 +121,11 @@ type t = {
   mutable last_new_view : (int * Types.view_change list) option;
       (* latest validated new-view proofs, retransmitted to stale
          complainers so a rejoining replica can learn the current view *)
+  nv_resent : (int, int * Engine.time) Hashtbl.t;
+      (* complainer -> (view, time) of the last new-view retransmission:
+         rate-limits the (large) proof-set resend to once per view per
+         peer, or once per retry interval, so repeated stale view-change
+         messages cannot be used as a cheap amplification vector *)
   mutable st : st_pending option;
   wal : Sbft_store.Wal.t;
   mutable retired : bool;
@@ -176,6 +181,7 @@ let create ~env ~my ~store ~(durable : durable) =
     vc_msgs = Hashtbl.create 4;
     checkpoint_pis = Hashtbl.create 8;
     last_new_view = None;
+    nv_resent = Hashtbl.create 4;
     st = None;
     wal = durable.wal;
     retired = false;
@@ -756,7 +762,12 @@ and on_full_commit_proof_slow t ctx ~seq ~view ~tau ~tau_tau =
         then begin
           sl.slow_cert <- Some (tau, tau_tau, view, reqs);
           commit t ctx sl ~reqs ~view ~fast:false
-            ~cert:(Sbft_store.Block_store.Slow (Threshold.signature_bytes tau_tau))
+            ~cert:
+              (Sbft_store.Block_store.Slow
+                 {
+                   tau = Threshold.signature_bytes tau;
+                   tau_tau = Threshold.signature_bytes tau_tau;
+                 })
         end
     | _ ->
         sl.pending_slow <- Some (view, tau, tau_tau);
@@ -1189,7 +1200,9 @@ and maybe_state_transfer t ctx seq =
 
 and on_get_state t ctx ~upto ~replica =
   (* Serve blocks after [from_seq] straight from the persisted ledger
-     (contiguous run only: the receiver executes in order anyway). *)
+     (contiguous run only: the receiver executes in order anyway).
+     Every served block carries its commit certificate so the receiver
+     can verify it before adopting. *)
   let suffix_blocks ~from_seq =
     let blocks = ref [] in
     let stop = ref false in
@@ -1203,7 +1216,14 @@ and on_get_state t ctx ~upto ~replica =
                   { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
                 e.Sbft_store.Block_store.ops
             in
-            blocks := (s, e.Sbft_store.Block_store.view, reqs) :: !blocks
+            let cert =
+              match e.Sbft_store.Block_store.cert with
+              | Sbft_store.Block_store.Fast sigma ->
+                  Types.Cert_fast (Field.of_bytes sigma)
+              | Sbft_store.Block_store.Slow { tau; tau_tau } ->
+                  Types.Cert_slow (Field.of_bytes tau, Field.of_bytes tau_tau)
+            in
+            blocks := (s, e.Sbft_store.Block_store.view, reqs, cert) :: !blocks
         | None -> stop := true
     done;
     List.rev !blocks
@@ -1243,30 +1263,82 @@ and on_get_state t ctx ~upto ~replica =
                snap_seq = 0;
                pi = Field.zero;
                digest = "";
-               blocks = List.filter (fun (s, _, _) -> s <= upto) blocks;
+               blocks = List.filter (fun (s, _, _, _) -> s <= upto) blocks;
                table = [];
              })
 
+(* Adopt a state-transferred block suffix.  Every block must carry a
+   commit certificate that verifies against its hash — a block that
+   fails the check aborts adoption and returns [false] so the caller can
+   rotate to another peer.  Verified blocks go through the ordinary
+   [commit] path, so they are persisted to this replica's own ledger and
+   WAL exactly like locally agreed blocks. *)
 and adopt_block_suffix t ctx blocks =
+  let ok = ref true in
   List.iter
-    (fun (s, view, reqs) ->
-      if Int.equal s (last_executed t + 1) then begin
+    (fun (s, view, reqs, cert) ->
+      if !ok && Int.equal s (last_executed t + 1) then begin
         let sl = slot t s in
         if sl.committed = None then begin
-          Sanitizer.record_commit t.san ~seq:s ~view
-            ~digest:(Types.block_hash ~seq:s ~view ~reqs);
-          sl.committed <- Some reqs;
-          sl.executed <- false
-        end;
-        try_execute t ctx
+          let h = Types.block_hash ~seq:s ~view ~reqs in
+          match cert with
+          | Types.Cert_fast sigma ->
+              Engine.charge ctx
+                (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
+              if Threshold.verify (keys t).Keys.sigma ~msg:h sigma then begin
+                sl.fast_cert <- Some (sigma, view, reqs);
+                commit t ctx sl ~reqs ~view ~fast:true
+                  ~cert:
+                    (Sbft_store.Block_store.Fast (Threshold.signature_bytes sigma))
+              end
+              else ok := false
+          | Types.Cert_slow (tau, tau_tau) ->
+              Engine.charge ctx
+                (Cost_model.Tally.note "proof_verify" (2 * Cost_model.bls_verify));
+              if
+                Threshold.verify (keys t).Keys.tau ~msg:h tau
+                && Threshold.verify (keys t).Keys.tau
+                     ~msg:(Types.tau2_message tau) tau_tau
+              then begin
+                sl.slow_cert <- Some (tau, tau_tau, view, reqs);
+                commit t ctx sl ~reqs ~view ~fast:false
+                  ~cert:
+                    (Sbft_store.Block_store.Slow
+                       {
+                         tau = Threshold.signature_bytes tau;
+                         tau_tau = Threshold.signature_bytes tau_tau;
+                       })
+              end
+              else ok := false
+        end
+        else try_execute t ctx
       end)
-    blocks
+    blocks;
+  !ok
+
+(* Settle an in-flight state transfer after processing a response.
+   [ok = false] means the peer provably misbehaved (bad certificate or
+   digest): rotate to the next peer immediately.  A valid but
+   insufficient answer neither completes nor cancels the transfer — the
+   retry timer armed by the last [send_get_state] rotates and re-probes
+   with backoff, so a lagging (or Byzantine) peer cannot cancel the
+   probe by answering short. *)
+and state_transfer_settle t ctx ~ok =
+  if not ok then state_transfer_failed t ctx
+  else
+    match t.st with
+    | Some st when st.st_target <= last_executed t -> clear_state_transfer t
+    | Some _ | None -> ()
 
 and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks ~table =
   if snap_seq = 0 then begin
-    (* Blocks-only answer from a peer with no certified checkpoint. *)
-    clear_state_transfer t;
-    adopt_block_suffix t ctx blocks
+    (* Blocks-only answer from a peer with no certified checkpoint.
+       Only accepted while a state transfer is outstanding (an
+       unsolicited one is dropped), and every block is verified against
+       its commit certificate before adoption. *)
+    if t.st <> None then
+      let ok = adopt_block_suffix t ctx blocks in
+      state_transfer_settle t ctx ~ok
   end
   else if snap_seq > last_executed t then begin
     Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
@@ -1320,16 +1392,20 @@ and on_state_resp t ctx ~snapshot ~snap_seq ~pi ~digest ~blocks ~table =
                    }))
             table;
           wal_sync t ctx;
-          clear_state_transfer t;
-          (* Adopt and replay the certified suffix. *)
-          adopt_block_suffix t ctx blocks
+          (* Adopt and replay the suffix, verifying each block's commit
+             certificate; then settle (complete, keep retrying, or
+             rotate on a bad certificate). *)
+          let ok = adopt_block_suffix t ctx blocks in
+          state_transfer_settle t ctx ~ok
     end
     else state_transfer_failed t ctx
   end
   else
-    (* The peer is no further ahead than we are: stop retrying (new
-       evidence of a gap restarts the probe). *)
-    clear_state_transfer t
+    (* The peer is no further ahead than we are.  If a transfer is still
+       outstanding, leave its retry timer to rotate to the next peer —
+       clearing here would let a single lagging (or Byzantine) response
+       cancel the probe and strand this replica behind. *)
+    state_transfer_settle t ctx ~ok:true
 
 (* ------------------------------------------------------------------ *)
 (* View change *)
@@ -1405,7 +1481,22 @@ and on_view_change t ctx (vc : Types.view_change) =
        can catch up instead of complaining forever. *)
     match t.last_new_view with
     | Some (v, proofs) when v >= target && not (Int.equal vc.Types.vc_replica t.id) ->
-        send t ctx ~dst:vc.Types.vc_replica (Types.New_view { view = v; proofs })
+        (* The proof set is 2f+1 view-change messages — without pacing,
+           each stale complaint would trigger a large response, a cheap
+           amplification vector.  Resend at most once per view per
+           complainer, or after a retry interval (so a rejoiner whose
+           first copy was lost on a lossy link still recovers). *)
+        let now = Engine.ctx_now ctx in
+        let allow =
+          match Hashtbl.find_opt t.nv_resent vc.Types.vc_replica with
+          | Some (v', at) ->
+              v > v' || now - at >= (cfg t).Config.state_transfer_retry
+          | None -> true
+        in
+        if allow then begin
+          Hashtbl.replace t.nv_resent vc.Types.vc_replica (v, now);
+          send t ctx ~dst:vc.Types.vc_replica (Types.New_view { view = v; proofs })
+        end
     | _ -> ()
   end
   else begin
@@ -1476,7 +1567,12 @@ and on_new_view t ctx ~view ~proofs =
                 sl.pp <- Some (pview, reqs, h);
                 sl.slow_cert <- Some (tau, tau_tau, pview, reqs);
                 commit t ctx sl ~reqs ~view:pview ~fast:false
-                  ~cert:(Sbft_store.Block_store.Slow (Threshold.signature_bytes tau_tau))
+                  ~cert:
+                    (Sbft_store.Block_store.Slow
+                       {
+                         tau = Threshold.signature_bytes tau;
+                         tau_tau = Threshold.signature_bytes tau_tau;
+                       })
             | (View_change.Adopt _ | View_change.Fill_null)
               when sl.committed = None ->
                 (* Adopt as a pre-prepare of the new view. *)

@@ -42,6 +42,15 @@ type fast_cert =
 
 type vc_slot = { slot_seq : int; slow : slow_cert; fast : fast_cert }
 
+type block_cert =
+  | Cert_fast of Sbft_crypto.Field.t  (** σ(h) *)
+  | Cert_slow of Sbft_crypto.Field.t * Sbft_crypto.Field.t
+      (** τ(h), τ(τ(h)) *)
+(** Commit certificate shipped alongside a state-transferred block.  The
+    receiver re-verifies it against the block hash before adopting, so a
+    Byzantine peer cannot make an honest replica execute uncertified
+    operations via state transfer. *)
+
 type view_change = {
   vc_replica : int;
   vc_view : int;  (** the view being abandoned *)
@@ -118,7 +127,9 @@ type msg =
       snap_seq : int;
       pi : Sbft_crypto.Field.t;  (** π(d) over the snapshot's digest *)
       digest : string;
-      blocks : (int * int * request list) list;  (** (seq, view, reqs) after snap *)
+      blocks : (int * int * request list * block_cert) list;
+          (** (seq, view, reqs, cert) after snap; the receiver verifies
+              each [cert] before adopting the block *)
       table : Sbft_store.Block_store.client_entry list;
           (** Sender's client table as of [snap_seq], so the receiver
               resumes exactly-once request deduplication. *)

@@ -1,4 +1,4 @@
-type certificate = Fast of string | Slow of string
+type certificate = Fast of string | Slow of { tau : string; tau_tau : string }
 
 type op = { client : int; timestamp : int; op : string }
 
@@ -54,7 +54,11 @@ let set_checkpoint t ~seq ~snapshot ~table =
 let checkpoint t = t.checkpoint
 
 let entry_size e =
-  let cert_size = match e.cert with Fast s | Slow s -> String.length s in
+  let cert_size =
+    match e.cert with
+    | Fast s -> String.length s
+    | Slow { tau; tau_tau } -> String.length tau + String.length tau_tau
+  in
   List.fold_left
     (fun acc o -> acc + String.length o.op + 20)
     (16 + cert_size) e.ops

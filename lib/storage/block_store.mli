@@ -7,7 +7,10 @@
 
 type certificate =
   | Fast of string  (** σ(h) combined signature bytes *)
-  | Slow of string  (** τ(τ(h)) combined signature bytes *)
+  | Slow of { tau : string; tau_tau : string }
+      (** τ(h) and τ(τ(h)) combined signature bytes.  Both are kept so a
+          served block is independently verifiable: τ(τ(h)) alone cannot
+          be checked without the τ(h) it signs. *)
 
 type op = {
   client : int;  (** issuing client's node id, [-1] for null fillers *)

@@ -225,8 +225,16 @@ let truncate_below t ~seq =
   (match latest_cp with
   | Some cp -> Buffer.add_string t.durable (frame cp)
   | None -> ());
+  (* The retained checkpoint was re-added above; skip it (by physical
+     identity) in the keep pass so a checkpoint whose seq equals the
+     truncation seq is not written twice. *)
+  let is_retained_cp r =
+    match latest_cp with Some cp -> r == cp | None -> false
+  in
   List.iter
-    (fun r -> if keep r then Buffer.add_string t.durable (frame r))
+    (fun r ->
+      if keep r && not (is_retained_cp r) then
+        Buffer.add_string t.durable (frame r))
     records
 
 let durable_bytes t = Buffer.length t.durable

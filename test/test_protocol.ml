@@ -241,6 +241,48 @@ let test_state_transfer_catches_up () =
     (Replica.last_executed r3 <> Replica.last_executed r1
     || String.equal (Replica.state_digest r3) (Replica.state_digest r1))
 
+let test_forged_state_resp_rejected () =
+  (* A Byzantine replica sends an unsolicited blocks-only State_resp
+     whose block carries operations that were never agreed on, under a
+     forged commit certificate.  The victim has no state transfer
+     outstanding, so the message must be dropped wholesale: adopting it
+     would execute uncertified operations — a safety violation. *)
+  let cluster = drive (make ()) in
+  assert_all_done cluster;
+  let victim = cluster.Cluster.replicas.(1) in
+  let before = Replica.last_executed victim in
+  let digest_before = Replica.state_digest victim in
+  let forged_req =
+    { Types.client = 999; timestamp = 42; op = put ~client:999 1; signature = "" }
+  in
+  let msg =
+    Types.State_resp
+      {
+        snapshot = "";
+        snap_seq = 0;
+        pi = Sbft_crypto.Field.zero;
+        digest = "";
+        blocks =
+          [
+            ( before + 1,
+              Replica.view victim,
+              [ forged_req ],
+              Types.Cert_fast (Sbft_crypto.Field.of_int 0xdead) );
+          ];
+        table = [];
+      }
+  in
+  Engine.dispatch cluster.Cluster.engine ~dst:(Replica.id victim)
+    ~at:(Engine.now cluster.Cluster.engine)
+    (fun ctx -> Replica.on_message victim ctx ~src:3 msg);
+  Cluster.run_for cluster (Engine.sec 5);
+  check_int "forged suffix not executed" before (Replica.last_executed victim);
+  check "state digest unchanged" true
+    (String.equal digest_before (Replica.state_digest victim));
+  check "no forged client-table row" true
+    (Replica.client_last_timestamp victim ~client:999 = None);
+  check "agreement" true (Cluster.agreement_ok cluster)
+
 (* ------------------------------------------------------------------ *)
 (* Crash-amnesia: volatile state wiped, durable WAL + ledger survive *)
 
@@ -457,7 +499,12 @@ let () =
           Alcotest.test_case "retries across crash" `Quick test_query_survives_replica_crash;
         ] );
       ( "state-transfer",
-        [ Alcotest.test_case "lagging replica catches up" `Quick test_state_transfer_catches_up ] );
+        [
+          Alcotest.test_case "lagging replica catches up" `Quick
+            test_state_transfer_catches_up;
+          Alcotest.test_case "forged blocks-only response rejected" `Quick
+            test_forged_state_resp_rejected;
+        ] );
       ( "crash-amnesia",
         [
           Alcotest.test_case "backup recovers from WAL" `Quick test_amnesia_backup_recovery;

@@ -357,7 +357,8 @@ let test_block_store () =
   let bs = Block_store.create () in
   check_int "empty highest" 0 (Block_store.highest bs);
   Block_store.add bs { seq = 1; view = 0; ops = [ bop "a" ]; cert = Fast "sig1" };
-  Block_store.add bs { seq = 3; view = 0; ops = [ bop "b" ]; cert = Slow "sig3" };
+  Block_store.add bs
+    { seq = 3; view = 0; ops = [ bop "b" ]; cert = Slow { tau = "t3"; tau_tau = "tt3" } };
   check_int "highest" 3 (Block_store.highest bs);
   check "mem" true (Block_store.mem bs 1);
   check "not mem" false (Block_store.mem bs 2);
@@ -458,6 +459,15 @@ let test_wal_truncate_below () =
   check "view records retained" true (List.mem (Wal.View_entered 1) kept);
   check "latest checkpoint retained" true
     (List.mem (Wal.Stable_checkpoint { seq = 8; digest = "d8"; pi = "p8" }) kept);
+  (* When the retained checkpoint's seq equals the truncation seq it is
+     both re-added up front and kept by the [s >= seq] filter; it must
+     still appear exactly once or every later truncation carries the
+     duplicate frame forward. *)
+  check_int "retained checkpoint appears exactly once" 1
+    (List.length
+       (List.filter
+          (fun r -> r = Wal.Stable_checkpoint { seq = 8; digest = "d8"; pi = "p8" })
+          kept));
   check "older checkpoint dropped" false
     (List.mem (Wal.Stable_checkpoint { seq = 4; digest = "d4"; pi = "p4" }) kept);
   check "pre-checkpoint record dropped" false
