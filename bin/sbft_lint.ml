@@ -1,9 +1,15 @@
 (* Driver for the sbft lint pass: walks the given source trees, runs
-   every AST rule over each .ml file, applies the allowlist, prints the
-   surviving findings, and exits non-zero when any remain.  Wired into
-   the build as [dune build @lint] (and into [dune runtest]). *)
+   every AST rule (R1-R7 per-function, R9-R11 protocol discipline) over
+   each .ml file, applies the allowlist, prints the surviving findings,
+   and exits non-zero when any remain.  Stale allowlist entries are
+   hard errors unless --stale-allow-warn is given.  --json FILE also
+   emits a machine-readable report; under GITHUB_ACTIONS findings are
+   echoed as workflow annotations.  Wired into the build as
+   [dune build @lint] (and into [dune runtest]). *)
 
 module Lint = Sbft_analysis.Lint
+module Discipline = Sbft_analysis.Discipline
+module Json = Sbft_harness.Report.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -11,9 +17,14 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Skip hidden and build directories (.objs, _build, ...). *)
+(* Skip hidden and build directories (.objs, _build, ...) and the lint
+   self-test corpus (linted by test_lint against its own golden file,
+   where the deliberate positives belong). *)
 let skip_entry name =
-  String.length name = 0 || Char.equal name.[0] '.' || Char.equal name.[0] '_'
+  String.length name = 0
+  || Char.equal name.[0] '.'
+  || Char.equal name.[0] '_'
+  || String.equal name "lint_fixtures"
 
 let rec walk acc path =
   if Sys.is_directory path then
@@ -27,13 +38,49 @@ let rec walk acc path =
 
 let usage () =
   prerr_endline
-    "usage: sbft_lint [--root DIR] [--allow FILE] [DIR ...]\n\
-     Lints every .ml under the given directories (default: lib bin).";
+    "usage: sbft_lint [--root DIR] [--allow FILE] [--json FILE]\n\
+    \                 [--stale-allow-warn] [DIR ...]\n\
+     Lints every .ml under the given directories\n\
+     (default: lib bin bench test examples).";
   exit 2
+
+let severity_str = function Lint.Error -> "error" | Lint.Warning -> "warning"
+
+let json_report ~files ~kept ~allowed ~stale =
+  Json.Obj
+    [
+      ("schema", Json.Str "sbft-lint-v1");
+      ("files", Json.Num (float_of_int files));
+      ( "findings",
+        Json.Arr
+          (List.map
+             (fun (f : Lint.finding) ->
+               Json.Obj
+                 [
+                   ("rule", Json.Str f.Lint.rule);
+                   ("severity", Json.Str (severity_str f.Lint.severity));
+                   ("file", Json.Str f.Lint.file);
+                   ("line", Json.Num (float_of_int f.Lint.line));
+                   ("message", Json.Str f.Lint.message);
+                 ])
+             kept) );
+      ("allowlisted", Json.Num (float_of_int allowed));
+      ("stale_allow", Json.Arr (List.map (fun s -> Json.Str s) stale));
+    ]
+
+(* GitHub workflow annotations: one per finding, so the diff view in a
+   PR points at the exact site.  Newlines in messages would break the
+   single-line command format, but pp messages are single-line. *)
+let annotate (f : Lint.finding) =
+  Printf.printf "::%s file=%s,line=%d::[%s] %s\n"
+    (severity_str f.Lint.severity)
+    f.Lint.file f.Lint.line f.Lint.rule f.Lint.message
 
 let () =
   let root = ref "." in
   let allow_file = ref "lint.allow" in
+  let json_file = ref None in
+  let stale_warn = ref false in
   let dirs = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -43,14 +90,24 @@ let () =
     | "--allow" :: file :: rest ->
         allow_file := file;
         parse_args rest
-    | ("--help" | "-h" | "--root" | "--allow") :: _ -> usage ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse_args rest
+    | "--stale-allow-warn" :: rest ->
+        stale_warn := true;
+        parse_args rest
+    | ("--help" | "-h" | "--root" | "--allow" | "--json") :: _ -> usage ()
     | dir :: rest ->
         dirs := dir :: !dirs;
         parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   Sys.chdir !root;
-  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+  let dirs =
+    match List.rev !dirs with
+    | [] -> [ "lib"; "bin"; "bench"; "test"; "examples" ]
+    | ds -> ds
+  in
   let allow =
     if Sys.file_exists !allow_file then Lint.Allow.parse (read_file !allow_file)
     else Lint.Allow.empty
@@ -62,19 +119,50 @@ let () =
   let findings =
     List.concat_map
       (fun path ->
-        let ast = Lint.lint_source ~path (read_file path) in
+        let source = read_file path in
+        let ast = Lint.lint_source ~path source in
+        let disc = Discipline.lint_source ~path source in
         let mli_exists = Sys.file_exists (path ^ "i") in
-        match Lint.missing_mli ~path ~mli_exists with
-        | Some f -> f :: ast
-        | None -> ast)
+        let r5 =
+          match Lint.missing_mli ~path ~mli_exists with
+          | Some f -> [ f ]
+          | None -> []
+        in
+        List.sort
+          (fun (a : Lint.finding) b ->
+            match Int.compare a.Lint.line b.Lint.line with
+            | 0 -> String.compare a.Lint.rule b.Lint.rule
+            | n -> n)
+          (r5 @ ast @ disc))
       files
   in
   let kept, allowed = Lint.filter allow findings in
+  let stale = Lint.Allow.unused allow findings in
   List.iter (fun f -> print_endline (Lint.pp_finding f)) kept;
   List.iter
     (fun entry ->
-      Printf.printf "warning: stale lint.allow entry never matched: %s\n" entry)
-    (Lint.Allow.unused allow findings);
-  Printf.printf "sbft-lint: %d file(s), %d finding(s), %d allowlisted\n"
-    (List.length files) (List.length kept) (List.length allowed);
-  exit (Lint.exit_code kept)
+      Printf.printf "%s: stale lint.allow entry never matched: %s\n"
+        (if !stale_warn then "warning" else "error")
+        entry)
+    stale;
+  (match Sys.getenv_opt "GITHUB_ACTIONS" with
+  | Some _ -> List.iter annotate kept
+  | None -> ());
+  (match !json_file with
+  | Some file ->
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Json.to_string
+               (json_report ~files:(List.length files) ~kept
+                  ~allowed:(List.length allowed) ~stale)))
+  | None -> ());
+  Printf.printf "sbft-lint: %d file(s), %d finding(s), %d allowlisted, %d stale allow\n"
+    (List.length files) (List.length kept) (List.length allowed)
+    (List.length stale);
+  let stale_fail =
+    (not !stale_warn) && match stale with [] -> false | _ -> true
+  in
+  exit (max (Lint.exit_code kept) (if stale_fail then 1 else 0))

@@ -1,0 +1,581 @@
+(* Interprocedural per-function summaries of protocol sources.
+
+   For every top-level function in a file this module extracts a linear
+   stream of protocol-relevant events — WAL appends/syncs, message
+   sends/broadcasts, cost charges, priced crypto calls, and calls to
+   other local functions — each tagged with enough syntactic context
+   (nesting region, guard names, iteration variables) for the
+   discipline rules (R9-R11, see Discipline) to reason about ordering,
+   coverage, and rate-limiting.  The same summaries drive the
+   [@msgflow] graph artifact: which `on_*` handler can emit which
+   message constructor and log which WAL record, resolved through local
+   helper calls.
+
+   The extraction is deliberately syntactic: events are recorded in
+   source order, lambda bodies are inlined where they appear, and no
+   data flow is tracked.  The discipline rules document the resulting
+   imprecision; the goal is a checker that is strict on the shapes the
+   protocol actually uses, not a general verifier. *)
+
+type event =
+  | Log of string  (** [wal_log _ _ (Ctor ...)] — WAL record constructor *)
+  | Sync  (** [wal_sync _ _] *)
+  | Send of { ctor : string option; bcast : bool }
+      (** [send]/[broadcast*] call; [ctor] is the outermost message
+          constructor among the arguments when syntactically visible *)
+  | Charge of { labels : string list; consts : string list }
+      (** [Engine.charge]: Tally labels and [Cost_model.*] constants *)
+  | Crypto of { klass : string; callee : string }
+      (** call into a priced crypto/storage primitive *)
+  | Call of string  (** call to another top-level function of the file *)
+
+type einfo = {
+  ev : event;
+  line : int;
+  region : int list;
+      (** nesting path: a region is an ancestor of another iff its path
+          is a prefix of the other's *)
+  in_guard : bool;  (** the event sits inside an [if]/[when] condition *)
+  iter_vars : string list;
+      (** collection expressions' identifiers for enclosing iteration
+          combinators ([List.iter] & co.) *)
+  guard_names : string list;
+      (** identifiers appearing in enclosing [if]/[when] conditions *)
+}
+
+type func = {
+  fn_name : string;
+  fn_line : int;
+  fn_params : string list;
+  fn_events : einfo list;
+}
+
+type file = {
+  path : string;
+  funcs : func list;
+  handled : string list;
+      (** constructor names matched by this file's [on_message] *)
+}
+
+type section = {
+  sec_name : string;
+  sec_universe : string list;  (** the [msg] variant's constructors *)
+  sec_files : file list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Some structure
+  | exception Syntaxerr.Error _ -> None
+  | exception Lexer.Error (_, _) -> None
+
+(* ------------------------------------------------------------------ *)
+(* Longident / expression helpers *)
+
+let rec last_component (lid : Longident.t) =
+  match lid with
+  | Lident s -> s
+  | Ldot (_, s) -> s
+  | Lapply (_, l) -> last_component l
+
+(* Last module component (if any) and final name: [Engine.charge] ->
+   (Some "Engine", "charge"); [Sbft_store.Wal.append] -> (Some "Wal",
+   "append"); a bare ident or field access -> (None, name). *)
+let last2 (lid : Longident.t) =
+  match lid with
+  | Longident.Lident f -> (None, f)
+  | Longident.Ldot (prefix, f) -> (Some (last_component prefix), f)
+  | Longident.Lapply (_, l) -> (None, last_component l)
+
+let rec head_name (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (last2 txt)
+  | Pexp_field (_, { txt; _ }) -> Some (None, last_component txt)
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> head_name e
+  | _ -> None
+
+let rec construct_name (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) -> Some (last_component txt)
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> construct_name e
+  | _ -> None
+
+let first_construct args =
+  List.fold_left
+    (fun acc (_, a) ->
+      match acc with Some _ -> acc | None -> construct_name a)
+    None args
+
+let rec is_lambda (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_constraint (e, _) -> is_lambda e
+  | _ -> false
+
+(* All unqualified identifiers under [e] (collection expressions of
+   iteration combinators: which variables feed the loop). *)
+let expr_idents e =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it ex ->
+          (match ex.Parsetree.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident s; _ } -> acc := s :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it ex);
+    }
+  in
+  it.expr it e;
+  List.sort_uniq String.compare !acc
+
+(* Last components of every identifier under a condition, qualified or
+   not — so [Hashtbl.mem seen r] contributes "mem", "seen", "r". *)
+let cond_names e =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it ex ->
+          (match ex.Parsetree.pexp_desc with
+          | Pexp_ident { txt; _ } -> acc := last_component txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it ex);
+    }
+  in
+  it.expr it e;
+  List.sort_uniq String.compare !acc
+
+let rec pat_var_names (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (p, { txt; _ }) -> txt :: pat_var_names p
+  | Ppat_constraint (p, _) -> pat_var_names p
+  | Ppat_tuple ps -> List.concat_map pat_var_names ps
+  | _ -> []
+
+(* String literals (Tally labels) and [Cost_model.*] constants inside
+   the arguments of an [Engine.charge] call. *)
+let charge_info args =
+  let labels = ref [] and consts = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it ex ->
+          (match ex.Parsetree.pexp_desc with
+          | Pexp_constant (Pconst_string (s, _, _)) -> labels := s :: !labels
+          | Pexp_ident { txt; _ } -> (
+              match last2 txt with
+              | Some "Cost_model", f -> consts := f :: !consts
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it ex);
+    }
+  in
+  List.iter (fun (_, a) -> it.expr it a) args;
+  (List.sort_uniq String.compare !labels, List.sort_uniq String.compare !consts)
+
+(* ------------------------------------------------------------------ *)
+(* Priced crypto/storage primitives.
+
+   Module is matched by its *last* component so both [Threshold.verify]
+   and [Sbft_crypto.Threshold.verify] resolve.  The klass groups
+   primitives the cost model prices together, so a single charge can
+   cover any callee of its klass (see Discipline R10). *)
+
+let priced =
+  [
+    (("Threshold", "share_sign"), "share_sign");
+    (("Threshold", "verify"), "verify");
+    (("Threshold", "share_verify"), "share_verify");
+    (("Threshold", "share_verify_cached"), "share_verify");
+    (("Threshold", "combine"), "combine");
+    (("Threshold", "combine_verified"), "combine");
+    (("Group_sig", "combine"), "combine");
+    (("Group_sig", "verify"), "verify");
+    (("Sha256", "digest"), "hash");
+    (("Merkle", "build"), "merkle");
+    (("Merkle", "prove"), "merkle");
+    (("Merkle", "verify"), "merkle");
+    (("Wal", "append"), "wal_append");
+    (("Wal", "sync"), "wal_fsync");
+    (("Pki", "sign"), "rsa_sign");
+    (("Pki", "verify"), "rsa_verify");
+    (("Keys", "verify_request"), "rsa_verify");
+    (("View_change", "validate_message"), "verify");
+    (("Auth_store", "verify_op_proof"), "merkle");
+    (("Auth_store", "verify_query_proof"), "merkle");
+  ]
+
+let iter_modules = [ "List"; "Array"; "Seq"; "Hashtbl"; "Det" ]
+
+let iter_names =
+  [
+    "iter"; "iteri"; "map"; "mapi"; "fold_left"; "fold"; "filter";
+    "filter_map"; "concat_map"; "for_all"; "exists"; "iter_sorted";
+  ]
+
+let is_iter_combinator m f =
+  List.exists (String.equal m) iter_modules
+  && List.exists (String.equal f) iter_names
+
+let has_pfx ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* ------------------------------------------------------------------ *)
+(* The walker *)
+
+type wctx = {
+  region : int list;
+  in_guard : bool;
+  iter_vars : string list;
+  guard_names : string list;
+}
+
+type wstate = {
+  events : einfo list ref;  (* reversed; List.rev at the end *)
+  fresh : int ref;
+  locals : (string, unit) Hashtbl.t;
+}
+
+let child st c =
+  incr st.fresh;
+  { c with region = c.region @ [ !(st.fresh) ] }
+
+let emit st (c : wctx) ev line =
+  st.events :=
+    {
+      ev;
+      line;
+      region = c.region;
+      in_guard = c.in_guard;
+      iter_vars = c.iter_vars;
+      guard_names = c.guard_names;
+    }
+    :: !(st.events)
+
+let rec walk st (c : wctx) (e : Parsetree.expression) =
+  let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
+  match e.pexp_desc with
+  | Pexp_apply (head, args) -> apply st c line head args
+  | Pexp_ifthenelse (cond, e_then, e_else) ->
+      walk st { c with in_guard = true } cond;
+      let g = c.guard_names @ cond_names cond in
+      walk st { (child st c) with guard_names = g } e_then;
+      (match e_else with
+      | Some e2 -> walk st { (child st c) with guard_names = g } e2
+      | None -> ())
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      walk st c scrut;
+      walk_cases st c cases
+  | Pexp_function cases -> walk_cases st c cases
+  | Pexp_fun (_, default, _, body) ->
+      (match default with Some d -> walk st c d | None -> ());
+      walk st (child st c) body
+  | Pexp_let (_, vbs, body) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) -> walk st c vb.pvb_expr)
+        vbs;
+      walk st c body
+  | Pexp_sequence (e1, e2) ->
+      walk st c e1;
+      walk st c e2
+  | Pexp_for (_, e1, e2, _, body) ->
+      walk st c e1;
+      walk st c e2;
+      walk st c body
+  | Pexp_while (cond, body) ->
+      walk st { c with in_guard = true } cond;
+      walk st { (child st c) with guard_names = c.guard_names @ cond_names cond } body
+  | _ -> walk_children st c e
+
+and walk_cases st c cases =
+  List.iter
+    (fun (case : Parsetree.case) ->
+      let g =
+        match case.pc_guard with
+        | Some ge ->
+            walk st { c with in_guard = true } ge;
+            c.guard_names @ cond_names ge
+        | None -> c.guard_names
+      in
+      walk st { (child st c) with guard_names = g } case.pc_rhs)
+    cases
+
+and walk_children st c e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ ce -> walk st c ce);
+    }
+  in
+  Ast_iterator.default_iterator.expr it e
+
+and walk_args st c args = List.iter (fun (_, a) -> walk st c a) args
+
+and apply st c line head args =
+  match head_name head with
+  | Some (_, "wal_log") ->
+      let ctor = Option.value (first_construct args) ~default:"<unknown>" in
+      emit st c (Log ctor) line;
+      walk_args st c args
+  | Some (_, "wal_sync") ->
+      emit st c Sync line;
+      walk_args st c args
+  | Some (_, f) when String.equal f "send" || has_pfx ~prefix:"broadcast" f ->
+      emit st c
+        (Send
+           {
+             ctor = first_construct args;
+             bcast = has_pfx ~prefix:"broadcast" f;
+           })
+        line;
+      walk_args st c args
+  | Some (_, "charge") ->
+      let labels, consts = charge_info args in
+      emit st c (Charge { labels; consts }) line
+  | Some (Some m, f) when List.mem_assoc (m, f) priced ->
+      emit st c
+        (Crypto { klass = List.assoc (m, f) priced; callee = m ^ "." ^ f })
+        line;
+      walk_args st c args
+  | Some (Some m, f) when is_iter_combinator m f ->
+      let lambdas, rest = List.partition (fun (_, a) -> is_lambda a) args in
+      let extra = List.concat_map (fun (_, a) -> expr_idents a) rest in
+      let c_lam =
+        {
+          c with
+          iter_vars = List.sort_uniq String.compare (c.iter_vars @ extra);
+        }
+      in
+      List.iter (fun (_, a) -> walk st c_lam a) lambdas;
+      List.iter (fun (_, a) -> walk st c a) rest
+  | Some (None, f) when Hashtbl.mem st.locals f ->
+      emit st c (Call f) line;
+      walk_args st c args
+  | _ ->
+      walk st c head;
+      walk_args st c args
+
+(* ------------------------------------------------------------------ *)
+(* File summaries *)
+
+let rec peel_params acc (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) -> peel_params (acc @ pat_var_names pat) body
+  | Pexp_newtype (_, body) -> peel_params acc body
+  | Pexp_constraint (e, _) -> peel_params acc e
+  | _ -> (acc, e)
+
+let structure_bindings structure =
+  List.concat_map
+    (fun (si : Parsetree.structure_item) ->
+      match si.pstr_desc with Pstr_value (_, vbs) -> vbs | _ -> [])
+    structure
+
+(* Constructor names matched anywhere inside [on_message]'s patterns;
+   intersected with the message universe by the renderer, so binder
+   patterns like [Some]/[None] wash out. *)
+let handled_ctors structure =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.Parsetree.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) ->
+              acc := last_component txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  List.iter
+    (fun (vb : Parsetree.value_binding) ->
+      match pat_var_names vb.pvb_pat with
+      | [ "on_message" ] -> it.value_binding it vb
+      | _ -> ())
+    (structure_bindings structure);
+  List.sort_uniq String.compare !acc
+
+let summarize ~path structure =
+  let bindings = structure_bindings structure in
+  let locals = Hashtbl.create 64 in
+  List.iter
+    (fun (vb : Parsetree.value_binding) ->
+      List.iter
+        (fun n -> Hashtbl.replace locals n ())
+        (pat_var_names vb.pvb_pat))
+    bindings;
+  let fresh = ref 0 in
+  let funcs =
+    List.filter_map
+      (fun (vb : Parsetree.value_binding) ->
+        match pat_var_names vb.pvb_pat with
+        | [ name ] ->
+            let params, body = peel_params [] vb.pvb_expr in
+            let st = { events = ref []; fresh; locals } in
+            walk st
+              { region = []; in_guard = false; iter_vars = []; guard_names = [] }
+              body;
+            Some
+              {
+                fn_name = name;
+                fn_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+                fn_params = params;
+                fn_events = List.rev !(st.events);
+              }
+        | _ -> None)
+      bindings
+  in
+  { path; funcs; handled = handled_ctors structure }
+
+let msg_constructors structure =
+  List.concat_map
+    (fun (si : Parsetree.structure_item) ->
+      match si.pstr_desc with
+      | Pstr_type (_, decls) ->
+          List.concat_map
+            (fun (d : Parsetree.type_declaration) ->
+              if String.equal d.ptype_name.txt "msg" then
+                match d.ptype_kind with
+                | Ptype_variant ctors ->
+                    List.map
+                      (fun (c : Parsetree.constructor_declaration) ->
+                        c.pcd_name.txt)
+                      ctors
+                | _ -> []
+              else [])
+            decls
+      | _ -> [])
+    structure
+  |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Call-graph closure (within one file) *)
+
+let find_func funcs name =
+  List.find_opt (fun f -> String.equal f.fn_name name) funcs
+
+(* Events of [start] and of every local function transitively reachable
+   through [Call] events.  Calls to unknown names are ignored (they are
+   either stdlib or cross-module; cross-module helpers are summarized
+   where they live). *)
+let reachable_events funcs start =
+  let rec go visited acc = function
+    | [] -> List.concat (List.rev acc)
+    | name :: rest ->
+        if List.exists (String.equal name) visited then go visited acc rest
+        else (
+          match find_func funcs name with
+          | None -> go (name :: visited) acc rest
+          | Some f ->
+              let calls =
+                List.filter_map
+                  (fun e -> match e.ev with Call n -> Some n | _ -> None)
+                  f.fn_events
+              in
+              go (name :: visited) (f.fn_events :: acc) (calls @ rest))
+  in
+  go [] [] [ start ]
+
+let is_handler name = has_pfx ~prefix:"on_" name
+
+(* ------------------------------------------------------------------ *)
+(* Rendering the @msgflow artifact *)
+
+let field buf name vals =
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s\n" name
+       (match vals with [] -> "-" | vs -> String.concat " " vs))
+
+let render sections =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "# SBFT message-flow graph: for each protocol section, which message\n\
+     # constructors are handled and sent, and per handler (resolved through\n\
+     # local helper calls) which messages it can emit and which WAL records\n\
+     # it logs.  Regenerated by `dune build @msgflow`; after a vetted\n\
+     # protocol change, update the committed spec with `dune promote`.\n";
+  List.iter
+    (fun sec ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n== %s (%d messages) ==\n" sec.sec_name
+           (List.length sec.sec_universe));
+      let mem x xs = List.exists (String.equal x) xs in
+      let handled_all =
+        List.sort_uniq String.compare
+          (List.concat_map (fun fl -> fl.handled) sec.sec_files)
+      in
+      let handled = List.filter (fun c -> mem c handled_all) sec.sec_universe in
+      let unhandled =
+        List.filter (fun c -> not (mem c handled)) sec.sec_universe
+      in
+      let sent_all =
+        List.concat_map
+          (fun fl ->
+            List.concat_map
+              (fun f ->
+                List.filter_map
+                  (fun e ->
+                    match e.ev with
+                    | Send { ctor = Some ctor; _ } -> Some ctor
+                    | _ -> None)
+                  f.fn_events)
+              fl.funcs)
+          sec.sec_files
+        |> List.sort_uniq String.compare
+      in
+      let sent = List.filter (fun c -> mem c sent_all) sec.sec_universe in
+      let never = List.filter (fun c -> not (mem c sent)) sec.sec_universe in
+      field buf "handled:" handled;
+      field buf "unhandled:" unhandled;
+      field buf "sent:" sent;
+      field buf "never-sent:" never;
+      List.iter
+        (fun fl ->
+          let handlers =
+            List.filter (fun f -> is_handler f.fn_name) fl.funcs
+            |> List.sort (fun a b -> String.compare a.fn_name b.fn_name)
+          in
+          match handlers with
+          | [] -> ()
+          | _ ->
+              Buffer.add_string buf (Printf.sprintf "\n-- %s --\n" fl.path);
+              List.iter
+                (fun h ->
+                  let evs = reachable_events fl.funcs h.fn_name in
+                  let sends =
+                    List.filter_map
+                      (fun e ->
+                        match e.ev with
+                        | Send { ctor = Some ctor; _ } -> Some ctor
+                        | Send { ctor = None; _ } -> Some "<unresolved>"
+                        | _ -> None)
+                      evs
+                    |> List.sort_uniq String.compare
+                  in
+                  let logs =
+                    List.filter_map
+                      (fun e -> match e.ev with Log r -> Some r | _ -> None)
+                      evs
+                    |> List.sort_uniq String.compare
+                  in
+                  Buffer.add_string buf (Printf.sprintf "%s:\n" h.fn_name);
+                  field buf "  sends" sends;
+                  field buf "  logs " logs)
+                handlers)
+        (List.sort
+           (fun a b -> String.compare a.path b.path)
+           sec.sec_files))
+    sections;
+  Buffer.contents buf

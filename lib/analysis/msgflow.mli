@@ -1,0 +1,77 @@
+(** Interprocedural per-function summaries of protocol sources, and the
+    [@msgflow] graph artifact rendered from them.
+
+    Each top-level function of a file is summarized as a linear,
+    source-ordered stream of protocol events (WAL log/sync, send,
+    charge, priced crypto call, local call), tagged with syntactic
+    context: a nesting region path, whether the event sits inside a
+    guard condition, the identifiers of enclosing iteration
+    collections, and the identifiers of enclosing guard conditions.
+    The {!Discipline} rules consume these summaries; {!render} turns
+    them into the deterministic message-flow artifact diffed against
+    [analysis/msgflow.expected]. *)
+
+type event =
+  | Log of string  (** [wal_log _ _ (Ctor ...)]: the record constructor *)
+  | Sync  (** [wal_sync _ _] *)
+  | Send of { ctor : string option; bcast : bool }
+      (** call to [send] or [broadcast*]; [ctor] is the outermost
+          message constructor among the arguments when visible *)
+  | Charge of { labels : string list; consts : string list }
+      (** [Engine.charge]: Tally label strings and [Cost_model.*]
+          constant names appearing in the arguments *)
+  | Crypto of { klass : string; callee : string }
+      (** call to a priced crypto/storage primitive; [klass] groups
+          primitives priced together by the cost model *)
+  | Call of string  (** call to another top-level function of the file *)
+
+type einfo = {
+  ev : event;
+  line : int;
+  region : int list;
+      (** nesting path: region [a] encloses region [b] iff [a] is a
+          prefix of [b] *)
+  in_guard : bool;
+  iter_vars : string list;
+  guard_names : string list;
+}
+
+type func = {
+  fn_name : string;
+  fn_line : int;
+  fn_params : string list;
+  fn_events : einfo list;  (** in source order *)
+}
+
+type file = {
+  path : string;
+  funcs : func list;
+  handled : string list;
+      (** constructor names matched by the file's [on_message] *)
+}
+
+type section = {
+  sec_name : string;
+  sec_universe : string list;
+  sec_files : file list;
+}
+
+val parse : path:string -> string -> Parsetree.structure option
+(** [None] on a syntax or lexer error (Lint reports those). *)
+
+val summarize : path:string -> Parsetree.structure -> file
+
+val msg_constructors : Parsetree.structure -> string list
+(** Constructors of every [type msg] variant in the structure, sorted. *)
+
+val find_func : func list -> string -> func option
+
+val reachable_events : func list -> string -> einfo list
+(** Events of the named function plus those of every local function
+    transitively reachable through [Call] events (cycles cut). *)
+
+val is_handler : string -> bool
+(** Does the function name start with [on_]? *)
+
+val render : section list -> string
+(** The deterministic [@msgflow] artifact. *)

@@ -126,6 +126,11 @@ type t = {
          rate-limits the (large) proof-set resend to once per view per
          peer, or once per retry interval, so repeated stale view-change
          messages cannot be used as a cheap amplification vector *)
+  st_served : (int, Engine.time) Hashtbl.t;
+      (* requester -> time of the last State_resp we served it: a full
+         snapshot plus block suffix is the largest message in the
+         protocol, so Get_state floods must not translate 1:1 into
+         State_resp floods *)
   mutable st : st_pending option;
   wal : Sbft_store.Wal.t;
   mutable retired : bool;
@@ -182,6 +187,7 @@ let create ~env ~my ~store ~(durable : durable) =
     checkpoint_pis = Hashtbl.create 8;
     last_new_view = None;
     nv_resent = Hashtbl.create 4;
+    st_served = Hashtbl.create 4;
     st = None;
     wal = durable.wal;
     retired = false;
@@ -1199,73 +1205,88 @@ and maybe_state_transfer t ctx seq =
     start_state_transfer t ctx ~target:seq ~first_peer:None
 
 and on_get_state t ctx ~upto ~replica =
-  (* Serve blocks after [from_seq] straight from the persisted ledger
-     (contiguous run only: the receiver executes in order anyway).
-     Every served block carries its commit certificate so the receiver
-     can verify it before adopting. *)
-  let suffix_blocks ~from_seq =
-    let blocks = ref [] in
-    let stop = ref false in
-    for s = from_seq + 1 to last_executed t do
-      if not !stop then
-        match Sbft_store.Block_store.find t.blocks s with
-        | Some e ->
-            let reqs =
-              List.map
-                (fun (o : Sbft_store.Block_store.op) ->
-                  { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
-                e.Sbft_store.Block_store.ops
-            in
-            let cert =
-              match e.Sbft_store.Block_store.cert with
-              | Sbft_store.Block_store.Fast sigma ->
-                  Types.Cert_fast (Field.of_bytes sigma)
-              | Sbft_store.Block_store.Slow { tau; tau_tau } ->
-                  Types.Cert_slow (Field.of_bytes tau, Field.of_bytes tau_tau)
-            in
-            blocks := (s, e.Sbft_store.Block_store.view, reqs, cert) :: !blocks
-        | None -> stop := true
-    done;
-    List.rev !blocks
+  (* A State_resp carries a full snapshot plus a block suffix — the
+     largest message in the protocol — so serving one is paced per
+     requester: a quarter of the requester's own retry interval, which
+     honest retries (rotation + backoff) never beat but a Get_state
+     flood does.  A dropped response heals through the ordinary retry
+     timer on the requesting side. *)
+  let now = Engine.ctx_now ctx in
+  let allow =
+    match Hashtbl.find_opt t.st_served replica with
+    | Some at -> now - at >= (cfg t).Config.state_transfer_retry / 4
+    | None -> true
   in
-  let certified_checkpoint =
-    match Sbft_store.Block_store.checkpoint t.blocks with
-    | Some { Sbft_store.Block_store.cp_seq = snap_seq; cp_snapshot; cp_table } -> (
-        match Hashtbl.find_opt t.checkpoint_pis snap_seq with
-        | Some (pi, digest) -> Some (snap_seq, cp_snapshot, cp_table, pi, digest)
-        | None -> None)
-    | None -> None
-  in
-  match certified_checkpoint with
-  | Some (snap_seq, cp_snapshot, cp_table, pi, digest) ->
-      send t ctx ~dst:replica
-        (Types.State_resp
-           {
-             snapshot = Lazy.force cp_snapshot;
-             snap_seq;
-             pi;
-             digest;
-             blocks = suffix_blocks ~from_seq:snap_seq;
-             table = cp_table;
-           })
-  | None ->
-      (* No certified checkpoint (early in a run, or the π for the
-         latest snapshot never arrived): answer blocks-only so a lagging
-         replica still catches up.  snap_seq = 0 marks the degraded
-         form; each block is individually re-checked by the receiver's
-         ordinary commit path semantics (executed strictly in order). *)
-      let blocks = suffix_blocks ~from_seq:0 in
-      if blocks <> [] then
+  if allow then begin
+    Hashtbl.replace t.st_served replica now;
+    (* Serve blocks after [from_seq] straight from the persisted ledger
+       (contiguous run only: the receiver executes in order anyway).
+       Every served block carries its commit certificate so the receiver
+       can verify it before adopting. *)
+    let suffix_blocks ~from_seq =
+      let blocks = ref [] in
+      let stop = ref false in
+      for s = from_seq + 1 to last_executed t do
+        if not !stop then
+          match Sbft_store.Block_store.find t.blocks s with
+          | Some e ->
+              let reqs =
+                List.map
+                  (fun (o : Sbft_store.Block_store.op) ->
+                    { Types.client = o.client; timestamp = o.timestamp; op = o.op; signature = "" })
+                  e.Sbft_store.Block_store.ops
+              in
+              let cert =
+                match e.Sbft_store.Block_store.cert with
+                | Sbft_store.Block_store.Fast sigma ->
+                    Types.Cert_fast (Field.of_bytes sigma)
+                | Sbft_store.Block_store.Slow { tau; tau_tau } ->
+                    Types.Cert_slow (Field.of_bytes tau, Field.of_bytes tau_tau)
+              in
+              blocks := (s, e.Sbft_store.Block_store.view, reqs, cert) :: !blocks
+          | None -> stop := true
+      done;
+      List.rev !blocks
+    in
+    let certified_checkpoint =
+      match Sbft_store.Block_store.checkpoint t.blocks with
+      | Some { Sbft_store.Block_store.cp_seq = snap_seq; cp_snapshot; cp_table } -> (
+          match Hashtbl.find_opt t.checkpoint_pis snap_seq with
+          | Some (pi, digest) -> Some (snap_seq, cp_snapshot, cp_table, pi, digest)
+          | None -> None)
+      | None -> None
+    in
+    match certified_checkpoint with
+    | Some (snap_seq, cp_snapshot, cp_table, pi, digest) ->
         send t ctx ~dst:replica
           (Types.State_resp
              {
-               snapshot = "";
-               snap_seq = 0;
-               pi = Field.zero;
-               digest = "";
-               blocks = List.filter (fun (s, _, _, _) -> s <= upto) blocks;
-               table = [];
+               snapshot = Lazy.force cp_snapshot;
+               snap_seq;
+               pi;
+               digest;
+               blocks = suffix_blocks ~from_seq:snap_seq;
+               table = cp_table;
              })
+    | None ->
+        (* No certified checkpoint (early in a run, or the π for the
+           latest snapshot never arrived): answer blocks-only so a lagging
+           replica still catches up.  snap_seq = 0 marks the degraded
+           form; each block is individually re-checked by the receiver's
+           ordinary commit path semantics (executed strictly in order). *)
+        let blocks = suffix_blocks ~from_seq:0 in
+        if blocks <> [] then
+          send t ctx ~dst:replica
+            (Types.State_resp
+               {
+                 snapshot = "";
+                 snap_seq = 0;
+                 pi = Field.zero;
+                 digest = "";
+                 blocks = List.filter (fun (s, _, _, _) -> s <= upto) blocks;
+                 table = [];
+               })
+  end
 
 (* Adopt a state-transferred block suffix.  Every block must carry a
    commit certificate that verifies against its hash — a block that

@@ -1,0 +1,2 @@
+(* R1 negative: explicit monomorphic equality. *)
+let eq a b = Int.equal a b

@@ -1,0 +1,2 @@
+(* R1 positive: polymorphic equality on protocol values. *)
+let eq a b = a = b

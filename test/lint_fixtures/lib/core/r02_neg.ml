@@ -1,0 +1,2 @@
+(* R2 negative: total _opt variant. *)
+let first l = List.nth_opt l 0

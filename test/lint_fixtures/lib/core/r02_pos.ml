@@ -1,0 +1,2 @@
+(* R2 positive: partial stdlib function. *)
+let first l = List.hd l

@@ -1,0 +1,2 @@
+(* R3 negative: a named exception is fine. *)
+let run g = try g () with Not_found -> 0

@@ -1,0 +1,2 @@
+(* R4 negative: a multiplication not involving fault parameters. *)
+let area w h = w * h

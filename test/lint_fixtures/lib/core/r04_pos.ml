@@ -1,0 +1,2 @@
+(* R4 positive: quorum-literal arithmetic outside config.ml. *)
+let quorum f = (3 * f) + 1

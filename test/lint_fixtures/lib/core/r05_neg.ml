@@ -1,0 +1,2 @@
+(* R5 negative: the matching r05_neg.mli exists. *)
+let answer = 42

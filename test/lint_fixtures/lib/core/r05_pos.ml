@@ -1,0 +1,2 @@
+(* R5 positive: a lib/ module without a .mli (checked by the runner). *)
+let answer = 42

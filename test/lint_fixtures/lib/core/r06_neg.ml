@@ -1,0 +1,4 @@
+(* R6 negative: the payload is verified before it reaches state. *)
+let on_gossip t ctx payload =
+  ignore ctx;
+  if verify t.key payload then Hashtbl.replace t.table payload ()

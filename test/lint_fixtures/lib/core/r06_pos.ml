@@ -1,0 +1,4 @@
+(* R6 positive: network input written to state without authentication. *)
+let on_gossip t ctx payload =
+  ignore ctx;
+  Hashtbl.replace t.table payload ()

@@ -1,0 +1,2 @@
+(* R7 negative: randomness threaded through the seeded simulator rng. *)
+let pick rng n = Rng.int rng n

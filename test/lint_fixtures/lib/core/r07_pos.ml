@@ -1,0 +1,2 @@
+(* R7 positive: ambient randomness outside lib/sim/rng.ml. *)
+let pick n = Random.int n

@@ -1,0 +1,6 @@
+(* R9 negative (mutation twin of r09_pos): the matching record type is
+   logged and synced, so the send keeps its promise across a crash. *)
+let on_prepare t ctx ~seq ~view =
+  wal_log t ctx (Wal.Accepted_prepare { seq; view; tau = "t" });
+  wal_sync t ctx;
+  send t ctx ~dst:0 (Types.Commit { seq; view; share = 0 })

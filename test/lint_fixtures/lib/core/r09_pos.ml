@@ -1,0 +1,6 @@
+(* R9 positive: Commit promises an Accepted_prepare record, but only a
+   View_entered record was logged and synced before the send. *)
+let on_prepare t ctx ~seq ~view =
+  wal_log t ctx (Wal.View_entered view);
+  wal_sync t ctx;
+  send t ctx ~dst:0 (Types.Commit { seq; view; share = 0 })

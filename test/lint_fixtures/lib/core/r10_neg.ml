@@ -1,0 +1,5 @@
+(* R10 negative (mutation twin of r10_pos): the verification is paired
+   with a charge of the same cost klass. *)
+let on_proof t ctx ~seq ~proof =
+  Engine.charge ctx (Cost_model.Tally.note "proof_verify" Cost_model.bls_verify);
+  if Threshold.verify t.key ~msg:seq proof then accept t ~seq

@@ -1,0 +1,5 @@
+(* R10 positive: a priced threshold verification with no covering
+   Engine.charge, silently flattering the benchmark numbers. *)
+let on_proof t ctx ~seq ~proof =
+  ignore ctx;
+  if Threshold.verify t.key ~msg:seq proof then accept t ~seq

@@ -1,0 +1,8 @@
+(* R11 negative: the amplifying send is gated on pacing state. *)
+let on_probe t ctx ~replica =
+  ignore ctx;
+  let allow = not (Hashtbl.mem t.served replica) in
+  if allow then begin
+    Hashtbl.replace t.served replica ();
+    send t ctx ~dst:replica (Types.State_resp { snap = t.snap })
+  end

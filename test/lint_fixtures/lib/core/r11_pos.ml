@@ -1,0 +1,4 @@
+(* R11 positive (a): a send fanned out over a peer-supplied collection
+   with no rate-limit guard. *)
+let on_sync t ctx ~peers =
+  List.iter (fun p -> send t ctx ~dst:p (Types.State_resp { snap = t.snap })) peers

@@ -1,0 +1,4 @@
+(* R11 positive (b): an unguarded send of an amplifying message. *)
+let on_probe t ctx ~replica =
+  ignore ctx;
+  send t ctx ~dst:replica (Types.State_resp { snap = t.snap })

@@ -1,9 +1,13 @@
 (* Unit tests for the sbft-lint AST pass: one accepting and one
-   rejecting case per rule R1-R5, allowlist semantics, and exit codes.
-   Sources are synthetic snippets attributed to in-scope / out-of-scope
-   paths rather than files on disk. *)
+   rejecting case per rule R1-R5, allowlist semantics, and exit codes
+   (synthetic snippets attributed to in-scope / out-of-scope paths);
+   the lint_fixtures/ corpus golden-diffed against expected.txt; and
+   mutation self-checks over the real lib/core/replica.ml proving R9
+   (delete a wal_sync), R10 (delete a charge) and R11 (disable a pacing
+   guard) are load-bearing. *)
 
 module Lint = Sbft_analysis.Lint
+module Discipline = Sbft_analysis.Discipline
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -184,6 +188,182 @@ let test_multiple_findings () =
   let lines = List.map (fun (f : Lint.finding) -> f.Lint.line) fs in
   check "sorted by line" true (List.sort Int.compare lines = lines)
 
+(* ------------------------------------------------------------------ *)
+(* Fixture corpus: every file under lint_fixtures/ is linted (with the
+   prefix stripped so rule scoping sees lib/core/...) and the findings
+   are diffed against the committed golden file. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc e -> walk_ml acc (Filename.concat path e)) acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let by_line_rule (a : Lint.finding) (b : Lint.finding) =
+  match Int.compare a.Lint.line b.Lint.line with
+  | 0 -> String.compare a.Lint.rule b.Lint.rule
+  | n -> n
+
+let lint_fixture disk_path =
+  let prefix = "lint_fixtures/" in
+  let lint_path =
+    String.sub disk_path (String.length prefix)
+      (String.length disk_path - String.length prefix)
+  in
+  let source = read_file disk_path in
+  (* Only the r05_* fixtures exercise the missing-mli rule; no other
+     fixture ships an interface on purpose. *)
+  let r5 =
+    if starts_with ~prefix:"r05" (Filename.basename disk_path) then
+      match
+        Lint.missing_mli ~path:lint_path
+          ~mli_exists:(Sys.file_exists (disk_path ^ "i"))
+      with
+      | Some f -> [ f ]
+      | None -> []
+    else []
+  in
+  List.sort by_line_rule
+    (r5
+    @ Lint.lint_source ~path:lint_path source
+    @ Discipline.lint_source ~path:lint_path source)
+
+let test_fixture_golden () =
+  let files = walk_ml [] "lint_fixtures" |> List.sort String.compare in
+  Alcotest.(check bool) "corpus present" true (List.length files > 20);
+  let actual =
+    String.concat ""
+      (List.concat_map
+         (fun disk_path ->
+           List.map (fun f -> Lint.pp_finding f ^ "\n") (lint_fixture disk_path))
+         files)
+  in
+  let expected = read_file "lint_fixtures/expected.txt" in
+  Alcotest.(check string) "fixture findings match golden" expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Mutation self-checks against the real replica implementation: the
+   acceptance bar for R9-R11 is that deleting one wal_sync, one charge,
+   or one pacing guard makes the lint fail at the exact site.  The
+   allowlist is applied so the checks prove a *new* finding appears,
+   not that vetted ones exist.  (A mutation shifts line numbers below
+   the edit, so line-pinned allow entries there go stale; the checks
+   therefore assert presence of the expected finding, not counts.) *)
+
+let replica_path = "../lib/core/replica.ml"
+
+let lint_replica source =
+  let path = "lib/core/replica.ml" in
+  let findings =
+    Lint.lint_source ~path source @ Discipline.lint_source ~path source
+  in
+  let allow = Lint.Allow.parse (read_file "../lint.allow") in
+  let kept, _ = Lint.filter allow findings in
+  kept
+
+let index_from s start sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) sub then Some i
+    else go (i + 1)
+  in
+  go start
+
+(* Replace the first occurrence of [needle] at-or-after [after] with
+   [repl], failing loudly if either string has drifted out of the
+   source (so a refactor cannot silently turn these into no-ops). *)
+let mutate source ~after ~needle ~repl =
+  match index_from source 0 after with
+  | None -> Alcotest.fail (Printf.sprintf "mutation anchor not found: %s" after)
+  | Some a -> (
+      match index_from source (a + String.length after) needle with
+      | None -> Alcotest.fail (Printf.sprintf "mutation needle not found: %s" needle)
+      | Some i ->
+          String.concat ""
+            [
+              String.sub source 0 i;
+              repl;
+              String.sub source
+                (i + String.length needle)
+                (String.length source - i - String.length needle);
+            ])
+
+let has_finding ~rule ~needle findings =
+  List.exists
+    (fun (f : Lint.finding) ->
+      String.equal f.Lint.rule rule
+      && (match index_from f.Lint.message 0 needle with
+         | Some _ -> true
+         | None -> false))
+    findings
+
+let test_replica_baseline () =
+  let kept = lint_replica (read_file replica_path) in
+  Alcotest.(check (list string))
+    "no unvetted findings in pristine replica.ml" []
+    (List.map Lint.pp_finding kept)
+
+(* R9: drop the wal_sync between logging Accepted_pre_prepare and
+   sending the Sign_share (the first occurrence is on_pre_prepare; the
+   second is adopt_pre_prepare on the view-change path). *)
+let test_mutation_r9_sign_share () =
+  let mutated =
+    mutate (read_file replica_path)
+      ~after:"Accepted_pre_prepare { seq; view; ops = wal_ops reqs });"
+      ~needle:"wal_sync t ctx;" ~repl:""
+  in
+  let kept = lint_replica mutated in
+  Alcotest.(check bool) "R9 finding names Sign_share" true
+    (has_finding ~rule:"R9" ~needle:"Sign_share" kept)
+
+(* R9 again on an unrelated record/message pair: drop the wal_sync
+   after logging View_change_started, before the View_change vote. *)
+let test_mutation_r9_view_change () =
+  let mutated =
+    mutate (read_file replica_path)
+      ~after:"View_change_started target_view);"
+      ~needle:"wal_sync t ctx;" ~repl:""
+  in
+  let kept = lint_replica mutated in
+  Alcotest.(check bool) "R9 finding names View_change" true
+    (has_finding ~rule:"R9" ~needle:"View_change" kept)
+
+(* R10: drop the wal_append charge inside wal_log, leaving the
+   Wal.append call unpriced. *)
+let test_mutation_r10_wal_append () =
+  let mutated =
+    mutate (read_file replica_path) ~after:"let wal_log t ctx record ="
+      ~needle:
+        "Engine.charge ctx (Cost_model.Tally.note \"wal_append\" (Cost_model.wal_append bytes))"
+      ~repl:"ignore bytes"
+  in
+  let kept = lint_replica mutated in
+  Alcotest.(check bool) "R10 finding names Wal.append" true
+    (has_finding ~rule:"R10" ~needle:"Wal.append" kept)
+
+(* R11: disable the per-requester pacing guard in on_get_state, turning
+   Get_state floods back into State_resp floods. *)
+let test_mutation_r11_get_state () =
+  let mutated =
+    mutate (read_file replica_path) ~after:"and on_get_state"
+      ~needle:"if allow then begin" ~repl:"if true then begin"
+  in
+  let kept = lint_replica mutated in
+  Alcotest.(check bool) "R11 finding names State_resp" true
+    (has_finding ~rule:"R11" ~needle:"State_resp" kept)
+
 let () =
   Alcotest.run "sbft_lint"
     [
@@ -205,5 +385,19 @@ let () =
         [
           Alcotest.test_case "allowlist" `Quick test_allowlist;
           Alcotest.test_case "exit code" `Quick test_exit_code;
+        ] );
+      ( "fixtures",
+        [ Alcotest.test_case "golden corpus" `Quick test_fixture_golden ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "replica baseline clean" `Quick
+            test_replica_baseline;
+          Alcotest.test_case "r9 sign-share" `Quick test_mutation_r9_sign_share;
+          Alcotest.test_case "r9 view-change" `Quick
+            test_mutation_r9_view_change;
+          Alcotest.test_case "r10 wal-append" `Quick
+            test_mutation_r10_wal_append;
+          Alcotest.test_case "r11 get-state" `Quick
+            test_mutation_r11_get_state;
         ] );
     ]
