@@ -1,14 +1,18 @@
 (* Driver for the sbft lint pass: walks the given source trees, runs
-   every AST rule (R1-R7 per-function, R9-R11 protocol discipline) over
-   each .ml file, applies the allowlist, prints the surviving findings,
-   and exits non-zero when any remain.  Stale allowlist entries are
-   hard errors unless --stale-allow-warn is given.  --json FILE also
-   emits a machine-readable report; under GITHUB_ACTIONS findings are
+   every AST rule (R1-R7 per-function, R9-R11 protocol discipline,
+   R12-R15 quorum soundness) over each .ml file, applies the
+   allowlist, prints the surviving findings, and exits non-zero when
+   any remain.  Stale allowlist entries are hard errors unless
+   --stale-allow-warn is given.  --json FILE also emits a
+   machine-readable report; --obligations FILE writes the R12 quorum
+   obligation report CI uploads; under GITHUB_ACTIONS findings are
    echoed as workflow annotations.  Wired into the build as
    [dune build @lint] (and into [dune runtest]). *)
 
 module Lint = Sbft_analysis.Lint
 module Discipline = Sbft_analysis.Discipline
+module Quorum = Sbft_analysis.Quorum
+module Msgflow = Sbft_analysis.Msgflow
 module Json = Sbft_harness.Report.Json
 
 let read_file path =
@@ -39,7 +43,7 @@ let rec walk acc path =
 let usage () =
   prerr_endline
     "usage: sbft_lint [--root DIR] [--allow FILE] [--json FILE]\n\
-    \                 [--stale-allow-warn] [DIR ...]\n\
+    \                 [--obligations FILE] [--stale-allow-warn] [DIR ...]\n\
      Lints every .ml under the given directories\n\
      (default: lib bin bench test examples).";
   exit 2
@@ -49,7 +53,7 @@ let severity_str = function Lint.Error -> "error" | Lint.Warning -> "warning"
 let json_report ~files ~kept ~allowed ~stale =
   Json.Obj
     [
-      ("schema", Json.Str "sbft-lint-v1");
+      ("schema", Json.Str "sbft-lint-v2");
       ("files", Json.Num (float_of_int files));
       ( "findings",
         Json.Arr
@@ -80,6 +84,7 @@ let () =
   let root = ref "." in
   let allow_file = ref "lint.allow" in
   let json_file = ref None in
+  let obligations_file = ref None in
   let stale_warn = ref false in
   let dirs = ref [] in
   let rec parse_args = function
@@ -93,10 +98,15 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse_args rest
+    | "--obligations" :: file :: rest ->
+        obligations_file := Some file;
+        parse_args rest
     | "--stale-allow-warn" :: rest ->
         stale_warn := true;
         parse_args rest
-    | ("--help" | "-h" | "--root" | "--allow" | "--json") :: _ -> usage ()
+    | ("--help" | "-h" | "--root" | "--allow" | "--json" | "--obligations") :: _
+      ->
+        usage ()
     | dir :: rest ->
         dirs := dir :: !dirs;
         parse_args rest
@@ -116,12 +126,29 @@ let () =
     List.fold_left walk [] (List.filter Sys.file_exists dirs)
     |> List.sort String.compare
   in
+  (* Pre-pass for the quorum rules: extract the threshold definitions
+     from the tree's config.ml so comparison sites in every other file
+     resolve against what is actually defined. *)
+  let defs =
+    let config_path = "lib/core/config.ml" in
+    if List.exists (String.equal config_path) files then
+      match Msgflow.parse ~path:config_path (read_file config_path) with
+      | Some structure -> (
+          match Quorum.extract_defs ~path:config_path structure with
+          | Some defs -> defs
+          | None -> Quorum.default_defs)
+      | None -> Quorum.default_defs
+    else Quorum.default_defs
+  in
   let findings =
     List.concat_map
       (fun path ->
         let source = read_file path in
         let ast = Lint.lint_source ~path source in
-        let disc = Discipline.lint_source ~path source in
+        let disc =
+          Discipline.lint_source ~path source
+          @ Quorum.lint_source ~defs ~path source
+        in
         let mli_exists = Sys.file_exists (path ^ "i") in
         let r5 =
           match Lint.missing_mli ~path ~mli_exists with
@@ -158,6 +185,13 @@ let () =
             (Json.to_string
                (json_report ~files:(List.length files) ~kept
                   ~allowed:(List.length allowed) ~stale)))
+  | None -> ());
+  (match !obligations_file with
+  | Some file ->
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Quorum.obligation_report defs))
   | None -> ());
   Printf.printf "sbft-lint: %d file(s), %d finding(s), %d allowlisted, %d stale allow\n"
     (List.length files) (List.length kept) (List.length allowed)

@@ -17,6 +17,14 @@
    imprecision; the goal is a checker that is strict on the shapes the
    protocol actually uses, not a general verifier. *)
 
+(* The threshold side of a quorum comparison, as the quorum analyzer
+   (R12/R14) needs it: either a call to a threshold-looking function
+   with a trailing [+ k] / [- k] adjustment folded in, or inline
+   linear arithmetic over the config's [.f] / [.c]. *)
+type tside =
+  | T_call of { callee : string; adjust : int }
+  | T_linear of Quorum_props.linear
+
 type event =
   | Log of string  (** [wal_log _ _ (Ctor ...)] — WAL record constructor *)
   | Sync  (** [wal_sync _ _] *)
@@ -28,6 +36,18 @@ type event =
   | Crypto of { klass : string; callee : string }
       (** call into a priced crypto/storage primitive *)
   | Call of string  (** call to another top-level function of the file *)
+  | Threshold_cmp of { op : string; thresh : tside; annot : int option }
+      (** comparison of a count against a quorum threshold, normalized
+          so the count reads [count op thresh]; [annot] is the value of
+          a [[@quorum.adjust k]] attribute on the comparison
+          ([Some min_int] when the payload is malformed) *)
+  | San_check of string
+      (** [Sanitizer.check_quorum _ Kind ~count:_] — the quorum kind
+          constructor name, or ["<unknown>"] *)
+  | Timer_arm of { callee : string; cb_guards : string list }
+      (** [set_timer]/[set_replica_timer] arm site; [cb_guards] are the
+          identifier and field names in guard conditions inside the
+          callback lambdas *)
 
 type einfo = {
   ev : event;
@@ -184,6 +204,181 @@ let charge_info args =
   (List.sort_uniq String.compare !labels, List.sort_uniq String.compare !consts)
 
 (* ------------------------------------------------------------------ *)
+(* Quorum-threshold extraction (R12/R13/R14 raw material) *)
+
+let contains ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.equal (String.sub s i ls) sub || go (i + 1)) in
+  go 0
+
+(* A callee that plausibly computes a quorum threshold: the Config
+   accessors (sigma_threshold, quorum_vc, ...) and local aliases like
+   pbft's [let quorum t = ...].  The analyzer resolves the name against
+   the definitions it extracted; an unresolvable name is an R12
+   finding, not a silent pass. *)
+let is_threshold_name f = contains ~sub:"threshold" f || contains ~sub:"quorum" f
+
+let int_const (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, None)) -> int_of_string_opt s
+  | _ -> None
+
+(* Symbolic linear form of an expression over the parameters f and c,
+   appearing as bare identifiers or as record fields ([t.f],
+   [config.Config.c]).  [None] when the expression is not linear in
+   that vocabulary. *)
+let rec linear_of_expr (e : Parsetree.expression) : Quorum_props.linear option =
+  let open Quorum_props in
+  let var name =
+    match name with
+    | "f" -> Some { base = 0; fk = 1; ck = 0 }
+    | "c" -> Some { base = 0; fk = 0; ck = 1 }
+    | _ -> None
+  in
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, None)) ->
+      Option.map (fun base -> { base; fk = 0; ck = 0 }) (int_of_string_opt s)
+  | Pexp_ident { txt; _ } -> var (last_component txt)
+  | Pexp_field (_, { txt; _ }) -> var (last_component txt)
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> linear_of_expr e
+  | Pexp_apply (h, [ (_, a); (_, b) ]) -> (
+      match head_name h with
+      | Some (None, "+") -> lift2 (fun x y ->
+            { base = x.base + y.base; fk = x.fk + y.fk; ck = x.ck + y.ck })
+            (linear_of_expr a) (linear_of_expr b)
+      | Some (None, "-") -> lift2 (fun x y ->
+            { base = x.base - y.base; fk = x.fk - y.fk; ck = x.ck - y.ck })
+            (linear_of_expr a) (linear_of_expr b)
+      | Some (None, "*") -> (
+          match (int_const a, int_const b) with
+          | Some k, _ -> Option.map (fun l ->
+                { base = k * l.base; fk = k * l.fk; ck = k * l.ck })
+                (linear_of_expr b)
+          | _, Some k -> Option.map (fun l ->
+                { base = k * l.base; fk = k * l.fk; ck = k * l.ck })
+                (linear_of_expr a)
+          | None, None -> None)
+      | _ -> None)
+  | _ -> None
+
+and lift2 f a b =
+  match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+(* The threshold side of a comparison: a threshold-function call with
+   any trailing [+/- k] folded into [adjust], else an inline linear
+   form that actually mentions f or c. *)
+let rec tside_of_expr (e : Parsetree.expression) : tside option =
+  let as_linear () =
+    match linear_of_expr e with
+    | Some l when not (Int.equal l.Quorum_props.fk 0 && Int.equal l.Quorum_props.ck 0) ->
+        Some (T_linear l)
+    | _ -> None
+  in
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> tside_of_expr e
+  | Pexp_apply (h, [ (_, a); (_, b) ]) -> (
+      match head_name h with
+      | Some (None, (("+" | "-") as op)) -> (
+          let sign = if String.equal op "+" then 1 else -1 in
+          match (tside_of_expr a, int_const b) with
+          | Some (T_call t), Some k ->
+              Some (T_call { t with adjust = t.adjust + (sign * k) })
+          | _ -> as_linear ())
+      | Some (_, f) when is_threshold_name f ->
+          Some (T_call { callee = f; adjust = 0 })
+      | _ -> as_linear ())
+  | Pexp_apply (h, _) -> (
+      match head_name h with
+      | Some (_, f) when is_threshold_name f ->
+          Some (T_call { callee = f; adjust = 0 })
+      | _ -> as_linear ())
+  | _ -> as_linear ()
+
+let cmp_ops = [ "<"; ">"; "<="; ">=" ]
+
+let flip_op = function
+  | "<" -> ">"
+  | ">" -> "<"
+  | "<=" -> ">="
+  | ">=" -> "<="
+  | op -> op
+
+let adjust_annot (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.txt "quorum.adjust" then
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_integer (s, None)); _ }, _);
+                _;
+              };
+            ] ->
+            Some (Option.value (int_of_string_opt s) ~default:min_int)
+        | _ -> Some min_int
+      else None)
+    attrs
+
+let san_kinds = [ "Sigma"; "Tau"; "Pi"; "Vc"; "Majority" ]
+
+let san_kind_of_args args =
+  List.fold_left
+    (fun acc (_, a) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match construct_name a with
+          | Some c when List.exists (String.equal c) san_kinds -> Some c
+          | _ -> None))
+    None args
+
+(* Identifier and field names appearing in guard conditions ([if] /
+   [while] / [when]) inside the lambda arguments of a timer-arm call:
+   the cancel tokens R13 looks for ([retired], [done_], ...). *)
+let lambda_guard_names args =
+  let acc = ref [] in
+  let cond_tokens e =
+    let toks = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it ex ->
+            (match ex.Parsetree.pexp_desc with
+            | Pexp_ident { txt; _ } -> toks := last_component txt :: !toks
+            | Pexp_field (_, { txt; _ }) -> toks := last_component txt :: !toks
+            | _ -> ());
+            Ast_iterator.default_iterator.expr it ex);
+      }
+    in
+    it.expr it e;
+    !toks
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it ex ->
+          (match ex.Parsetree.pexp_desc with
+          | Pexp_ifthenelse (cond, _, _) | Pexp_while (cond, _) ->
+              acc := cond_tokens cond @ !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it ex);
+      case =
+        (fun it (cs : Parsetree.case) ->
+          (match cs.pc_guard with
+          | Some g -> acc := cond_tokens g @ !acc
+          | None -> ());
+          Ast_iterator.default_iterator.case it cs);
+    }
+  in
+  List.iter (fun (_, a) -> if is_lambda a then it.expr it a) args;
+  List.sort_uniq String.compare !acc
+
+(* ------------------------------------------------------------------ *)
 (* Priced crypto/storage primitives.
 
    Module is matched by its *last* component so both [Threshold.verify]
@@ -266,7 +461,7 @@ let emit st (c : wctx) ev line =
 let rec walk st (c : wctx) (e : Parsetree.expression) =
   let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
   match e.pexp_desc with
-  | Pexp_apply (head, args) -> apply st c line head args
+  | Pexp_apply (head, args) -> apply st c line e.pexp_attributes head args
   | Pexp_ifthenelse (cond, e_then, e_else) ->
       walk st { c with in_guard = true } cond;
       let g = c.guard_names @ cond_names cond in
@@ -322,8 +517,39 @@ and walk_children st c e =
 
 and walk_args st c args = List.iter (fun (_, a) -> walk st c a) args
 
-and apply st c line head args =
+and apply st c line attrs head args =
   match head_name head with
+  | Some (None, op) when List.exists (String.equal op) cmp_ops -> (
+      (match args with
+      | [ (_, lhs); (_, rhs) ] -> (
+          (* Normalize to [count op thresh]: the threshold side is
+             whichever operand extracts (right preferred — the
+             protocol writes [Hashtbl.length x >= threshold]). *)
+          match tside_of_expr rhs with
+          | Some thresh ->
+              emit st c
+                (Threshold_cmp { op; thresh; annot = adjust_annot attrs })
+                line
+          | None -> (
+              match tside_of_expr lhs with
+              | Some thresh ->
+                  emit st c
+                    (Threshold_cmp
+                       { op = flip_op op; thresh; annot = adjust_annot attrs })
+                    line
+              | None -> ()))
+      | _ -> ());
+      walk_args st c args)
+  | Some (_, "check_quorum") ->
+      emit st c
+        (San_check (Option.value (san_kind_of_args args) ~default:"<unknown>"))
+        line;
+      walk_args st c args
+  | Some (_, (("set_timer" | "set_replica_timer") as callee)) ->
+      emit st c
+        (Timer_arm { callee; cb_guards = lambda_guard_names args })
+        line;
+      walk_args st c args
   | Some (_, "wal_log") ->
       let ctor = Option.value (first_construct args) ~default:"<unknown>" in
       emit st c (Log ctor) line;

@@ -11,6 +11,14 @@
     them into the deterministic message-flow artifact diffed against
     [analysis/msgflow.expected]. *)
 
+(** The threshold side of a quorum comparison: a call to a
+    threshold-looking function ([*_threshold], [quorum*]) with any
+    trailing [+ k] / [- k] folded into [adjust], or inline linear
+    arithmetic over the config's [f] / [c]. *)
+type tside =
+  | T_call of { callee : string; adjust : int }
+  | T_linear of Quorum_props.linear
+
 type event =
   | Log of string  (** [wal_log _ _ (Ctor ...)]: the record constructor *)
   | Sync  (** [wal_sync _ _] *)
@@ -24,6 +32,17 @@ type event =
       (** call to a priced crypto/storage primitive; [klass] groups
           primitives priced together by the cost model *)
   | Call of string  (** call to another top-level function of the file *)
+  | Threshold_cmp of { op : string; thresh : tside; annot : int option }
+      (** comparison of a count against a quorum threshold, normalized
+          to read [count op thresh]; [annot] is a [[@quorum.adjust k]]
+          attribute value ([Some min_int] when malformed) *)
+  | San_check of string
+      (** [Sanitizer.check_quorum _ Kind ~count:_]: the kind
+          constructor name, or ["<unknown>"] *)
+  | Timer_arm of { callee : string; cb_guards : string list }
+      (** a [set_timer] / [set_replica_timer] arm site; [cb_guards]
+          are identifier and field names in guard conditions inside
+          the callback lambdas *)
 
 type einfo = {
   ev : event;
@@ -58,6 +77,14 @@ type section = {
 
 val parse : path:string -> string -> Parsetree.structure option
 (** [None] on a syntax or lexer error (Lint reports those). *)
+
+val linear_of_expr : Parsetree.expression -> Quorum_props.linear option
+(** Symbolic linear form of an expression over the parameters [f] and
+    [c] (bare identifiers or record fields); [None] when the
+    expression is not linear in that vocabulary.  The quorum analyzer
+    uses this on [Config]'s threshold definitions. *)
+
+val tside_of_expr : Parsetree.expression -> tside option
 
 val summarize : path:string -> Parsetree.structure -> file
 

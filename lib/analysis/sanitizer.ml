@@ -1,4 +1,4 @@
-type quorum = Sigma | Tau | Pi | Vc | Majority
+type quorum = Quorum_props.kind = Sigma | Tau | Pi | Vc | Majority
 
 exception Violation of string
 
@@ -28,24 +28,15 @@ let checks_run t = t.checks
 
 let violate fmt = Printf.ksprintf (fun msg -> raise (Violation msg)) fmt
 
-(* Independent re-derivation of the paper's quorum arithmetic (§4):
-   deliberately not computed via Config so the two implementations
-   cross-check each other. *)
-let n_of t = (3 * t.f) + (2 * t.c) + 1
-
-let threshold t = function
-  | Sigma -> (3 * t.f) + t.c + 1
-  | Tau -> (2 * t.f) + t.c + 1
-  | Pi -> t.f + 1
-  | Vc -> (2 * t.f) + (2 * t.c) + 1
-  | Majority -> (2 * t.f) + 1
-
-let quorum_name = function
-  | Sigma -> "sigma"
-  | Tau -> "tau"
-  | Pi -> "pi"
-  | Vc -> "view-change"
-  | Majority -> "majority"
+(* Thresholds re-derived from (f, c) via the shared property module —
+   deliberately not computed via Config, so the protocol's quorum
+   arithmetic and the sanitizer's cross-check each other.  The
+   obligation list itself lives in Quorum_props, shared with the
+   static analyzer's R12 rule. *)
+let derived t = Quorum_props.derive ~f:t.f ~c:t.c
+let n_of t = (derived t).Quorum_props.n
+let threshold t q = Quorum_props.threshold_of (derived t) q
+let quorum_name = Quorum_props.kind_name
 
 let check_config t ~n =
   if t.enabled then begin
@@ -55,21 +46,11 @@ let check_config t ~n =
     if not (Int.equal n (n_of t)) then
       violate "config: n = %d but 3f + 2c + 1 = %d (f=%d c=%d)" n (n_of t) t.f
         t.c;
-    let sigma = threshold t Sigma
-    and tau = threshold t Tau
-    and pi = threshold t Pi
-    and vc = threshold t Vc in
-    if sigma > n then violate "config: sigma threshold %d exceeds n = %d" sigma n;
-    if tau > sigma then
-      violate "config: tau threshold %d exceeds sigma threshold %d" tau sigma;
-    if pi > tau then
-      violate "config: pi threshold %d exceeds tau threshold %d" pi tau;
-    if vc > n then
-      violate "config: view-change quorum %d exceeds n = %d" vc n;
-    (* Any two tau quorums intersect in at least one honest replica. *)
-    if (2 * tau) - n < t.f + 1 then
-      violate "config: tau quorums intersect in %d < f + 1 replicas"
-        ((2 * tau) - n)
+    match Quorum_props.failures (derived t) with
+    | [] -> ()
+    | o :: _ ->
+        violate "config: quorum obligation %s violated (%s) at f=%d c=%d"
+          o.Quorum_props.name o.Quorum_props.law t.f t.c
   end
 
 let check_quorum t q ~count =

@@ -22,7 +22,7 @@ exception Violation of string
 (** Raised by every check on an invariant breach.  The message names
     the invariant and the offending values. *)
 
-type quorum =
+type quorum = Quorum_props.kind =
   | Sigma  (** fast-path commit, [3f + c + 1] *)
   | Tau  (** linear-PBFT commit, [2f + c + 1] *)
   | Pi  (** execution / checkpoint, [f + 1] *)
@@ -41,8 +41,9 @@ val checks_run : t -> int
 val threshold : t -> quorum -> int
 
 val check_config : t -> n:int -> unit
-(** Verify the replica-count relation [n = 3f + 2c + 1] and the
-    threshold orderings against the sanitizer's own arithmetic. *)
+(** Verify the replica-count relation [n = 3f + 2c + 1] and every
+    {!Quorum_props.obligations} entry (intersection, ordering and
+    liveness) against the sanitizer's own arithmetic. *)
 
 val check_quorum : t -> quorum -> count:int -> unit
 (** Called where the protocol claims a quorum of [count] distinct

@@ -19,14 +19,19 @@ let config_of (s : Schedule.t) =
     mutation =
       (match s.Schedule.mutation with
       | Schedule.No_mutation -> None
-      | Schedule.Weak_sigma -> Some Config.Weak_sigma_quorum);
-    (* A mutated protocol violates invariants by design; the sanitizer
-       would abort the run before the oracles get to observe the
-       divergence, which is the whole point of the mutation check. *)
+      | Schedule.Weak_sigma -> Some Config.Weak_sigma_quorum
+      | Schedule.Weak_tau -> Some Config.Weak_tau_quorum
+      | Schedule.Weak_vc -> Some Config.Weak_vc_quorum);
+    (* Weak-sigma violates agreement by design; the sanitizer would
+       abort the run before the agreement oracle gets to observe the
+       divergence, which is the whole point of that mutation check.
+       Weak-tau/weak-vc stay sanitized: the sanitizer re-derives the
+       thresholds independently of Config, so tripping it IS the
+       expected detection. *)
     sanitize =
       (match s.Schedule.mutation with
-      | Schedule.No_mutation -> true
-      | Schedule.Weak_sigma -> false);
+      | Schedule.Weak_sigma -> false
+      | Schedule.No_mutation | Schedule.Weak_tau | Schedule.Weak_vc -> true);
   }
 
 let topology_of = function

@@ -20,7 +20,7 @@ type action =
 
 type step = { at_ms : int; action : action }
 
-type mutation = No_mutation | Weak_sigma
+type mutation = No_mutation | Weak_sigma | Weak_tau | Weak_vc
 
 type expect = Expect_pass | Expect_fail of string | Expect_any
 
@@ -107,7 +107,12 @@ let to_string t =
   line "topology %s" (topology_to_string t.topology);
   line "acks %s" (if t.acks then "on" else "off");
   line "wal %s" (if t.wal then "on" else "off");
-  line "mutation %s" (match t.mutation with No_mutation -> "none" | Weak_sigma -> "weak-sigma");
+  line "mutation %s"
+    (match t.mutation with
+    | No_mutation -> "none"
+    | Weak_sigma -> "weak-sigma"
+    | Weak_tau -> "weak-tau"
+    | Weak_vc -> "weak-vc");
   (match t.gst_ms with None -> line "gst none" | Some g -> line "gst %d" g);
   line "horizon %d" t.horizon_ms;
   (match t.expect with
@@ -237,6 +242,8 @@ let parse text =
             | [ "wal"; "off" ] -> t := { !t with wal = false }
             | [ "mutation"; "none" ] -> t := { !t with mutation = No_mutation }
             | [ "mutation"; "weak-sigma" ] -> t := { !t with mutation = Weak_sigma }
+            | [ "mutation"; "weak-tau" ] -> t := { !t with mutation = Weak_tau }
+            | [ "mutation"; "weak-vc" ] -> t := { !t with mutation = Weak_vc }
             | [ "mutation"; other ] -> fail (Printf.sprintf "unknown mutation %S" other)
             | [ "gst"; "none" ] -> t := { !t with gst_ms = None }
             | [ "gst"; v ] ->

@@ -57,8 +57,13 @@ type action =
 
 type step = { at_ms : int; action : action }
 
-type mutation = No_mutation | Weak_sigma
-(** [Weak_sigma] maps to {!Config.mutation} [Weak_sigma_quorum]. *)
+type mutation = No_mutation | Weak_sigma | Weak_tau | Weak_vc
+(** Map to {!Config.mutation}: [Weak_sigma] to [Weak_sigma_quorum]
+    (run with the sanitizer off so the agreement oracle observes the
+    divergence), [Weak_tau]/[Weak_vc] to [Weak_tau_quorum] /
+    [Weak_vc_quorum] (run with the sanitizer on: the runtime
+    cross-check derives thresholds independently of [Config], so the
+    sanitizer oracle itself trips on the weakened quorum). *)
 
 type expect = Expect_pass | Expect_fail of string | Expect_any
 (** Corpus replay expectation: pass all oracles, fail the named oracle,

@@ -1,6 +1,6 @@
 open Sbft_sim
 
-type mutation = Weak_sigma_quorum
+type mutation = Weak_sigma_quorum | Weak_tau_quorum | Weak_vc_quorum
 
 type t = {
   f : int;
@@ -27,10 +27,19 @@ let n t = (3 * t.f) + (2 * t.c) + 1
 let sigma_threshold t =
   match t.mutation with
   | Some Weak_sigma_quorum -> (2 * t.f) + t.c
-  | None -> (3 * t.f) + t.c + 1
-let tau_threshold t = (2 * t.f) + t.c + 1
+  | _ -> (3 * t.f) + t.c + 1
+
+let tau_threshold t =
+  match t.mutation with
+  | Some Weak_tau_quorum -> (2 * t.f) + t.c
+  | _ -> (2 * t.f) + t.c + 1
+
 let pi_threshold t = t.f + 1
-let quorum_vc t = (2 * t.f) + (2 * t.c) + 1
+
+let quorum_vc t =
+  match t.mutation with
+  | Some Weak_vc_quorum -> (2 * t.f) + (2 * t.c)
+  | _ -> (2 * t.f) + (2 * t.c) + 1
 let quorum_bft t = (2 * t.f) + 1
 let active_window t = max 1 (t.win / 4)
 let checkpoint_interval t = max 1 (t.win / 2)

@@ -5,13 +5,18 @@
     schemes have thresholds [3f + c + 1] (σ, fast commit),
     [2f + c + 1] (τ, linear-PBFT commit), and [f + 1] (π, execution). *)
 
-type mutation = Weak_sigma_quorum
-      (** Test-only protocol weakening: the σ fast-commit threshold drops
-          to [2f + c] (below the [2f + c + 1] honest-intersection bound),
-          so an equivocating primary can drive two conflicting σ
-          certificates.  Exists solely so the schedule fuzzer can prove
-          its agreement oracle detects real safety violations
-          (mutation-testing the checker, never for deployment). *)
+type mutation = Weak_sigma_quorum | Weak_tau_quorum | Weak_vc_quorum
+      (** Test-only protocol weakenings.  [Weak_sigma_quorum] drops the
+          σ fast-commit threshold to [2f + c] (below the [2f + c + 1]
+          honest-intersection bound), so an equivocating primary can
+          drive two conflicting σ certificates — proving the fuzzer's
+          agreement oracle detects real safety violations.
+          [Weak_tau_quorum] drops τ to [2f + c] (breaking τ-τ
+          intersection), [Weak_vc_quorum] drops the view-change quorum
+          to [2f + 2c] (breaking τ-vc intersection): both are caught at
+          runtime by the {!Sanitizer}'s independent threshold
+          derivation, and statically by the R12 quorum prover.
+          Mutation-testing the checkers, never for deployment. *)
 
 type t = {
   f : int;  (** tolerated Byzantine replicas *)

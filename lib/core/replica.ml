@@ -1532,10 +1532,13 @@ and on_view_change t ctx (vc : Types.view_change) =
     in
     if not (Hashtbl.mem tbl vc.Types.vc_replica) then begin
       Hashtbl.replace tbl vc.Types.vc_replica vc;
-      (* Join a view change supported by f+1 distinct replicas. *)
+      (* Join a view change supported by pi = f+1 distinct replicas:
+         at least one is honest, so the complaint is genuine. *)
       let support = Hashtbl.length tbl in
-      if support >= config.Config.f + 1 && t.sent_vc_for < target then
-        start_view_change t ctx ~target_view:target;
+      if support >= Config.pi_threshold config && t.sent_vc_for < target then begin
+        Sanitizer.check_quorum t.san Sanitizer.Pi ~count:support;
+        start_view_change t ctx ~target_view:target
+      end;
       (* The new primary forms the new view at 2f+2c+1 messages. *)
       if
         Int.equal (primary_of t target) t.id

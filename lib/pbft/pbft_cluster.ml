@@ -74,7 +74,14 @@ let start_clients t ~requests_per_client ~make_op =
         ~start_at:0)
     t.clients
 
-let crash_replicas t ids = List.iter (Engine.crash t.engine) ids
+let crash_replicas t ids =
+  List.iter
+    (fun id ->
+      (* Retire first so any timer already armed by this incarnation is
+         a no-op if the engine ever re-enables the node. *)
+      Pbft_replica.retire t.replicas.(id);
+      Engine.crash t.engine id)
+    ids
 let run_for t duration = Engine.run_until t.engine (Engine.now t.engine + duration)
 
 let total_completed t =

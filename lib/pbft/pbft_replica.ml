@@ -60,6 +60,7 @@ type t = {
   vc_msgs : (int, (int, (int * int * Types.request list) list) Hashtbl.t) Hashtbl.t;
   mutable n_committed : int;
   mutable n_view_changes : int;
+  mutable retired : bool;
 }
 
 let cfg t = t.env.keys.Keys.config
@@ -95,6 +96,7 @@ let create ~env ~id ~store =
     vc_msgs = Hashtbl.create 4;
     n_committed = 0;
     n_view_changes = 0;
+    retired = false;
   }
 
 let id t = t.id
@@ -118,6 +120,16 @@ let slot t seq =
       s
 
 let send t ctx ~dst msg = t.env.send ctx ~src:t.id ~dst msg
+
+(* Every replica timer goes through this wrapper so that retiring the
+   object (cluster teardown / crash) silences callbacks still in
+   flight — the batch timer and the self-rescheduling liveness timer
+   would otherwise tick on as zombies. *)
+let set_replica_timer t ~after f =
+  Engine.set_timer t.env.engine ~node:t.id ~after (fun ctx ->
+      if not t.retired then f ctx)
+
+let retire t = t.retired <- true
 
 (* All-to-all broadcast with one RSA signature by the sender; every
    receiver pays one verification (charged on receipt). *)
@@ -209,7 +221,7 @@ and try_propose t ctx =
     if can () && not t.batch_timer_armed then begin
       t.batch_timer_armed <- true;
       ignore
-        (Engine.set_timer t.env.engine ~node:t.id ~after:config.Config.batch_timeout
+        (set_replica_timer t ~after:config.Config.batch_timeout
            (fun ctx ->
              t.batch_timer_armed <- false;
              if is_primary t && not (Queue.is_empty t.pending)
@@ -263,7 +275,9 @@ and check_prepared t ctx sl =
   | Some (view, _, _) when Int.equal view t.view ->
       if
         (not sl.prepared)
-        && Hashtbl.length sl.prepares >= quorum t - 1 (* pre-prepare counts as one *)
+        && ((Hashtbl.length sl.prepares >= quorum t - 1) [@quorum.adjust 1])
+        (* pre-prepare counts as one vote: the [- 1] is declared and
+           checked by R12, and the sanitizer count below re-adds it *)
       then begin
         Sanitizer.check_quorum t.san Sanitizer.Majority
           ~count:(Hashtbl.length sl.prepares + 1);
@@ -380,6 +394,8 @@ and on_checkpoint t ctx ~seq ~digest ~replica =
   if not (Hashtbl.mem voters replica) then begin
     Hashtbl.replace voters replica ();
     if Hashtbl.length voters >= quorum t && seq > t.ls then begin
+      Sanitizer.check_quorum t.san Sanitizer.Majority
+        ~count:(Hashtbl.length voters);
       t.ls <- seq;
       note_progress t ctx;
       (* GC everything below the stable checkpoint. *)
@@ -428,8 +444,11 @@ and on_view_change t ctx ~view ~ls ~prepared ~replica =
     in
     if not (Hashtbl.mem tbl replica) then begin
       Hashtbl.replace tbl replica prepared;
-      if Hashtbl.length tbl >= (cfg t).Config.f + 1 && t.sent_vc_for < target then
-        start_view_change t ctx ~target_view:target;
+      if Hashtbl.length tbl >= Config.pi_threshold (cfg t) && t.sent_vc_for < target
+      then begin
+        Sanitizer.check_quorum t.san Sanitizer.Pi ~count:(Hashtbl.length tbl);
+        start_view_change t ctx ~target_view:target
+      end;
       if Int.equal (primary_of t target) t.id && Hashtbl.length tbl >= quorum t then begin
         Sanitizer.check_quorum t.san Sanitizer.Majority
           ~count:(Hashtbl.length tbl);
@@ -515,7 +534,7 @@ and liveness_tick t ctx =
 
 let rec arm_liveness t =
   ignore
-    (Engine.set_timer t.env.engine ~node:t.id
+    (set_replica_timer t
        ~after:((cfg t).Config.view_change_timeout / 2)
        (fun ctx ->
          liveness_tick t ctx;

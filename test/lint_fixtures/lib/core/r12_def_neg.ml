@@ -1,0 +1,17 @@
+(* R12 negative (definitional): canonical forms throughout; the
+   declared mutation weakens sigma below the intersection bound, so it
+   is a live (non-vacuous) fuzzer oracle and R12 stays silent. *)
+type mutation = Weak_sigma
+type t = { f : int; c : int; mutation : mutation option }
+
+let n t = t.f + t.f + t.f + t.c + t.c + 1
+
+let sigma_threshold t =
+  match t.mutation with
+  | Some Weak_sigma -> t.f + t.f + t.c
+  | None -> t.f + t.f + t.f + t.c + 1
+
+let tau_threshold t = t.f + t.f + t.c + 1
+let pi_threshold t = t.f + 1
+let quorum_vc t = t.f + t.f + t.c + t.c + 1
+let quorum_bft t = t.f + t.f + 1

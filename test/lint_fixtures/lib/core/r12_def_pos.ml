@@ -1,0 +1,13 @@
+(* R12 positive (definitional): tau is one vote short of the canonical
+   2f+c+1, so the extracted form diverges and the tau intersection
+   obligations fail on the admissible grid; the declared mutation
+   constructor weakens nothing, so it is a dead fuzzer oracle. *)
+type mutation = Unused_weakening
+type t = { f : int; c : int; mutation : mutation option }
+
+let n t = t.f + t.f + t.f + t.c + t.c + 1
+let sigma_threshold t = t.f + t.f + t.f + t.c + 1
+let tau_threshold t = t.f + t.f + t.c
+let pi_threshold t = t.f + 1
+let quorum_vc t = t.f + t.f + t.c + t.c + 1
+let quorum_bft t = t.f + t.f + 1

@@ -1,0 +1,11 @@
+(* R12 negative (comparison sites): thresholds resolve through Config
+   and through a local alias, and the hand-adjusted comparison declares
+   its implicit vote with a matching annotation. *)
+let quorum t = Config.quorum_bft (cfg t)
+let on_votes t = if Hashtbl.length t.votes >= quorum t then accept t
+
+let on_shares t config =
+  if List.length t.shares >= Config.tau_threshold config then accept t
+
+let on_prepares t =
+  if (Hashtbl.length t.prepares >= quorum t - 1) [@quorum.adjust 1] then accept t

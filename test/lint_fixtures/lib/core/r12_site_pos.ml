@@ -1,0 +1,15 @@
+(* R12 positive (comparison sites): an unresolved threshold form, an
+   undeclared hand adjustment, a stale annotation, and a mismatched
+   annotation. *)
+let on_votes t = if Hashtbl.length t.votes >= my_special_quorum t then accept t
+
+let on_shares t config =
+  if List.length t.shares >= Config.tau_threshold config - 1 then accept t
+
+let on_acks t config =
+  if (List.length t.acks >= Config.sigma_threshold config) [@quorum.adjust 1] then
+    accept t
+
+let on_marks t config =
+  if (List.length t.marks >= Config.tau_threshold config - 2) [@quorum.adjust 1]
+  then accept t

@@ -1,0 +1,16 @@
+(* R13 negative: the wrapper's raw arm guards on an assigned retired
+   flag, calls through the local wrapper inherit that guard, and a
+   direct arm may carry its own assigned cancel flag. *)
+let set_replica_timer t ~after f =
+  Engine.set_timer t.env.engine ~node:t.id ~after (fun ctx ->
+      if not t.retired then f ctx)
+
+let retire t = t.retired <- true
+let arm_batch t = ignore (set_replica_timer t ~after:5 (fun ctx -> tick t ctx))
+
+let arm_direct t =
+  ignore
+    (Engine.set_timer t.env.engine ~node:t.id ~after:9 (fun ctx ->
+         if not t.halted then tick t ctx))
+
+let halt t = t.halted <- true

@@ -1,0 +1,4 @@
+(* R13 positive: a raw timer arm whose callback tests no assigned
+   cancel flag — the tick survives crash/retire as a zombie. *)
+let arm_batch t =
+  ignore (Engine.set_timer t.env.engine ~node:t.id ~after:5 (fun ctx -> tick t ctx))

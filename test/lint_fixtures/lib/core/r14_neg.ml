@@ -1,0 +1,14 @@
+(* R14 negative: every threshold crossing pairs with a check_quorum of
+   the matching kind in the same function; the slicing loop compares
+   with < and claims no quorum, so it needs no check. *)
+let on_commit t ctx config =
+  let count = List.length t.shares in
+  if count >= Config.tau_threshold config then begin
+    Sanitizer.check_quorum t.san Sanitizer.Tau ~count;
+    commit t ctx
+  end
+
+let prune t config =
+  while List.length t.shares < Config.sigma_threshold config do
+    drop_one t
+  done

@@ -1,0 +1,8 @@
+(* R14 positive: the file uses the runtime sanitizer, but the
+   tau-crossing decision in on_commit never runs the matching
+   check_quorum. *)
+let on_commit t ctx config =
+  if List.length t.shares >= Config.tau_threshold config then commit t ctx
+
+let on_execute t =
+  Sanitizer.check_quorum t.san Sanitizer.Pi ~count:(List.length t.acks)

@@ -1,0 +1,7 @@
+(* R15 negative: exhaustive size and kind tables; wildcards stay legal
+   in variant matches that are not wire-accounting tables. *)
+type msg = Ping of int | Pong of int
+
+let size = function Ping _ -> 8 | Pong _ -> 12
+let kind = function Ping _ -> "ping" | Pong _ -> "pong"
+let is_ping = function Ping _ -> true | _ -> false

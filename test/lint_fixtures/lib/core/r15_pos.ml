@@ -1,0 +1,7 @@
+(* R15 positive: the wire-size table hides constructors behind a
+   wildcard — a newly added message would ship unaccounted. *)
+type msg = Ping of int | Pong of int | Bulk of string
+
+let size = function
+  | Ping _ -> 8
+  | _ -> 16

@@ -1,13 +1,18 @@
 (* Unit tests for the sbft-lint AST pass: one accepting and one
    rejecting case per rule R1-R5, allowlist semantics, and exit codes
    (synthetic snippets attributed to in-scope / out-of-scope paths);
-   the lint_fixtures/ corpus golden-diffed against expected.txt; and
-   mutation self-checks over the real lib/core/replica.ml proving R9
-   (delete a wal_sync), R10 (delete a charge) and R11 (disable a pacing
-   guard) are load-bearing. *)
+   unit tests for the R12 symbolic extractor and bounded-enumeration
+   prover; the lint_fixtures/ corpus golden-diffed against
+   expected.txt; and mutation self-checks over the real sources
+   proving R9 (delete a wal_sync), R10 (delete a charge), R11 (disable
+   a pacing guard), R12 (weaken quorum_vc), R13 (drop the timer-wrapper
+   guard), R14 (drop a check_quorum) and R15 (wildcard a size case) are
+   load-bearing. *)
 
 module Lint = Sbft_analysis.Lint
 module Discipline = Sbft_analysis.Discipline
+module Quorum = Sbft_analysis.Quorum
+module Msgflow = Sbft_analysis.Msgflow
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -188,6 +193,157 @@ let test_multiple_findings () =
   let lines = List.map (fun (f : Lint.finding) -> f.Lint.line) fs in
   check "sorted by line" true (List.sort Int.compare lines = lines)
 
+let index_from s start sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) sub then Some i
+    else go (i + 1)
+  in
+  go start
+
+let has_finding ~rule ~needle findings =
+  List.exists
+    (fun (f : Lint.finding) ->
+      String.equal f.Lint.rule rule
+      && (match index_from f.Lint.message 0 needle with
+         | Some _ -> true
+         | None -> false))
+    findings
+
+(* ------------------------------------------------------------------ *)
+(* R12: symbolic extractor + bounded-enumeration prover.  Definitions
+   are extracted from synthetic config-like sources and the shared
+   obligation list is discharged (or not) by Quorum.lint_defs. *)
+
+let quorum ~path source =
+  Quorum.lint_source ~defs:Quorum.default_defs ~path source
+
+let defs_findings source =
+  match Msgflow.parse ~path:"lib/core/config.ml" source with
+  | None -> Alcotest.fail "definition source failed to parse"
+  | Some structure -> (
+      match Quorum.extract_defs ~path:"lib/core/config.ml" structure with
+      | None -> Alcotest.fail "no threshold definitions extracted"
+      | Some defs -> Quorum.lint_defs defs)
+
+let canonical_defs_src =
+  "let n t = (3 * t.f) + (2 * t.c) + 1\n\
+   let sigma_threshold t = (3 * t.f) + t.c + 1\n\
+   let tau_threshold t = (2 * t.f) + t.c + 1\n\
+   let pi_threshold t = t.f + 1\n\
+   let quorum_vc t = (2 * t.f) + (2 * t.c) + 1\n\
+   let quorum_bft t = (2 * t.f) + 1\n"
+
+let test_r12_extractor_canonical () =
+  (* The canonical formulas extract as linear forms and discharge every
+     obligation: no findings. *)
+  Alcotest.(check (list string))
+    "canonical definitions are clean" []
+    (List.map Lint.pp_finding (defs_findings canonical_defs_src))
+
+let test_r12_extractor_shapes () =
+  (* Nested additions, subtraction and both ident/field spellings of
+     the fault parameters all normalize to the same linear form. *)
+  let src =
+    "let n t = t.f + t.f + t.f + t.c + t.c + 1\n\
+     let sigma_threshold t = (3 * t.f) + (t.c + 2) - 1\n\
+     let tau_threshold cfg = (2 * cfg.f) + cfg.c + 1\n\
+     let pi_threshold t = t.f + 1\n\
+     let quorum_vc t = (2 * t.f) + (2 * t.c) + 1\n\
+     let quorum_bft t = (2 * t.f) + 1\n"
+  in
+  Alcotest.(check (list string))
+    "equivalent spellings are clean" []
+    (List.map Lint.pp_finding (defs_findings src))
+
+let test_r12_prover_weak_tau () =
+  (* tau = 2f + c fails tau-tau intersection; the prover reports a
+     concrete witness point on the admissible grid. *)
+  let src =
+    "let n t = (3 * t.f) + (2 * t.c) + 1\n\
+     let sigma_threshold t = (3 * t.f) + t.c + 1\n\
+     let tau_threshold t = (2 * t.f) + t.c\n\
+     let pi_threshold t = t.f + 1\n\
+     let quorum_vc t = (2 * t.f) + (2 * t.c) + 1\n\
+     let quorum_bft t = (2 * t.f) + 1\n"
+  in
+  let fs = defs_findings src in
+  check "weakened tau diverges" true (has_finding ~rule:"R12" ~needle:"diverges" fs);
+  check "tau-tau intersection violated" true
+    (has_finding ~rule:"R12" ~needle:"tau-tau-intersection" fs)
+
+let test_r12_prover_nonlinear () =
+  let src =
+    "let n t = (3 * t.f) + (2 * t.c) + 1\n\
+     let sigma_threshold t = t.f * t.f + 1\n\
+     let tau_threshold t = (2 * t.f) + t.c + 1\n\
+     let pi_threshold t = t.f + 1\n\
+     let quorum_vc t = (2 * t.f) + (2 * t.c) + 1\n\
+     let quorum_bft t = (2 * t.f) + 1\n"
+  in
+  check "non-linear sigma flagged" true
+    (has_finding ~rule:"R12" ~needle:"not a linear form"
+       (defs_findings src))
+
+let test_r12_mutation_branches () =
+  (* A mutation branch that weakens sigma is live (clean); one that
+     restates the canonical formula is vacuous. *)
+  let with_branch body =
+    "type mutation = M\n\
+     let n t = (3 * t.f) + (2 * t.c) + 1\n\
+     let sigma_threshold t = match t.mutation with Some M -> " ^ body
+    ^ " | _ -> (3 * t.f) + t.c + 1\n\
+       let tau_threshold t = (2 * t.f) + t.c + 1\n\
+       let pi_threshold t = t.f + 1\n\
+       let quorum_vc t = (2 * t.f) + (2 * t.c) + 1\n\
+       let quorum_bft t = (2 * t.f) + 1\n"
+  in
+  Alcotest.(check (list string))
+    "weakening mutation is clean" []
+    (List.map Lint.pp_finding (defs_findings (with_branch "(2 * t.f) + t.c")));
+  check "canonical mutation is vacuous" true
+    (has_finding ~rule:"R12" ~needle:"vacuous"
+       (defs_findings (with_branch "(3 * t.f) + t.c + 1")))
+
+let test_r12_adjust_annotation () =
+  (* The pbft [quorum t - 1] shape: a local alias of quorum_bft,
+     hand-adjusted by one implicit vote.  Without the annotation R12
+     fires; with the matching annotation it is clean. *)
+  let src annotate =
+    "let quorum t = Config.quorum_bft (cfg t)\n\
+     let check t =\n\
+    \  (Hashtbl.length t.prepares >= quorum t - 1)" ^ annotate ^ "\n"
+  in
+  check "unannotated adjustment flagged" true
+    (has_finding ~rule:"R12" ~needle:"[@quorum.adjust 1]"
+       (quorum ~path:"lib/pbft/foo.ml" (src "")));
+  Alcotest.(check (list string))
+    "annotated adjustment is clean" []
+    (List.map Lint.pp_finding
+       (quorum ~path:"lib/pbft/foo.ml" (src " [@quorum.adjust 1]")))
+
+let test_r15_cost_model_scope () =
+  (* Every top-level variant table in cost_model.ml is a price table:
+     wildcards are rejected there even without a msg type. *)
+  let src = "let price = function Add -> 3 | _ -> 5\n" in
+  check "wildcard price table flagged" true
+    (has_finding ~rule:"R15" ~needle:"wildcard case in price"
+       (quorum ~path:"lib/core/cost_model.ml" src));
+  clean (quorum ~path:"lib/core/cost_model.ml"
+           "let price = function Add -> 3 | Mul -> 5\n");
+  (* The same table outside cost_model.ml is not wire-accounting. *)
+  clean (quorum ~path:"lib/core/foo.ml" src)
+
+let test_r12_obligation_report () =
+  let report = Quorum.obligation_report Quorum.default_defs in
+  let contains needle =
+    match index_from report 0 needle with Some _ -> true | None -> false
+  in
+  check "report lists sigma formula" true (contains "sigma_threshold");
+  check "report passes tau-tau" true (contains "PASS tau-tau-intersection");
+  check "report has no failures" false (contains "FAIL")
+
 (* ------------------------------------------------------------------ *)
 (* Fixture corpus: every file under lint_fixtures/ is linted (with the
    prefix stripped so rule scoping sees lib/core/...) and the findings
@@ -237,7 +393,8 @@ let lint_fixture disk_path =
   List.sort by_line_rule
     (r5
     @ Lint.lint_source ~path:lint_path source
-    @ Discipline.lint_source ~path:lint_path source)
+    @ Discipline.lint_source ~path:lint_path source
+    @ Quorum.lint_source ~defs:Quorum.default_defs ~path:lint_path source)
 
 let test_fixture_golden () =
   let files = walk_ml [] "lint_fixtures" |> List.sort String.compare in
@@ -262,24 +419,20 @@ let test_fixture_golden () =
    therefore assert presence of the expected finding, not counts.) *)
 
 let replica_path = "../lib/core/replica.ml"
+let config_path = "../lib/core/config.ml"
+let types_path = "../lib/core/types.ml"
 
-let lint_replica source =
-  let path = "lib/core/replica.ml" in
+let lint_real ~path source =
   let findings =
-    Lint.lint_source ~path source @ Discipline.lint_source ~path source
+    Lint.lint_source ~path source
+    @ Discipline.lint_source ~path source
+    @ Quorum.lint_source ~defs:Quorum.default_defs ~path source
   in
   let allow = Lint.Allow.parse (read_file "../lint.allow") in
   let kept, _ = Lint.filter allow findings in
   kept
 
-let index_from s start sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i =
-    if i + m > n then None
-    else if String.equal (String.sub s i m) sub then Some i
-    else go (i + 1)
-  in
-  go start
+let lint_replica source = lint_real ~path:"lib/core/replica.ml" source
 
 (* Replace the first occurrence of [needle] at-or-after [after] with
    [repl], failing loudly if either string has drifted out of the
@@ -299,15 +452,6 @@ let mutate source ~after ~needle ~repl =
                 (i + String.length needle)
                 (String.length source - i - String.length needle);
             ])
-
-let has_finding ~rule ~needle findings =
-  List.exists
-    (fun (f : Lint.finding) ->
-      String.equal f.Lint.rule rule
-      && (match index_from f.Lint.message 0 needle with
-         | Some _ -> true
-         | None -> false))
-    findings
 
 let test_replica_baseline () =
   let kept = lint_replica (read_file replica_path) in
@@ -364,6 +508,53 @@ let test_mutation_r11_get_state () =
   Alcotest.(check bool) "R11 finding names State_resp" true
     (has_finding ~rule:"R11" ~needle:"State_resp" kept)
 
+(* R12: weaken the real view-change quorum to 2f+2c.  The symbolic
+   prover must name the violated intersection obligation. *)
+let test_mutation_r12_weak_vc () =
+  let mutated =
+    mutate (read_file config_path) ~after:"let quorum_vc t ="
+      ~needle:"| _ -> (2 * t.f) + (2 * t.c) + 1"
+      ~repl:"| _ -> (2 * t.f) + (2 * t.c)"
+  in
+  let kept = lint_real ~path:"lib/core/config.ml" mutated in
+  Alcotest.(check bool) "R12 finding names tau-vc-intersection" true
+    (has_finding ~rule:"R12" ~needle:"tau-vc-intersection" kept)
+
+(* R13: drop the retire guard from the replica's timer wrapper — every
+   armed callback becomes a potential zombie tick. *)
+let test_mutation_r13_timer_guard () =
+  let mutated =
+    mutate (read_file replica_path) ~after:"let set_replica_timer"
+      ~needle:"if not t.retired then f ctx" ~repl:"f ctx"
+  in
+  let kept = lint_replica mutated in
+  Alcotest.(check bool) "R13 finding at the raw arm site" true
+    (has_finding ~rule:"R13" ~needle:"set_timer arms a timer" kept)
+
+(* R14: remove the check_quorum pairing the pi-threshold view-change
+   join decision. *)
+let test_mutation_r14_drop_check () =
+  let mutated =
+    mutate (read_file replica_path) ~after:"and on_view_change"
+      ~needle:"Sanitizer.check_quorum t.san Sanitizer.Pi ~count:support;"
+      ~repl:""
+  in
+  let kept = lint_replica mutated in
+  Alcotest.(check bool) "R14 finding demands check_quorum Pi" true
+    (has_finding ~rule:"R14" ~needle:"check_quorum Pi" kept)
+
+(* R15: hide a message constructor behind a wildcard in the real wire
+   size table. *)
+let test_mutation_r15_wildcard_size () =
+  let mutated =
+    mutate (read_file types_path) ~after:"let size = function"
+      ~needle:"| Sign_state _ -> header + share_size + 32"
+      ~repl:"| _ -> header + share_size + 32"
+  in
+  let kept = lint_real ~path:"lib/core/types.ml" mutated in
+  Alcotest.(check bool) "R15 finding at the wildcarded size case" true
+    (has_finding ~rule:"R15" ~needle:"wildcard case in size" kept)
+
 let () =
   Alcotest.run "sbft_lint"
     [
@@ -380,6 +571,25 @@ let () =
           Alcotest.test_case "r5 missing mli" `Quick test_r5_missing_mli;
           Alcotest.test_case "parse error" `Quick test_parse_error;
           Alcotest.test_case "multiple findings" `Quick test_multiple_findings;
+        ] );
+      ( "quorum",
+        [
+          Alcotest.test_case "r12 extractor canonical" `Quick
+            test_r12_extractor_canonical;
+          Alcotest.test_case "r12 extractor shapes" `Quick
+            test_r12_extractor_shapes;
+          Alcotest.test_case "r12 prover weak tau" `Quick
+            test_r12_prover_weak_tau;
+          Alcotest.test_case "r12 prover nonlinear" `Quick
+            test_r12_prover_nonlinear;
+          Alcotest.test_case "r12 mutation branches" `Quick
+            test_r12_mutation_branches;
+          Alcotest.test_case "r12 adjust annotation" `Quick
+            test_r12_adjust_annotation;
+          Alcotest.test_case "r15 cost-model scope" `Quick
+            test_r15_cost_model_scope;
+          Alcotest.test_case "r12 obligation report" `Quick
+            test_r12_obligation_report;
         ] );
       ( "driver",
         [
@@ -399,5 +609,12 @@ let () =
             test_mutation_r10_wal_append;
           Alcotest.test_case "r11 get-state" `Quick
             test_mutation_r11_get_state;
+          Alcotest.test_case "r12 weak-vc" `Quick test_mutation_r12_weak_vc;
+          Alcotest.test_case "r13 timer-guard" `Quick
+            test_mutation_r13_timer_guard;
+          Alcotest.test_case "r14 drop-check" `Quick
+            test_mutation_r14_drop_check;
+          Alcotest.test_case "r15 wildcard-size" `Quick
+            test_mutation_r15_wildcard_size;
         ] );
     ]
