@@ -13,6 +13,13 @@
      bench/main.exe regress         regression grid -> BENCH_3.json, diffed
                                     against bench/baseline.json (CI gate);
                                     --update-baseline rewrites the baseline
+     bench/main.exe regress --paper [--only NAME] [--budget-wall-s N]
+                                    paper-scale smoke (n=193-209, ~102k ops
+                                    per row); writes bench_out/paper_profile.json
+                                    and fails rows over the wall budget
+     bench/main.exe regress --sweep S [--only NAME]
+                                    seeded sweep of the paper family, S seeds;
+                                    mean +/- 95% CI -> bench_out/seed_sweep.json
      bench/main.exe check ...       schedule fuzzer: generate -> run property
                                     oracles -> shrink counterexamples (see
                                     `check --help`; also `check replay-dir
@@ -112,6 +119,65 @@ let bench_out file =
 let regress_report_path = "BENCH_3.json"
 let regress_baseline_path = "bench/baseline.json"
 
+(* Paper-scale smoke (CI): run the n=193/209 family with its finite
+   ~102k-operation budget, write the profile artifact, and (optionally)
+   fail on an absolute wall-clock budget — the only place wall time
+   gates anything. *)
+let regress_paper ~only ~budget_wall_s ~sweep_seeds =
+  match sweep_seeds with
+  | Some seeds ->
+      let rows = Regress.sweep ?only ~seeds () in
+      Regress.print_sweep rows;
+      let path = bench_out "seed_sweep.json" in
+      let oc = open_out path in
+      output_string oc (Regress.sweep_report_json rows);
+      close_out oc;
+      Printf.printf "sweep report written to %s\n%!" path
+  | None ->
+      let rows = Regress.measure_paper ?only () in
+      if rows = [] then begin
+        Printf.eprintf "regress --paper: no row matches --only filter\n%!";
+        exit 1
+      end;
+      Regress.print
+        { Regress.schema = Regress.schema_id;
+          entries = List.map (fun r -> r.Regress.entry) rows };
+      let path = bench_out "paper_profile.json" in
+      let oc = open_out path in
+      output_string oc (Regress.paper_report_json rows);
+      close_out oc;
+      Printf.printf "profile artifact written to %s\n%!" path;
+      let failures = ref 0 in
+      List.iter
+        (fun { Regress.entry; point } ->
+          let expected =
+            Regress.paper_clients * Regress.paper_requests_per_client
+          in
+          if not point.Scenario.agreement then begin
+            incr failures;
+            Printf.eprintf "paper: %s violated agreement\n%!" entry.Regress.name
+          end;
+          if point.Scenario.completed_requests < expected then begin
+            incr failures;
+            Printf.eprintf "paper: %s completed %d/%d requests\n%!"
+              entry.Regress.name point.Scenario.completed_requests expected
+          end;
+          match budget_wall_s with
+          | Some budget when entry.Regress.wall_ms > budget *. 1000. ->
+              incr failures;
+              Printf.eprintf
+                "paper: %s took %.1f s of wall clock (budget %.0f s)\n%!"
+                entry.Regress.name
+                (entry.Regress.wall_ms /. 1000.)
+                budget
+          | _ -> ())
+        rows;
+      if !failures > 0 then exit 1;
+      Printf.printf "paper-scale smoke: OK%s\n%!"
+        (match budget_wall_s with
+        | Some b -> Printf.sprintf " (within %.0f s wall budget per row)" b
+        | None -> "")
+
 let regress ~scale ~update_baseline =
   let current = Regress.measure scale in
   Regress.write ~path:regress_report_path current;
@@ -135,6 +201,10 @@ let regress ~scale ~update_baseline =
               regress_baseline_path e;
             exit 1
         | Ok baseline -> (
+            (* Wall clock is advisory on push/PR runs: print, don't gate. *)
+            List.iter
+              (fun a -> Printf.printf "advisory: %s\n%!" a)
+              (Regress.wall_advisories ~baseline ~current ());
             match Regress.compare_reports ~baseline ~current () with
             | [] -> Printf.printf "regression gate: OK (within tolerance of %s)\n%!"
                       regress_baseline_path
@@ -153,12 +223,27 @@ let () =
   (match args with
   | "check" :: rest -> exit (Sbft_check.Check.main rest)
   | _ -> ());
+  (* Valued flags (--only NAME, --budget-wall-s N, --sweep S) are
+     stripped with their argument before the boolean-flag filter. *)
+  let opt_value key args =
+    let rec go acc = function
+      | k :: v :: rest when String.equal k key -> (Some v, List.rev_append acc rest)
+      | x :: rest -> go (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  let only, args = opt_value "--only" args in
+  let budget_wall_s, args = opt_value "--budget-wall-s" args in
+  let sweep_seeds, args = opt_value "--sweep" args in
   let full = List.mem "--full" args in
+  let paper = List.mem "--paper" args in
   let update_baseline = List.mem "--update-baseline" args in
   let scale : Experiments.scale = if full then `Full else `Quick in
   let cmds =
     List.filter
-      (fun a -> not (List.mem a [ "--full"; "--quick"; "--update-baseline" ]))
+      (fun a ->
+        not (List.mem a [ "--full"; "--quick"; "--update-baseline"; "--paper" ]))
       args
   in
   let run_all () =
@@ -188,7 +273,12 @@ let () =
               Experiments.ablation_fast_mode scale;
               Experiments.ablation_stagger scale
           | "micro" -> micro ()
-          | "regress" -> regress ~scale ~update_baseline
+          | "regress" ->
+              if paper || sweep_seeds <> None then
+                regress_paper ~only
+                  ~budget_wall_s:(Option.map float_of_string budget_wall_s)
+                  ~sweep_seeds:(Option.map int_of_string sweep_seeds)
+              else regress ~scale ~update_baseline
           | other ->
               Printf.eprintf
                 "unknown benchmark %S (try fig1 fig2 contract-continent \

@@ -29,14 +29,58 @@ type st_pending = {
   mutable st_timer : Engine.timer option;
 }
 
+(* A share stash: the assoc list handed to [combine_shares] plus an
+   O(1) membership byte-set and running count.  Collectors at paper
+   scale accept k = 3f+c+1 = 129 shares per slot; the previous
+   [List.mem_assoc] / [List.length] on every arrival made share
+   acceptance O(k²) per slot.  [seen] is grown on demand, so slots on
+   small clusters stay small. *)
+type stash = {
+  mutable items : (int * Threshold.share) list;
+  mutable count : int;
+  mutable seen : Bytes.t; (* seen.[key] <> '\000' iff key is in items *)
+}
+
+let stash_make () = { items = []; count = 0; seen = Bytes.empty }
+
+let stash_mem st key =
+  key < Bytes.length st.seen && Bytes.get st.seen key <> '\000'
+
+let stash_mark st key =
+  if key >= Bytes.length st.seen then begin
+    let len = max (key + 1) (max 8 (2 * Bytes.length st.seen)) in
+    let b = Bytes.make len '\000' in
+    Bytes.blit st.seen 0 b 0 (Bytes.length st.seen);
+    st.seen <- b
+  end;
+  Bytes.set st.seen key '\001'
+
+let stash_add st key sh =
+  stash_mark st key;
+  st.items <- (key, sh) :: st.items;
+  st.count <- st.count + 1
+
+let stash_reset st =
+  st.items <- [];
+  st.count <- 0;
+  Bytes.fill st.seen 0 (Bytes.length st.seen) '\000'
+
+(* Replace the contents with a filtered assoc list, preserving its
+   order (rare path: share eviction after a failed combine). *)
+let stash_set st its =
+  Bytes.fill st.seen 0 (Bytes.length st.seen) '\000';
+  st.items <- its;
+  st.count <- List.length its;
+  List.iter (fun (k, _) -> stash_mark st k) its
+
 type slot = {
   seq : int;
   (* accepted pre-prepare for the current view: (view, reqs, h) *)
   mutable pp : (int * Types.request list * string) option;
   (* collector-side share collection *)
-  mutable sigma_shares : (int * Threshold.share) list;
-  mutable tau_shares : (int * Threshold.share) list;
-  mutable commit_shares : (int * Threshold.share) list;
+  sigma_shares : stash;
+  tau_shares : stash;
+  commit_shares : stash;
   mutable fast_sent : bool; (* this collector already formed/combined σ *)
   mutable prepare_sent : bool;
   mutable slow_sent : bool;
@@ -54,7 +98,7 @@ type slot = {
   (* execution collector state: shares bucketed by claimed digest so a
      Byzantine replica announcing a bogus digest first cannot block the
      honest bucket from reaching its threshold *)
-  pi_shares : (string, (int * Threshold.share) list ref) Hashtbl.t;
+  pi_shares : (string, stash) Hashtbl.t;
   mutable exec_proof_sent : bool;
   mutable acks_sent : bool;
   (* view-change bookkeeping *)
@@ -68,9 +112,9 @@ let new_slot seq =
   {
     seq;
     pp = None;
-    sigma_shares = [];
-    tau_shares = [];
-    commit_shares = [];
+    sigma_shares = stash_make ();
+    tau_shares = stash_make ();
+    commit_shares = stash_make ();
     fast_sent = false;
     prepare_sent = false;
     slow_sent = false;
@@ -569,9 +613,9 @@ and on_sign_share t ctx ~seq ~view ~sigma_share ~tau_share ~replica =
   let config = cfg t in
   if Int.equal view t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
     let sl = slot t seq in
-    if not (List.mem_assoc replica sl.sigma_shares) then begin
-      sl.sigma_shares <- (replica, sigma_share) :: sl.sigma_shares;
-      sl.tau_shares <- (replica, tau_share) :: sl.tau_shares;
+    if not (stash_mem sl.sigma_shares replica) then begin
+      stash_add sl.sigma_shares replica sigma_share;
+      stash_add sl.tau_shares replica tau_share;
       collector_check t ctx sl ~view
     end
   end
@@ -585,7 +629,7 @@ and collector_check t ctx sl ~view =
   (match Collectors.rank fast_collectors t.id with
   | Some rank when config.Config.fast_path -> (
       if
-        List.length sl.sigma_shares >= Config.sigma_threshold config
+        sl.sigma_shares.count >= Config.sigma_threshold config
         && (not sl.fast_sent)
         && sl.committed = None
       then
@@ -596,14 +640,14 @@ and collector_check t ctx sl ~view =
             let act ctx =
               if sl.committed = None && sl.pending_fast = None then begin
                 Sanitizer.check_quorum t.san Sanitizer.Sigma
-                  ~count:(List.length sl.sigma_shares);
+                  ~count:sl.sigma_shares.count;
                 let k = Config.sigma_threshold config in
                 let group = config.Config.use_group_sig && not t.failures_observed in
                 let sigma_opt, bad =
                   combine_shares t ctx ~scheme:(keys t).Keys.sigma ~k ~group ~msg:h
-                    (List.map snd sl.sigma_shares)
+                    (List.map snd sl.sigma_shares.items)
                 in
-                sl.sigma_shares <- evict_bad bad sl.sigma_shares;
+                stash_set sl.sigma_shares (evict_bad bad sl.sigma_shares.items);
                 match sigma_opt with
                 | Some sigma ->
                     trace t ctx "send:full-commit-proof" (Printf.sprintf "seq=%d" seq);
@@ -627,7 +671,7 @@ and collector_check t ctx sl ~view =
   | None -> ()
   | Some rank -> (
       if
-        List.length sl.tau_shares >= Config.tau_threshold config
+        sl.tau_shares.count >= Config.tau_threshold config
         && (not sl.prepare_sent)
         && sl.committed = None
       then begin
@@ -651,14 +695,14 @@ and collector_check t ctx sl ~view =
               if sl.committed = None && sl.pending_fast = None then begin
                 if config.Config.fast_path then t.failures_observed <- true;
                 Sanitizer.check_quorum t.san Sanitizer.Tau
-                  ~count:(List.length sl.tau_shares);
+                  ~count:sl.tau_shares.count;
                 let k = Config.tau_threshold config in
                 let tau_opt, bad =
                   combine_shares t ctx ~scheme:(keys t).Keys.tau ~k ~group:false
                     ~msg:h
-                    (List.map snd sl.tau_shares)
+                    (List.map snd sl.tau_shares.items)
                 in
-                sl.tau_shares <- evict_bad bad sl.tau_shares;
+                stash_set sl.tau_shares (evict_bad bad sl.tau_shares.items);
                 match tau_opt with
                 | Some tau ->
                     trace t ctx "send:prepare" (Printf.sprintf "seq=%d" seq);
@@ -728,23 +772,23 @@ and on_commit t ctx ~seq ~view ~share =
   if Int.equal view t.view && seq > t.ls && seq <= t.ls + config.Config.win then begin
     let sl = slot t seq in
     if
-      (not (List.exists (fun (_, s) -> Int.equal s.Threshold.signer share.Threshold.signer) sl.commit_shares))
+      (not (stash_mem sl.commit_shares share.Threshold.signer))
       && not sl.slow_sent
     then begin
-      sl.commit_shares <- (share.Threshold.signer, share) :: sl.commit_shares;
-      if List.length sl.commit_shares >= Config.tau_threshold config then begin
+      stash_add sl.commit_shares share.Threshold.signer share;
+      if sl.commit_shares.count >= Config.tau_threshold config then begin
         match sl.prepare_tau with
         | Some tau when not sl.slow_sent ->
             sl.slow_sent <- true;
             Sanitizer.check_quorum t.san Sanitizer.Tau
-              ~count:(List.length sl.commit_shares);
+              ~count:sl.commit_shares.count;
             let k = Config.tau_threshold config in
             let tau_tau_opt, bad =
               combine_shares t ctx ~scheme:(keys t).Keys.tau ~k ~group:false
                 ~msg:(Types.tau2_message tau)
-                (List.map snd sl.commit_shares)
+                (List.map snd sl.commit_shares.items)
             in
-            sl.commit_shares <- evict_bad bad sl.commit_shares;
+            stash_set sl.commit_shares (evict_bad bad sl.commit_shares.items);
             (match tau_tau_opt with
             | Some tau_tau ->
                 trace t ctx "send:full-commit-proof-slow" (Printf.sprintf "seq=%d" seq);
@@ -976,30 +1020,27 @@ and on_sign_state t ctx ~seq ~digest ~share =
       match Hashtbl.find_opt sl.pi_shares digest with
       | Some b -> b
       | None ->
-          let b = ref [] in
+          let b = stash_make () in
           Hashtbl.replace sl.pi_shares digest b;
           b
     in
-    if
-      not
-        (List.exists (fun (_, s) -> Int.equal s.Threshold.signer share.Threshold.signer) !bucket)
-    then begin
-      bucket := (share.Threshold.signer, share) :: !bucket;
-      if List.length !bucket >= Config.pi_threshold config then begin
+    if not (stash_mem bucket share.Threshold.signer) then begin
+      stash_add bucket share.Threshold.signer share;
+      if bucket.count >= Config.pi_threshold config then begin
         let e_list =
           Collectors.e_collectors ~config ~view:0 ~seq @ [ primary_of t t.view ]
         in
         let rank = Option.value (Collectors.rank e_list t.id) ~default:0 in
         let act ctx =
           if (not sl.exec_proof_sent) && not (Hashtbl.mem t.checkpoint_pis seq) then begin
-            Sanitizer.check_quorum t.san Sanitizer.Pi ~count:(List.length !bucket);
+            Sanitizer.check_quorum t.san Sanitizer.Pi ~count:bucket.count;
             let k = Config.pi_threshold config in
             let pi_opt, bad =
               combine_shares t ctx ~scheme:(keys t).Keys.pi ~k ~group:false
                 ~msg:(Types.pi_message ~seq ~digest)
-                (List.map snd !bucket)
+                (List.map snd bucket.items)
             in
-            bucket := evict_bad bad !bucket;
+            stash_set bucket (evict_bad bad bucket.items);
             match pi_opt with
             | Some pi ->
                 sl.exec_proof_sent <- true;
@@ -1556,6 +1597,16 @@ and on_view_change t ctx (vc : Types.view_change) =
           Sanitizer.check_quorum t.san Sanitizer.Vc ~count:(List.length quorum);
           trace t ctx "send:new-view" (Printf.sprintf "view=%d" target);
           broadcast_replicas t ctx (Types.New_view { view = target; proofs = quorum });
+          (* Apply our own new-view synchronously.  Entering [target]
+             here (rather than waiting for the self-addressed copy to
+             drain through the network) latches [t.view], so every
+             later view-change arrival for this view takes the cheap
+             stale-complaint path above instead of re-validating and
+             re-broadcasting the whole proof set — at n = 193 that
+             re-formation is O(n^2) signature checks and delays the
+             primary's own view entry past the next view-change
+             timeout, wedging the cluster in cascading view changes. *)
+          on_new_view t ctx ~view:target ~proofs:quorum
         end
       end
     end
@@ -1650,9 +1701,9 @@ and enter_view t ctx ~view =
     Det.iter_sorted ~compare:Int.compare
       (fun _ sl ->
         if sl.committed = None then begin
-          sl.sigma_shares <- [];
-          sl.tau_shares <- [];
-          sl.commit_shares <- [];
+          stash_reset sl.sigma_shares;
+          stash_reset sl.tau_shares;
+          stash_reset sl.commit_shares;
           sl.fast_sent <- false;
           sl.prepare_sent <- false;
           sl.slow_sent <- false;

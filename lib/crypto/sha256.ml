@@ -1,5 +1,13 @@
 (* SHA-256 over native ints: all 32-bit words are kept in the low 32 bits
-   of an OCaml int (63-bit), masked after every arithmetic step. *)
+   of an OCaml int (63-bit), masked after every arithmetic step.
+
+   This function dominates host time at paper scale — request digests,
+   merkle-map updates and block digests hash ~500 bytes per simulated
+   event — so the compression loop is written for ocamlopt: rotations
+   are inlined by hand, array and byte accesses are unsafe (indices are
+   statically in range), and [digest] / [digest_list] reuse one scratch
+   context instead of allocating the schedule and buffer per call (the
+   simulator is single-domain and the functions never re-enter). *)
 
 let mask = 0xFFFFFFFF
 
@@ -26,57 +34,77 @@ type ctx = {
   w : int array; (* message schedule scratch *)
 }
 
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
+
 let init () =
   {
-    h =
-      [|
-        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
-        0x1f83d9ab; 0x5be0cd19;
-      |];
+    h = Array.copy iv;
     buf = Bytes.create 64;
     buf_len = 0;
     total = 0;
     w = Array.make 64 0;
   }
 
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
-
 let compress ctx block off =
   let w = ctx.w in
   for i = 0 to 15 do
     let j = off + (4 * i) in
-    w.(i) <-
-      (Char.code (Bytes.get block j) lsl 24)
-      lor (Char.code (Bytes.get block (j + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (j + 2)) lsl 8)
-      lor Char.code (Bytes.get block (j + 3))
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3)))
   done;
   for i = 16 to 63 do
+    let x15 = Array.unsafe_get w (i - 15) in
     let s0 =
-      rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
+      (((x15 lsr 7) lor (x15 lsl 25)) land mask)
+      lxor (((x15 lsr 18) lor (x15 lsl 14)) land mask)
+      lxor (x15 lsr 3)
     in
+    let x2 = Array.unsafe_get w (i - 2) in
     let s1 =
-      rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10)
+      (((x2 lsr 17) lor (x2 lsl 15)) land mask)
+      lxor (((x2 lsr 19) lor (x2 lsl 13)) land mask)
+      lxor (x2 lsr 10)
     in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask)
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = (!e land !f) lxor (lnot !e land !g) in
-    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let ev = !e in
+    let s1 =
+      (((ev lsr 6) lor (ev lsl 26)) land mask)
+      lxor (((ev lsr 11) lor (ev lsl 21)) land mask)
+      lxor (((ev lsr 25) lor (ev lsl 7)) land mask)
+    in
+    let ch = (ev land !f) lxor (lnot ev land !g) in
+    let temp1 =
+      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask
+    in
+    let av = !a in
+    let s0 =
+      (((av lsr 2) lor (av lsl 30)) land mask)
+      lxor (((av lsr 13) lor (av lsl 19)) land mask)
+      lxor (((av lsr 22) lor (av lsl 10)) land mask)
+    in
+    let maj = (av land !b) lxor (av land !c) lxor (!b land !c) in
     let temp2 = (s0 + maj) land mask in
     hh := !g;
     g := !f;
-    f := !e;
+    f := ev;
     e := (!d + temp1) land mask;
     d := !c;
     c := !b;
-    b := !a;
+    b := av;
     a := (temp1 + temp2) land mask
   done;
   h.(0) <- (h.(0) + !a) land mask;
@@ -117,22 +145,24 @@ let feed ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) ~off:0 ~len:(String.l
 
 let finalize ctx =
   let bit_len = ctx.total * 8 in
-  (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
-  let pad_len =
-    let rem = (ctx.total + 1 + 8) mod 64 in
-    if rem = 0 then 1 else 1 + (64 - rem)
-  in
-  let pad = Bytes.make (pad_len + 8) '\x00' in
-  Bytes.set pad 0 '\x80';
+  (* Padding in place: 0x80, zeros to fill the block (spilling into a
+     second block when fewer than 8 trailing bytes remain for the
+     length), then the 8-byte big-endian bit length.  buf_len < 64
+     always holds here, so the buffer never overflows. *)
+  let buf = ctx.buf in
+  Bytes.set buf ctx.buf_len '\x80';
+  ctx.buf_len <- ctx.buf_len + 1;
+  if ctx.buf_len > 56 then begin
+    Bytes.fill buf ctx.buf_len (64 - ctx.buf_len) '\x00';
+    compress ctx buf 0;
+    ctx.buf_len <- 0
+  end;
+  Bytes.fill buf ctx.buf_len (56 - ctx.buf_len) '\x00';
   for i = 0 to 7 do
-    Bytes.set pad
-      (pad_len + i)
-      (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xFF))
+    Bytes.set buf (56 + i) (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xFF))
   done;
-  (* Feed padding without disturbing [total] accounting (already final). *)
-  let saved = ctx.total in
-  feed_bytes ctx pad ~off:0 ~len:(Bytes.length pad);
-  ctx.total <- saved;
+  compress ctx buf 0;
+  ctx.buf_len <- 0;
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let v = ctx.h.(i) in
@@ -143,15 +173,24 @@ let finalize ctx =
   done;
   Bytes.unsafe_to_string out
 
+(* One-shot digests run on a reused scratch context, trading the
+   per-call schedule/buffer allocation for a cheap reset. *)
+let scratch = init ()
+
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
+
 let digest msg =
-  let ctx = init () in
-  feed ctx msg;
-  finalize ctx
+  reset scratch;
+  feed scratch msg;
+  finalize scratch
 
 let digest_list chunks =
-  let ctx = init () in
-  List.iter (feed ctx) chunks;
-  finalize ctx
+  reset scratch;
+  List.iter (feed scratch) chunks;
+  finalize scratch
 
 let hex s =
   let b = Buffer.create (2 * String.length s) in

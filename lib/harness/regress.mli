@@ -24,12 +24,21 @@ type entry = {
       (** per-label simulated CPU (virtual microseconds) charged during
           the run, from {!Sbft_crypto.Cost_model.Tally} — sorted by
           label *)
+  wall_ms : float;  (** host wall clock for the row (host-dependent) *)
+  events : int;  (** simulator events executed (deterministic) *)
+  events_per_sec : float;  (** events per host second (host-dependent) *)
+  minor_words : float;  (** minor-heap words allocated during the row *)
 }
 
 type report = { schema : string; entries : entry list }
 
 val schema_id : string
-(** ["sbft-bench-v1"]. *)
+(** ["sbft-bench-v2"]. *)
+
+val strip_host : report -> report
+(** Zero the host- or process-history-dependent fields ([wall_ms],
+    [events_per_sec], [minor_words]); what remains is bit-identical
+    across hosts and reruns. *)
 
 val measure : Experiments.scale -> report
 (** Run the grid.  The two [sbft-fast-*] rows are the same scenario
@@ -53,6 +62,9 @@ type tolerance = {
   abs_fast_fraction : float;
   rel_crypto : float;
   abs_crypto_floor_us : float;
+  rel_events : float;
+  rel_minor_words : float;
+  rel_wall : float;
 }
 
 val default_tolerance : tolerance
@@ -61,7 +73,16 @@ val compare_reports :
   ?tol:tolerance -> baseline:report -> current:report -> unit -> string list
 (** One human-readable violation per out-of-band metric, in baseline
     order; empty means the gate passes.  Scenario set or shape changes
-    are violations too — they require a reviewed baseline update. *)
+    are violations too — they require a reviewed baseline update.
+    Gates deterministic fields only (including [events] and
+    [minor_words]); wall clock is {!wall_advisories}. *)
+
+val wall_advisories :
+  ?tol:tolerance -> baseline:report -> current:report -> unit -> string list
+(** Wall-clock drift beyond [tol.rel_wall], one line per row.  Advisory
+    on push/PR runs (baselines are recorded on different machines); the
+    paper-scale smoke job gates wall time with an absolute budget
+    instead. *)
 
 val optimistic_speedup : report -> float option
 (** Throughput ratio [sbft-fast-optimistic / sbft-fast-pershare]. *)
@@ -73,3 +94,49 @@ val durability_overhead : report -> float option
 
 val print : report -> unit
 (** Table + headline speedup to stdout. *)
+
+(** {2 Paper-scale family}
+
+    The n = 193/209 scenarios of the paper's evaluation (f = 64), each
+    with a finite ≈102k-operation budget so the CI wall budget measures
+    simulator speed, not a fixed horizon. *)
+
+val paper_clients : int
+val paper_requests_per_client : int
+
+val paper_grid : unit -> (string * Scenario.t) list
+(** [paper-fast-n193] (f=64, c=0), [paper-c8-n209] (f=64, c=8), and
+    [paper-viewchange-n193] (initial primary crashed at 600 ms). *)
+
+type paper_row = { entry : entry; point : Scenario.point }
+
+val measure_paper : ?only:string -> unit -> paper_row list
+(** Run the paper grid (or the one named row). *)
+
+val paper_report_json : paper_row list -> string
+(** Schema [sbft-paper-v1]: the v2 entry fields plus completion,
+    view-change, agreement, and per-phase profile data — the smoke-job
+    artifact. *)
+
+(** {2 Seeded sweep} *)
+
+type stat = { mean : float; ci95 : float }
+(** Sample mean ± half-width of the two-sided 95% Student-t interval. *)
+
+type sweep_row = {
+  sweep_name : string;
+  seeds : int;
+  throughput : stat;
+  p50_lat : stat;
+  fast_frac : stat;
+  wall_s : stat;
+  ev_per_sec : stat;
+}
+
+val sweep : ?only:string -> seeds:int -> unit -> sweep_row list
+(** Run each paper-grid row under [seeds] consecutive seeds. *)
+
+val sweep_report_json : sweep_row list -> string
+(** Schema [sbft-sweep-v1]. *)
+
+val print_sweep : sweep_row list -> unit

@@ -248,6 +248,20 @@ module Json = struct
   let to_str = function Str s -> Some s | _ -> None
 end
 
+(* Per-phase event counts from the engine hot path, in the shape the
+   paper-scale profile artifact uploads. *)
+let json_of_profile (p : Sbft_sim.Engine.profile) =
+  Json.Obj
+    [
+      ("executed", Json.Num (float_of_int p.Sbft_sim.Engine.p_executed));
+      ("thunks", Json.Num (float_of_int p.Sbft_sim.Engine.p_thunks));
+      ("arrivals", Json.Num (float_of_int p.Sbft_sim.Engine.p_arrivals));
+      ("timers_fired", Json.Num (float_of_int p.Sbft_sim.Engine.p_timers_fired));
+      ("timers_skipped", Json.Num (float_of_int p.Sbft_sim.Engine.p_timers_skipped));
+      ("timers_purged", Json.Num (float_of_int p.Sbft_sim.Engine.p_timers_purged));
+      ("max_pending", Json.Num (float_of_int p.Sbft_sim.Engine.p_max_pending));
+    ]
+
 let print_throughput_table ~title ~clients ~rows =
   Printf.printf "\n%s\n%s\n" title hr;
   Printf.printf "%-22s" "protocol";

@@ -39,3 +39,7 @@ val print_points : title:string -> Scenario.point list -> unit
 val csv_of_points : Scenario.point list -> string
 
 val write_csv : path:string -> Scenario.point list -> unit
+
+val json_of_profile : Sbft_sim.Engine.profile -> Json.t
+(** Engine per-phase event counters as a JSON object — the shape the
+    paper-scale profile artifact uploads from CI. *)

@@ -23,14 +23,17 @@ type t = {
   duration : Engine.time;
   seed : int64;
   cpu_scale : float;
+  requests_per_client : int;
+  crash_primary_at : Engine.time option;
   tweak : Config.t -> Config.t;
 }
 
 let default ?(failures = 0) ?(topology = `Continent) ?(warmup = Engine.ms 750)
-    ?(duration = Engine.ms 1500) ?(seed = 1L) ?(cpu_scale = 0.5) ?(tweak = Fun.id)
+    ?(duration = Engine.ms 1500) ?(seed = 1L) ?(cpu_scale = 0.5)
+    ?(requests_per_client = max_int) ?crash_primary_at ?(tweak = Fun.id)
     ~protocol ~f ~workload ~num_clients () =
   { protocol; f; workload; num_clients; failures; topology; warmup; duration; seed;
-    cpu_scale; tweak }
+    cpu_scale; requests_per_client; crash_primary_at; tweak }
 
 type point = {
   scenario : t;
@@ -46,6 +49,10 @@ type point = {
   view_changes : int;
   agreement : bool;
   host_seconds : float;
+  events : int;
+  events_per_sec : float;  (* simulator events per host second *)
+  minor_words : float;  (* minor-heap words allocated during the run *)
+  profile : Engine.profile;
 }
 
 let ops_per_request = function
@@ -94,14 +101,22 @@ let crash_set ~n ~failures = List.init failures (fun i -> n - 1 - i)
 
 let log_point t (p : point) =
   Printf.eprintf
-    "[scenario] %-18s f=%d cl=%-3d fail=%-2d %-10s -> %8.0f ops/s %6.1f ms (host %.0fs, heap %dMB)\n%!"
+    "[scenario] %-18s f=%d cl=%-3d fail=%-2d %-10s -> %8.0f ops/s %6.1f ms (host %.0fs, %.0fk ev/s, heap %dMB)\n%!"
     (protocol_name t.protocol) t.f t.num_clients t.failures
     (match t.workload with
     | Kv { batching = true } -> "kv-batch"
     | Kv { batching = false } -> "kv-nobatch"
     | Eth -> "eth")
     p.throughput_ops p.median_latency_ms p.host_seconds
+    (p.events_per_sec /. 1000.)
     (Gc.((quick_stat ()).heap_words) * 8 / 1_048_576)
+
+(* Crash the initial primary (node 0) mid-run: the view-change variant
+   of the paper-scale family.  Scheduled as a bare engine thunk so it
+   needs no cluster plumbing. *)
+let arm_primary_crash engine = function
+  | None -> ()
+  | Some at -> Engine.schedule engine ~at (fun () -> Engine.crash engine 0)
 
 (* One run with tracing on, returning the raw event stream instead of a
    measurement point — the input to the R8 replay-divergence checker. *)
@@ -119,7 +134,8 @@ let run_traced t =
       in
       Pbft_cluster.crash_replicas cluster
         (crash_set ~n:(Config.n cluster.Pbft_cluster.config) ~failures:t.failures);
-      Pbft_cluster.start_clients cluster ~requests_per_client:max_int
+      arm_primary_crash cluster.Pbft_cluster.engine t.crash_primary_at;
+      Pbft_cluster.start_clients cluster ~requests_per_client:t.requests_per_client
         ~make_op:(make_op_of t.workload);
       Pbft_cluster.run_for cluster horizon;
       Trace.records cluster.Pbft_cluster.trace
@@ -130,22 +146,35 @@ let run_traced t =
       in
       Cluster.crash_replicas cluster
         (crash_set ~n:(Config.n config) ~failures:t.failures);
-      Cluster.start_clients cluster ~requests_per_client:max_int
+      arm_primary_crash cluster.Cluster.engine t.crash_primary_at;
+      Cluster.start_clients cluster ~requests_per_client:t.requests_per_client
         ~make_op:(make_op_of t.workload);
       Cluster.run_for cluster horizon;
       Trace.records cluster.Cluster.trace
 
 let run t =
   let host0 = Sys.time () in
+  let minor0 = Gc.minor_words () in
   let config = config_of t in
   let topology = topology_of t.topology in
   let service = service_of t.workload in
   let horizon = t.warmup + t.duration in
-  let point ~throughput ~latency ~completed ~messages ~bytes ~fast_fraction
-      ~view_changes ~agreement =
-    let reqs_per_sec =
-      Stats.Throughput.rate throughput ~from_:t.warmup ~until:horizon
+  let point ~engine ~throughput ~latency ~completed ~messages ~bytes
+      ~fast_fraction ~view_changes ~agreement =
+    (* A finite-request run drains before the horizon; its measurement
+       window ends at the last completion, not at the idle tail. *)
+    let until =
+      if t.requests_per_client = max_int then horizon
+      else
+        match Stats.Throughput.last_at throughput with
+        | Some at when at > t.warmup -> at
+        | _ -> horizon
     in
+    let reqs_per_sec =
+      Stats.Throughput.rate throughput ~from_:t.warmup ~until
+    in
+    let host_seconds = Sys.time () -. host0 in
+    let events = Engine.events_executed engine in
     {
       scenario = t;
       throughput_ops = reqs_per_sec *. float_of_int (ops_per_request t.workload);
@@ -159,7 +188,12 @@ let run t =
       fast_fraction;
       view_changes;
       agreement;
-      host_seconds = Sys.time () -. host0;
+      host_seconds;
+      events;
+      events_per_sec =
+        (if host_seconds > 0. then float_of_int events /. host_seconds else 0.);
+      minor_words = Gc.minor_words () -. minor0;
+      profile = Engine.profile engine;
     }
   in
   match t.protocol with
@@ -171,10 +205,12 @@ let run t =
       in
       Pbft_cluster.crash_replicas cluster
         (crash_set ~n:(Config.n cluster.Pbft_cluster.config) ~failures:t.failures);
-      Pbft_cluster.start_clients cluster ~requests_per_client:max_int
+      arm_primary_crash cluster.Pbft_cluster.engine t.crash_primary_at;
+      Pbft_cluster.start_clients cluster ~requests_per_client:t.requests_per_client
         ~make_op:(make_op_of t.workload);
       Pbft_cluster.run_for cluster horizon;
-      point ~throughput:cluster.Pbft_cluster.throughput
+      point ~engine:cluster.Pbft_cluster.engine
+        ~throughput:cluster.Pbft_cluster.throughput
         ~latency:cluster.Pbft_cluster.latency
         ~completed:(Pbft_cluster.total_completed cluster)
         ~messages:(Network.messages_sent cluster.Pbft_cluster.network)
@@ -196,7 +232,8 @@ let run t =
       in
       Cluster.crash_replicas cluster
         (crash_set ~n:(Config.n config) ~failures:t.failures);
-      Cluster.start_clients cluster ~requests_per_client:max_int
+      arm_primary_crash cluster.Cluster.engine t.crash_primary_at;
+      Cluster.start_clients cluster ~requests_per_client:t.requests_per_client
         ~make_op:(make_op_of t.workload);
       Cluster.run_for cluster horizon;
       let fast, slow =
@@ -206,7 +243,8 @@ let run t =
             else (f_ + Replica.fast_commits r, s + Replica.slow_commits r))
           (0, 0) cluster.Cluster.replicas
       in
-      point ~throughput:cluster.Cluster.throughput ~latency:cluster.Cluster.latency
+      point ~engine:cluster.Cluster.engine
+        ~throughput:cluster.Cluster.throughput ~latency:cluster.Cluster.latency
         ~completed:(Cluster.total_completed cluster)
         ~messages:(Network.messages_sent cluster.Cluster.network)
         ~bytes:(Network.bytes_sent cluster.Cluster.network)

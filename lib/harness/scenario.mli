@@ -28,6 +28,13 @@ type t = {
   cpu_scale : float;
       (** CPU speed factor; 0.5 models the ≈2 cores/replica of the
           paper's testbed packing. *)
+  requests_per_client : int;
+      (** Finite closed-loop request budget per client ([max_int] =
+          run until the horizon).  Paper-scale rows use a finite budget
+          so a run's cost is bounded by work, not wall time. *)
+  crash_primary_at : Sbft_sim.Engine.time option;
+      (** Crash the initial primary (node 0) at this virtual time — the
+          view-change variant of the paper-scale family. *)
   tweak : Sbft_core.Config.t -> Sbft_core.Config.t;
       (** Final configuration hook, used by ablations (group signatures,
           collector staggering, fixed batching, ...). *)
@@ -40,6 +47,8 @@ val default :
   ?duration:Sbft_sim.Engine.time ->
   ?seed:int64 ->
   ?cpu_scale:float ->
+  ?requests_per_client:int ->
+  ?crash_primary_at:Sbft_sim.Engine.time ->
   ?tweak:(Sbft_core.Config.t -> Sbft_core.Config.t) ->
   protocol:protocol ->
   f:int ->
@@ -62,6 +71,10 @@ type point = {
   view_changes : int;
   agreement : bool;
   host_seconds : float;
+  events : int;  (** simulator events executed *)
+  events_per_sec : float;  (** events per host second (host-dependent) *)
+  minor_words : float;  (** minor-heap words allocated (deterministic) *)
+  profile : Sbft_sim.Engine.profile;  (** per-phase event counts *)
 }
 
 val run : t -> point

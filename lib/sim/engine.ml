@@ -21,40 +21,86 @@ type node = {
 
 and pending_work = Work : (ctx_ -> unit) -> pending_work
 
-and ctx_ = { eng : t_; node : node; mutable cpu_now : time }
+and ctx_ = { eng : t_; cnode : node; mutable cpu_now : time }
+
+(* Events are a variant, not a closure: the common cases (message
+   arrival, timer firing) carry their target directly, so scheduling a
+   dispatch allocates one small block instead of a closure capturing
+   the engine, and cancelled timers can be recognized in the queue
+   (see [maybe_purge]). *)
+and event =
+  | Thunk of (unit -> unit)
+  | Arrive of node * (ctx_ -> unit)
+  | Timer_ev of timer * node * (ctx_ -> unit)
+
+and timer = { mutable cancelled : bool; mutable fired : bool; owner : t_ }
 
 and t_ = {
   mutable now : time;
   mutable seq : int;
-  events : (unit -> unit) Heap.t;
+  events : event Wheel.t;
   nodes : node array;
+  (* One reusable ctx per node: handlers never run nested (all
+     cross-node work goes through scheduled events), so a single
+     mutable record per node replaces a per-work-item allocation. *)
+  mutable ctxs : ctx_ array;
   rng : Rng.t;
   mutable executed : int;
+  (* live = queued and not cancelled; cancelled entries linger until
+     popped or purged *)
+  mutable cancelled_pending : int;
+  (* profile counters *)
+  mutable n_thunks : int;
+  mutable n_arrivals : int;
+  mutable n_timers_fired : int;
+  mutable n_timers_skipped : int;
+  mutable n_timers_purged : int;
+  mutable max_pending : int;
 }
 
 type t = t_
 type ctx = ctx_
 
-type timer = { mutable cancelled : bool }
+type profile = {
+  p_executed : int;
+  p_thunks : int;
+  p_arrivals : int;
+  p_timers_fired : int;
+  p_timers_skipped : int;
+  p_timers_purged : int;
+  p_max_pending : int;
+}
 
 let create ~num_nodes ~seed () =
-  {
-    now = 0;
-    seq = 0;
-    events = Heap.create ();
-    nodes =
-      Array.init num_nodes (fun id ->
-          {
-            id;
-            cpu_free_at = 0;
-            crashed = false;
-            cpu_scale = 1.0;
-            pending = Queue.create ();
-            drain_at = -1;
-          });
-    rng = Rng.create seed;
-    executed = 0;
-  }
+  let t =
+    {
+      now = 0;
+      seq = 0;
+      events = Wheel.create ();
+      nodes =
+        Array.init num_nodes (fun id ->
+            {
+              id;
+              cpu_free_at = 0;
+              crashed = false;
+              cpu_scale = 1.0;
+              pending = Queue.create ();
+              drain_at = -1;
+            });
+      ctxs = [||];
+      rng = Rng.create seed;
+      executed = 0;
+      cancelled_pending = 0;
+      n_thunks = 0;
+      n_arrivals = 0;
+      n_timers_fired = 0;
+      n_timers_skipped = 0;
+      n_timers_purged = 0;
+      max_pending = 0;
+    }
+  in
+  t.ctxs <- Array.map (fun nd -> { eng = t; cnode = nd; cpu_now = 0 }) t.nodes;
+  t
 
 let num_nodes t = Array.length t.nodes
 let now t = t.now
@@ -74,10 +120,14 @@ let recover t i =
 let is_crashed t i = (node t i).crashed
 let set_cpu_scale t i s = (node t i).cpu_scale <- s
 
-let schedule t ~at f =
+let push_event t ~at ev =
   let at = if at < t.now then t.now else at in
   t.seq <- t.seq + 1;
-  Heap.push t.events ~key0:at ~key1:t.seq f
+  Wheel.push t.events ~key0:at ~key1:t.seq ev;
+  let sz = Wheel.size t.events in
+  if sz > t.max_pending then t.max_pending <- sz
+
+let schedule t ~at f = push_event t ~at (Thunk f)
 
 (* Per-node FIFO CPU queue: each arriving work item enqueues; a single
    "drain" event per node runs items back-to-back as the CPU frees up,
@@ -86,9 +136,10 @@ let schedule t ~at f =
 let rec drain t nd () =
   nd.drain_at <- -1;
   if not nd.crashed then begin
+    let c = t.ctxs.(nd.id) in
     while (not (Queue.is_empty nd.pending)) && nd.cpu_free_at <= t.now do
       let (Work f) = Queue.pop nd.pending in
-      let c = { eng = t; node = nd; cpu_now = (if nd.cpu_free_at > t.now then nd.cpu_free_at else t.now) } in
+      c.cpu_now <- (if nd.cpu_free_at > t.now then nd.cpu_free_at else t.now);
       f c;
       if c.cpu_now > nd.cpu_free_at then nd.cpu_free_at <- c.cpu_now
     done;
@@ -109,40 +160,82 @@ let arrive t nd f =
     end
   end
 
-let dispatch t ~dst ~at f =
-  let nd = node t dst in
-  schedule t ~at (fun () -> arrive t nd f)
+let dispatch t ~dst ~at f = push_event t ~at (Arrive (node t dst, f))
 
 let set_timer t ~node:i ~after f =
-  let tm = { cancelled = false } in
-  let wrapped c = if not tm.cancelled then f c in
-  dispatch t ~dst:i ~at:(t.now + after) wrapped;
+  let tm = { cancelled = false; fired = false; owner = t } in
+  push_event t ~at:(t.now + after) (Timer_ev (tm, node t i, f));
   tm
 
-let cancel_timer tm = tm.cancelled <- true
+(* Lazy purge: cancelled timers stay queued until popped, which under a
+   retry/backoff cancel storm lets dead events dominate the queue.  Once
+   they outnumber live events (and are numerous enough that a sweep is
+   worth its O(size) cost) we compact.  Purging is count-triggered and
+   therefore deterministic; dropping a cancelled timer early is
+   observationally silent — it would have fired as a skip, emitting no
+   trace record and charging no CPU. *)
+let maybe_purge t =
+  if t.cancelled_pending > 64 && t.cancelled_pending * 2 > Wheel.size t.events
+  then begin
+    Wheel.compact t.events ~dead:(function
+      | Timer_ev (tm, _, _) -> tm.cancelled
+      | _ -> false);
+    t.n_timers_purged <- t.n_timers_purged + t.cancelled_pending;
+    t.cancelled_pending <- 0
+  end
 
-let self c = c.node.id
+let cancel_timer tm =
+  if not (tm.cancelled || tm.fired) then begin
+    tm.cancelled <- true;
+    let t = tm.owner in
+    t.cancelled_pending <- t.cancelled_pending + 1;
+    maybe_purge t
+  end
+
+let self c = c.cnode.id
 let ctx_now c = c.cpu_now
 
 let charge c dt =
   let scaled =
-    if c.node.cpu_scale = 1.0 then dt
-    else int_of_float (float_of_int dt *. c.node.cpu_scale)
+    if c.cnode.cpu_scale = 1.0 then dt
+    else int_of_float (float_of_int dt *. c.cnode.cpu_scale)
   in
   c.cpu_now <- c.cpu_now + scaled
 
 let engine c = c.eng
 
+(* Run one popped event.  Returns [true] if it counted as executed
+   ([false] for a cancelled timer, which is skipped without touching
+   the clock's event budget — it would have been a no-op drain). *)
+let fire t at ev =
+  match ev with
+  | Timer_ev (tm, _, _) when tm.cancelled ->
+      t.cancelled_pending <- t.cancelled_pending - 1;
+      t.n_timers_skipped <- t.n_timers_skipped + 1;
+      false
+  | _ ->
+      t.now <- (if at > t.now then at else t.now);
+      t.executed <- t.executed + 1;
+      (match ev with
+      | Thunk f ->
+          t.n_thunks <- t.n_thunks + 1;
+          f ()
+      | Arrive (nd, f) ->
+          t.n_arrivals <- t.n_arrivals + 1;
+          arrive t nd f
+      | Timer_ev (tm, nd, f) ->
+          tm.fired <- true;
+          t.n_timers_fired <- t.n_timers_fired + 1;
+          arrive t nd f);
+      true
+
 let run_until t deadline =
   let continue = ref true in
   while !continue do
-    match Heap.peek_key t.events with
+    match Wheel.peek_key t.events with
     | Some (at, _) when at <= deadline -> (
-        match Heap.pop_min t.events with
-        | Some (at, _, f) ->
-            t.now <- (if at > t.now then at else t.now);
-            t.executed <- t.executed + 1;
-            f ()
+        match Wheel.pop_min t.events with
+        | Some (at, _, ev) -> ignore (fire t at ev : bool)
         | None -> continue := false)
     | _ -> continue := false
   done;
@@ -152,14 +245,24 @@ let run_all ?(max_events = max_int) t =
   let budget = ref max_events in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.pop_min t.events with
-    | Some (at, _, f) ->
-        t.now <- (if at > t.now then at else t.now);
-        t.executed <- t.executed + 1;
-        decr budget;
-        f ()
+    match Wheel.pop_min t.events with
+    | Some (at, _, ev) -> if fire t at ev then decr budget
     | None -> continue := false
   done
 
 let events_executed t = t.executed
-let pending_events t = Heap.size t.events
+
+(* Live events only: cancelled-but-unpurged timers are dead weight, not
+   pending work. *)
+let pending_events t = Wheel.size t.events - t.cancelled_pending
+
+let profile t =
+  {
+    p_executed = t.executed;
+    p_thunks = t.n_thunks;
+    p_arrivals = t.n_arrivals;
+    p_timers_fired = t.n_timers_fired;
+    p_timers_skipped = t.n_timers_skipped;
+    p_timers_purged = t.n_timers_purged;
+    p_max_pending = t.max_pending;
+  }

@@ -76,6 +76,10 @@ val set_timer : t -> node:int -> after:time -> (ctx -> unit) -> timer
     [after] nanoseconds from now unless cancelled. *)
 
 val cancel_timer : timer -> unit
+(** Cancelled timers are skipped when they come due; when cancelled
+    entries outnumber live ones the queue is compacted eagerly, so a
+    cancel storm cannot grow {!pending_events} (see the engine's
+    [maybe_purge]). *)
 
 (** {2 Handler context} *)
 
@@ -102,4 +106,23 @@ val run_all : ?max_events:int -> t -> unit
     is hit). *)
 
 val events_executed : t -> int
+
 val pending_events : t -> int
+(** Live (non-cancelled) events still queued. *)
+
+(** {2 Profiling}
+
+    Cheap counters maintained on the event hot path, surfaced through
+    the harness as per-phase event counts and events/sec. *)
+
+type profile = {
+  p_executed : int;  (** events popped and run *)
+  p_thunks : int;  (** bare {!schedule} thunks (workload/observer code) *)
+  p_arrivals : int;  (** message deliveries via {!dispatch} *)
+  p_timers_fired : int;  (** timers that came due and ran *)
+  p_timers_skipped : int;  (** cancelled timers skipped at pop *)
+  p_timers_purged : int;  (** cancelled timers removed by compaction *)
+  p_max_pending : int;  (** high-water mark of the event queue *)
+}
+
+val profile : t -> profile

@@ -1,13 +1,19 @@
+(* Link and NIC state is flat int-indexed arrays, not hashtables: the
+   per-send path at n ≈ 200 does three lookups per message, and at
+   ~100k+ sends per run the hashing and bucket chasing showed up in
+   profiles.  The n×n matrices are row-major ([src * n + dst]) and tiny
+   even at paper scale (201² bools + ints ≈ 360 KB). *)
 type t = {
   topology : Topology.t;
+  num_nodes : int;
   bytes_per_ns : float;
   mutable drop_prob : float;
   per_msg_overhead_bytes : int;
   recv_overhead : Engine.time;
   mutable partition : int array option;
-  down_links : (int * int, unit) Hashtbl.t;
-  extra_delay : (int * int, Engine.time) Hashtbl.t;
-  nic_free_at : (int, Engine.time) Hashtbl.t;
+  down : bool array; (* down.(src * n + dst): directed link is cut *)
+  extra : Engine.time array; (* extra.(src * n + dst): adversarial delay *)
+  nic_free_at : Engine.time array; (* per-node sender-NIC FIFO horizon *)
   mutable messages_sent : int;
   mutable bytes_sent : int;
   mutable messages_dropped : int;
@@ -15,16 +21,18 @@ type t = {
 
 let create ?(bandwidth_gbps = 10.0) ?(drop_prob = 0.0)
     ?(per_msg_overhead_bytes = 80) ?(recv_overhead = Engine.us 30) ~topology () =
+  let n = Topology.num_nodes topology in
   {
     topology;
+    num_nodes = n;
     bytes_per_ns = bandwidth_gbps *. 1e9 /. 8.0 /. 1e9;
     drop_prob;
     per_msg_overhead_bytes;
     recv_overhead;
     partition = None;
-    down_links = Hashtbl.create 16;
-    extra_delay = Hashtbl.create 16;
-    nic_free_at = Hashtbl.create 64;
+    down = Array.make (n * n) false;
+    extra = Array.make (n * n) 0;
+    nic_free_at = Array.make n 0;
     messages_sent = 0;
     bytes_sent = 0;
     messages_dropped = 0;
@@ -33,7 +41,7 @@ let create ?(bandwidth_gbps = 10.0) ?(drop_prob = 0.0)
 let topology t = t.topology
 
 let blocked t ~src ~dst =
-  Hashtbl.mem t.down_links (src, dst)
+  t.down.((src * t.num_nodes) + dst)
   ||
   match t.partition with
   | None -> false
@@ -51,15 +59,15 @@ let send t eng ~src ~dst ~size ~at f =
     let wire_bytes = size + t.per_msg_overhead_bytes in
     let serialize = int_of_float (float_of_int wire_bytes /. t.bytes_per_ns) in
     (* Sender NIC is a FIFO: departures are serialized by bandwidth. *)
-    let nic_free = try Hashtbl.find t.nic_free_at src with Not_found -> 0 in
+    let nic_free = t.nic_free_at.(src) in
     let start = if at > nic_free then at else nic_free in
     let departure = start + serialize in
-    Hashtbl.replace t.nic_free_at src departure;
+    t.nic_free_at.(src) <- departure;
     let latency =
       if src = dst then Engine.us 5
       else Topology.sample_latency t.topology (Engine.rng eng) ~src ~dst
     in
-    let extra = try Hashtbl.find t.extra_delay (src, dst) with Not_found -> 0 in
+    let extra = t.extra.((src * t.num_nodes) + dst) in
     let arrival = departure + latency + extra in
     let recv_overhead = t.recv_overhead in
     Engine.dispatch eng ~dst ~at:arrival (fun c ->
@@ -68,14 +76,8 @@ let send t eng ~src ~dst ~size ~at f =
   end
 
 let set_partition t ~groups = t.partition <- groups
-
-let set_link t ~src ~dst ~up =
-  if up then Hashtbl.remove t.down_links (src, dst)
-  else Hashtbl.replace t.down_links (src, dst) ()
-
-let set_extra_delay t ~src ~dst d =
-  if d = 0 then Hashtbl.remove t.extra_delay (src, dst)
-  else Hashtbl.replace t.extra_delay (src, dst) d
+let set_link t ~src ~dst ~up = t.down.((src * t.num_nodes) + dst) <- not up
+let set_extra_delay t ~src ~dst d = t.extra.((src * t.num_nodes) + dst) <- d
 
 let set_drop_prob t p = t.drop_prob <- p
 

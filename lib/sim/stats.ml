@@ -85,6 +85,10 @@ module Throughput = struct
 
   let total t = t.total
 
+  (* Samples arrive in virtual-time order, so the last one recorded is
+     the latest. *)
+  let last_at t = if t.len = 0 then None else Some t.times.(t.len - 1)
+
   let rate t ~from_ ~until =
     if until <= from_ then nan
     else begin

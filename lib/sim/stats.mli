@@ -31,6 +31,11 @@ module Throughput : sig
 
   val total : t -> int
 
+  val last_at : t -> Engine.time option
+  (** Virtual time of the most recent completion, if any — the
+      effective end of a finite-request run that drains before its
+      horizon. *)
+
   val rate : t -> from_:Engine.time -> until:Engine.time -> float
   (** Operations per second of virtual time inside the window. *)
 

@@ -95,6 +95,7 @@ let world ~num_nodes =
     ~region_of:(round_robin_regions ~num_nodes ~num_regions:(Array.length regions))
     ~one_way_ms ~jitter:0.10
 
+let num_nodes t = Array.length t.region_of
 let num_regions t = t.num_regions
 let region_of t i = t.region_of.(i)
 let jitter t = t.jitter

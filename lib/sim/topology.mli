@@ -27,6 +27,9 @@ val continent : num_nodes:int -> t
     one-way latencies from 0.15 ms (same region) up to ~150 ms. *)
 val world : num_nodes:int -> t
 
+val num_nodes : t -> int
+(** Number of nodes the topology was built for. *)
+
 val num_regions : t -> int
 val region_of : t -> int -> int
 val jitter : t -> float

@@ -40,10 +40,28 @@ type t = {
   pending : Buffer.t;  (** appended but not yet synced; lost on crash *)
   mutable appends : int;
   mutable syncs : int;
+  mutable trunc_seq : int;
+      (** logical truncation horizon: frames below it are dead and
+          filtered out of {!replay}, whether or not they have been
+          physically dropped yet *)
+  mutable compact_watermark : int;
+      (** durable size (bytes) at which the next {!truncate_below}
+          physically rewrites the log; doubling it after each rewrite
+          keeps compaction O(1) amortized per appended byte even when
+          the horizon advances every slot *)
 }
 
+let initial_watermark = 1 lsl 16
+
 let create () =
-  { durable = Buffer.create 1024; pending = Buffer.create 256; appends = 0; syncs = 0 }
+  {
+    durable = Buffer.create 1024;
+    pending = Buffer.create 256;
+    appends = 0;
+    syncs = 0;
+    trunc_seq = 0;
+    compact_watermark = initial_watermark;
+  }
 
 (* Signed ints (client ids can be -1 for null-request fillers) go
    through a zigzag varint so the codec only ever sees naturals. *)
@@ -188,9 +206,6 @@ let replay_string bytes =
    with Codec.Reader.Truncated -> ());
   List.rev !out
 
-(* Only the synced prefix exists after a crash, so only it replays. *)
-let replay t = replay_string (Buffer.contents t.durable)
-
 let record_seq = function
   | View_entered _ | View_change_started _ -> None
   | Accepted_pre_prepare { seq; _ }
@@ -200,42 +215,58 @@ let record_seq = function
   | Client_row { seq; _ } ->
       Some seq
 
-(* Checkpoint-time compaction: everything below [seq] is captured by the
-   stable checkpoint, except view records (always retained, latest wins
-   at replay) and the latest [Stable_checkpoint] at or below [seq]. *)
+(* Checkpoint compaction filter: everything below [seq] is captured by
+   the stable checkpoint, except view records (always retained, latest
+   wins at replay) and the latest [Stable_checkpoint] at or below [seq],
+   which moves to the front.  Shared by [replay] and the physical
+   rewrite so the replayed history is identical whether or not the dead
+   prefix has been dropped from the buffer yet. *)
+let compact_records ~seq records =
+  if seq <= 0 then records
+  else begin
+    let latest_cp =
+      List.fold_left
+        (fun acc r ->
+          match r with
+          | Stable_checkpoint { seq = s; _ } when s <= seq -> (
+              match acc with
+              | Some (Stable_checkpoint { seq = best; _ }) when best >= s -> acc
+              | _ -> Some r)
+          | _ -> acc)
+        None records
+    in
+    let keep r =
+      match record_seq r with
+      | None -> true
+      | Some s -> s >= seq
+    in
+    (* The retained checkpoint is hoisted to the front; skip it (by
+       physical identity) in the keep pass so a checkpoint whose seq
+       equals the truncation seq is not listed twice. *)
+    let is_retained_cp r =
+      match latest_cp with Some cp -> r == cp | None -> false
+    in
+    let kept = List.filter (fun r -> keep r && not (is_retained_cp r)) records in
+    match latest_cp with Some cp -> cp :: kept | None -> kept
+  end
+
+(* Only the synced prefix exists after a crash, so only it replays. *)
+let replay t =
+  compact_records ~seq:t.trunc_seq (replay_string (Buffer.contents t.durable))
+
+(* Logical truncation is just a horizon bump; the O(log-size) physical
+   rewrite runs only once the durable buffer outgrows its watermark.
+   Callers may therefore truncate on every stable-checkpoint advance
+   without turning the log into an O(n^2) hot spot (it did: at paper
+   scale every certified slot rewrote every replica's full log). *)
 let truncate_below t ~seq =
-  let records = replay t in
-  let latest_cp =
-    List.fold_left
-      (fun acc r ->
-        match r with
-        | Stable_checkpoint { seq = s; _ } when s <= seq -> (
-            match acc with
-            | Some (Stable_checkpoint { seq = best; _ }) when best >= s -> acc
-            | _ -> Some r)
-        | _ -> acc)
-      None records
-  in
-  let keep r =
-    match record_seq r with
-    | None -> true
-    | Some s -> s >= seq
-  in
-  Buffer.clear t.durable;
-  (match latest_cp with
-  | Some cp -> Buffer.add_string t.durable (frame cp)
-  | None -> ());
-  (* The retained checkpoint was re-added above; skip it (by physical
-     identity) in the keep pass so a checkpoint whose seq equals the
-     truncation seq is not written twice. *)
-  let is_retained_cp r =
-    match latest_cp with Some cp -> r == cp | None -> false
-  in
-  List.iter
-    (fun r ->
-      if keep r && not (is_retained_cp r) then
-        Buffer.add_string t.durable (frame r))
-    records
+  if seq > t.trunc_seq then t.trunc_seq <- seq;
+  if Buffer.length t.durable >= t.compact_watermark then begin
+    let records = replay t in
+    Buffer.clear t.durable;
+    List.iter (fun r -> Buffer.add_string t.durable (frame r)) records;
+    t.compact_watermark <- max initial_watermark (2 * Buffer.length t.durable)
+  end
 
 let durable_bytes t = Buffer.length t.durable
 let pending_bytes t = Buffer.length t.pending
@@ -246,7 +277,9 @@ let reset t =
   Buffer.clear t.durable;
   Buffer.clear t.pending;
   t.appends <- 0;
-  t.syncs <- 0
+  t.syncs <- 0;
+  t.trunc_seq <- 0;
+  t.compact_watermark <- initial_watermark
 
 (* Test helper: simulate a torn write by overwriting the last [bytes]
    durable bytes with garbage. *)

@@ -50,14 +50,25 @@ val drop_pending : t -> unit
 
 val replay : t -> record list
 (** Decode the durable prefix in append order, stopping at the first
-    truncated or checksum-failing frame. *)
+    truncated or checksum-failing frame.  Records below the
+    [truncate_below] horizon are filtered out (view records and the
+    latest stable checkpoint at or below the horizon survive, the
+    checkpoint hoisted to the front), so the replayed history does not
+    depend on whether physical compaction has run yet. *)
 
 val truncate_below : t -> seq:int -> unit
-(** Checkpoint-time compaction: drop records whose sequence number is
-    below [seq], keeping view records and the latest stable checkpoint
-    at or below [seq]. *)
+(** Checkpoint-time compaction: logically drop records whose sequence
+    number is below [seq], keeping view records and the latest stable
+    checkpoint at or below [seq].  The horizon bump is O(1); the
+    physical rewrite is deferred until the durable buffer outgrows a
+    doubling watermark, so callers may truncate on every
+    stable-checkpoint advance without quadratic rewriting. *)
 
 val durable_bytes : t -> int
+(** Physical durable size; may include logically-dead frames not yet
+    compacted away. *)
+
+
 val pending_bytes : t -> int
 val appends : t -> int
 val syncs : t -> int

@@ -78,6 +78,10 @@ let sample_entry =
     p99_ms = 2.5;
     fast_fraction = 1.0;
     crypto_us = [ ("combine", 1200.5); ("combined_verify", 900.) ];
+    wall_ms = 850.;
+    events = 120_000;
+    events_per_sec = 141_000.;
+    minor_words = 9.5e7;
   }
 
 let sample_report entries = { Regress.schema = Regress.schema_id; entries }
@@ -150,7 +154,22 @@ let test_compare_trips_on_regression () =
     {
       sample_entry with
       Regress.crypto_us = sample_entry.Regress.crypto_us @ [ ("share_batch_verify", 9000.) ];
-    }
+    };
+  trips "event-count blow-up" { sample_entry with Regress.events = 200_000 };
+  trips "allocation blow-up" { sample_entry with Regress.minor_words = 2e8 }
+
+let test_wall_advisory () =
+  let baseline = sample_report [ sample_entry ] in
+  let slow = sample_report [ { sample_entry with Regress.wall_ms = 5000. } ] in
+  (* Wall clock never trips the PR gate... *)
+  check "wall drift passes the gate" true
+    (Regress.compare_reports ~baseline ~current:slow () = []);
+  (* ...but out-of-band drift is reported as an advisory... *)
+  check "wall drift is advisory" true
+    (Regress.wall_advisories ~baseline ~current:slow () <> []);
+  (* ...and in-band drift is silent. *)
+  check "in-band wall silent" true
+    (Regress.wall_advisories ~baseline ~current:baseline () = [])
 
 let test_compare_shape_changes () =
   let baseline = sample_report [ sample_entry ] in
@@ -175,7 +194,12 @@ let test_measure_deterministic () =
      This is the property that justifies tight tolerance bands in CI. *)
   let r1 = Regress.measure `Quick in
   let r2 = Regress.measure `Quick in
-  check_str "identical JSON across runs" (Regress.to_json r1) (Regress.to_json r2);
+  (* Wall clock / events-per-second (and allocation, which varies as
+     process-global caches warm) are host-side by nature; everything
+     else must be bit-identical. *)
+  check_str "identical JSON across runs"
+    (Regress.to_json (Regress.strip_host r1))
+    (Regress.to_json (Regress.strip_host r2));
   check_str "schema id" Regress.schema_id r1.Regress.schema;
   check_int "grid size" 7 (List.length r1.Regress.entries);
   (* The headline comparison rows exist and optimistic combining wins. *)
@@ -194,7 +218,9 @@ let test_measure_deterministic () =
     (fun e ->
       check (e.Regress.name ^ " throughput positive") true (e.Regress.throughput_ops > 0.);
       check (e.Regress.name ^ " latency ordered") true (e.Regress.p99_ms >= e.Regress.p50_ms);
-      check (e.Regress.name ^ " has crypto tally") true (e.Regress.crypto_us <> []))
+      check (e.Regress.name ^ " has crypto tally") true (e.Regress.crypto_us <> []);
+      check (e.Regress.name ^ " executed events") true (e.Regress.events > 0);
+      check (e.Regress.name ^ " allocated") true (e.Regress.minor_words > 0.))
     r1.Regress.entries;
   (* A fresh measurement of the same grid passes its own gate. *)
   check "self-comparison passes" true
@@ -217,6 +243,7 @@ let () =
         [
           Alcotest.test_case "within tolerance" `Quick test_compare_within_tolerance;
           Alcotest.test_case "trips on regression" `Quick test_compare_trips_on_regression;
+          Alcotest.test_case "wall advisory" `Quick test_wall_advisory;
           Alcotest.test_case "shape changes" `Quick test_compare_shape_changes;
         ] );
       ( "measure",

@@ -119,6 +119,160 @@ let test_heap_empty () =
   check "peek none" true (Heap.peek_key h = None)
 
 (* ------------------------------------------------------------------ *)
+(* Wheel — the heap's replacement on the engine hot path; must
+   reproduce its pop order exactly *)
+
+let test_wheel_ordering () =
+  (* Key spread of several orders of magnitude forces entries through
+     multiple wheel levels (and hence cascades) before popping. *)
+  let w = Wheel.create () in
+  let r = Rng.create 9L in
+  for i = 0 to 999 do
+    Wheel.push w ~key0:(Rng.int r 100_000_000) ~key1:i ()
+  done;
+  let prev = ref (-1, -1) in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Wheel.pop_min w with
+    | None -> continue := false
+    | Some (k0, k1, ()) ->
+        check "nondecreasing" true (compare (k0, k1) !prev >= 0);
+        prev := (k0, k1);
+        incr count
+  done;
+  check_int "all popped" 1000 !count;
+  check "drained" true (Wheel.is_empty w)
+
+let test_wheel_fifo_ties () =
+  let w = Wheel.create () in
+  for i = 0 to 9 do
+    Wheel.push w ~key0:5 ~key1:i i
+  done;
+  for expected = 0 to 9 do
+    match Wheel.pop_min w with
+    | Some (_, _, v) -> check_int "FIFO among ties" expected v
+    | None -> Alcotest.fail "wheel empty early"
+  done
+
+let test_wheel_empty () =
+  let w : unit Wheel.t = Wheel.create () in
+  check "empty" true (Wheel.is_empty w);
+  check "pop none" true (Wheel.pop_min w = None);
+  check "peek none" true (Wheel.peek_key w = None);
+  Wheel.push w ~key0:1 ~key1:1 ();
+  Wheel.clear w;
+  check "cleared" true (Wheel.is_empty w && Wheel.size w = 0)
+
+let test_wheel_interleaved_push_pop () =
+  (* Pops interleaved with pushes whose keys sit between already-queued
+     ones: entries land in the front heap, current slots, and far
+     levels of the hierarchy in one run. *)
+  let w = Wheel.create () in
+  let seq = ref 0 in
+  let push k =
+    incr seq;
+    Wheel.push w ~key0:k ~key1:!seq (k, !seq)
+  in
+  List.iter push [ 50; 5_000; 500_000; 50_000_000 ];
+  let popped = ref [] in
+  for _ = 1 to 2 do
+    match Wheel.pop_min w with
+    | Some (k0, _, _) ->
+        popped := k0 :: !popped;
+        (* push between the popped key and the remaining ones *)
+        push (k0 + 1)
+    | None -> Alcotest.fail "unexpected empty"
+  done;
+  let rec drain acc =
+    match Wheel.pop_min w with
+    | Some (k0, _, _) -> drain (k0 :: acc)
+    | None -> List.rev acc
+  in
+  let order = List.rev !popped @ drain [] in
+  Alcotest.(check (list int)) "global order respected"
+    [ 50; 51; 52; 5_000; 500_000; 50_000_000 ]
+    order
+
+let test_wheel_compact () =
+  let w = Wheel.create () in
+  let r = Rng.create 10L in
+  for i = 0 to 499 do
+    Wheel.push w ~key0:(Rng.int r 1_000_000) ~key1:i i
+  done;
+  Wheel.compact w ~dead:(fun v -> v mod 2 = 0);
+  check_int "survivor count" 250 (Wheel.size w);
+  let prev = ref (-1, -1) in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Wheel.pop_min w with
+    | None -> continue := false
+    | Some (k0, k1, v) ->
+        check "only odd survive" true (v mod 2 = 1);
+        check "order preserved" true (compare (k0, k1) !prev >= 0);
+        prev := (k0, k1);
+        incr n
+  done;
+  check_int "all survivors popped" 250 !n
+
+(* Property: for ANY random push/pop/compact stream, the wheel pops the
+   exact same sequence as the binary heap it replaced.  This is the
+   replay-determinism argument in miniature: same (time, seq) total
+   order, bit for bit. *)
+let wheel_matches_heap_prop =
+  let open QCheck in
+  (* An op stream: [Some delta] pushes a key [delta] past the largest
+     key popped so far (monotone-ish, like event times; occasionally
+     huge to span wheel levels), [None] pops from both and compares. *)
+  let op_gen =
+    Gen.frequency
+      [
+        (4, Gen.map (fun d -> Some d) (Gen.int_bound 300));
+        (1, Gen.map (fun d -> Some (d * 65_537)) (Gen.int_bound 1000));
+        (3, Gen.return None);
+      ]
+  in
+  let ops_arb =
+    make
+      ~print:
+        (Print.list (function Some d -> "push+" ^ string_of_int d | None -> "pop"))
+      (Gen.list_size (Gen.int_range 1 200) op_gen)
+  in
+  Test.make ~name:"wheel pops exactly like heap" ~count:200 ops_arb
+    (fun ops ->
+      let h = Heap.create () and w = Wheel.create () in
+      let seq = ref 0 and floor = ref 0 in
+      List.for_all
+        (fun o ->
+          match o with
+          | Some delta ->
+              let k = !floor + delta in
+              incr seq;
+              Heap.push h ~key0:k ~key1:!seq !seq;
+              Wheel.push w ~key0:k ~key1:!seq !seq;
+              true
+          | None -> (
+              (match Heap.peek_key h, Wheel.peek_key w with
+              | Some (k, _), _ -> floor := max !floor k
+              | None, _ -> ());
+              match (Heap.pop_min h, Wheel.pop_min w) with
+              | None, None -> true
+              | Some a, Some b -> a = b
+              | _ -> false))
+        ops
+      && begin
+           (* Drain the remainder: orders must match to the end. *)
+           let rec drain () =
+             match (Heap.pop_min h, Wheel.pop_min w) with
+             | None, None -> true
+             | Some a, Some b -> a = b && drain ()
+             | _ -> false
+           in
+           drain ()
+         end)
+
+(* ------------------------------------------------------------------ *)
 (* Engine *)
 
 let test_engine_schedule_order () =
@@ -219,6 +373,75 @@ let test_engine_fifo_under_load () =
   Engine.run_all eng;
   Alcotest.(check (list int)) "FIFO order" (List.init 50 (fun i -> i + 1))
     (List.rev !order)
+
+let test_engine_cancel_storm () =
+  (* Retry/backoff patterns set and cancel timers constantly.  Lazy
+     purging must keep the queue from accumulating dead entries: after
+     50k set+cancel pairs the pending count reflects live events only,
+     and the queue itself has been compacted. *)
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let fired = ref 0 in
+  for i = 1 to 50_000 do
+    let tm =
+      Engine.set_timer eng ~node:0 ~after:(Engine.ms (1_000 + i)) (fun _ -> incr fired)
+    in
+    Engine.cancel_timer tm
+  done;
+  let keeper = Engine.set_timer eng ~node:0 ~after:(Engine.ms 1) (fun _ -> incr fired) in
+  ignore (keeper : Engine.timer);
+  check "pending reflects live events only" true (Engine.pending_events eng <= 1 + 64);
+  let p = Engine.profile eng in
+  check "purge actually ran" true (p.Engine.p_timers_purged > 0);
+  Engine.run_all eng;
+  check_int "only the live timer fired" 1 !fired;
+  (* Skipped-at-pop and purged-by-compaction cancelled timers must
+     account for every cancellation. *)
+  let p = Engine.profile eng in
+  check_int "all cancellations accounted" 50_000
+    (p.Engine.p_timers_purged + p.Engine.p_timers_skipped)
+
+let test_engine_fifo_drain_batch () =
+  (* All work due at the same instant on one node drains back-to-back
+     in seq order through the reused per-node ctx — one drain event,
+     not a requeue per item. *)
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let order = ref [] in
+  for i = 1 to 100 do
+    Engine.dispatch eng ~dst:0 ~at:(Engine.ms 1) (fun c ->
+        order := (i, Engine.ctx_now c) :: !order;
+        Engine.charge c (Engine.us 10))
+  done;
+  Engine.run_all eng;
+  let entries = List.rev !order in
+  Alcotest.(check (list int)) "seq order" (List.init 100 (fun i -> i + 1))
+    (List.map fst entries);
+  (* Each handler starts when the previous one's charge finished. *)
+  List.iteri
+    (fun i (_, at) -> check_int "serialized starts" (Engine.ms 1 + Engine.us (10 * i)) at)
+    entries
+
+let test_engine_recover_mid_drain () =
+  (* A crash arriving while a node's FIFO queue is draining kills the
+     queued remainder; recovery restores a clean, working CPU. *)
+  let eng = Engine.create ~num_nodes:1 ~seed:1L () in
+  let ran = ref [] in
+  (* Three handlers queue behind a 10ms charge; the crash at 2ms lands
+     while they wait. *)
+  Engine.dispatch eng ~dst:0 ~at:0 (fun c ->
+      ran := 0 :: !ran;
+      Engine.charge c (Engine.ms 10));
+  Engine.dispatch eng ~dst:0 ~at:(Engine.ms 1) (fun _ -> ran := 1 :: !ran);
+  Engine.dispatch eng ~dst:0 ~at:(Engine.ms 1) (fun _ -> ran := 2 :: !ran);
+  Engine.schedule eng ~at:(Engine.ms 2) (fun () -> Engine.crash eng 0);
+  Engine.schedule eng ~at:(Engine.ms 5) (fun () -> Engine.recover eng 0);
+  (* Post-recovery work runs immediately: the CPU is free again even
+     though the pre-crash charge claimed it until 10ms. *)
+  Engine.dispatch eng ~dst:0 ~at:(Engine.ms 6) (fun c ->
+      ran := 3 :: !ran;
+      check_int "recovered CPU free at once" (Engine.ms 6) (Engine.ctx_now c));
+  Engine.run_all eng;
+  Alcotest.(check (list int)) "queued remainder died with the crash" [ 0; 3 ]
+    (List.rev !ran)
 
 let test_engine_crash_clears_queue () =
   (* Work queued on a busy CPU dies with the crash; post-recovery work
@@ -481,6 +704,15 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
         ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "ordering" `Quick test_wheel_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_wheel_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_wheel_empty;
+          Alcotest.test_case "interleaved push/pop" `Quick test_wheel_interleaved_push_pop;
+          Alcotest.test_case "compact" `Quick test_wheel_compact;
+          QCheck_alcotest.to_alcotest wheel_matches_heap_prop;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "schedule order" `Quick test_engine_schedule_order;
@@ -492,6 +724,9 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_run_until;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
           Alcotest.test_case "fifo under load" `Quick test_engine_fifo_under_load;
+          Alcotest.test_case "cancel storm" `Quick test_engine_cancel_storm;
+          Alcotest.test_case "fifo drain batch" `Quick test_engine_fifo_drain_batch;
+          Alcotest.test_case "recover mid-drain" `Quick test_engine_recover_mid_drain;
           Alcotest.test_case "crash clears queue" `Quick test_engine_crash_clears_queue;
         ] );
       ( "topology",
