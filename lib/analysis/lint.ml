@@ -163,6 +163,7 @@ let list_sort_ident : Longident.t -> bool = function
 module Taint = struct
   type t = {
     source_prefixes : string list;
+    source_call_prefixes : string list;
     implicit_params : string list;
     sanitizers : string list;
     sink_names : string list;
@@ -172,6 +173,14 @@ module Taint = struct
   let default =
     {
       source_prefixes = [ "on_" ];
+      (* Adversary observation accessors: the schedule fuzzer's adaptive
+         attacker reads protocol state through the obs_* surface
+         (Replica.obs_view, obs_frontier, ...), so anything derived from
+         an obs_* call is attacker-visible by construction.  Letting it
+         reach a state-mutating sink would mean protocol behavior
+         depends on the attacker's window into it — taint the results
+         wherever they appear, not only inside on_* handlers. *)
+      source_call_prefixes = [ "obs_" ];
       (* Scalar routing / ordering fields and the handler's own state.
          These are covered by the link-layer MAC every replica checks on
          receipt (Cost_model.message_auth_check / rsa_verify charged in
@@ -261,6 +270,31 @@ let contains_sanitizer cfg e =
   iter.expr iter e;
   !found
 
+(* First application of a source-call function (obs_* observation
+   accessor) inside an expression, with its line: the returned value is
+   a taint source in any context. *)
+let source_call cfg e =
+  let found = ref None in
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+            when Option.is_none !found
+                 && List.exists
+                      (fun p -> has_prefix ~prefix:p (last_component txt))
+                      cfg.Taint.source_call_prefixes ->
+              found := Some (last_component txt, loc.loc_start.pos_lnum)
+          | _ -> ());
+          if Option.is_none !found then default_iterator.expr self e);
+    }
+  in
+  iter.expr iter e;
+  !found
+
 (* Variables a guard expression authenticates.  Two shapes clear taint:
    a direct sanitizer application ([verify k ~msg x] covers every
    variable in its arguments) and a combinator whose function argument
@@ -311,7 +345,12 @@ let taint_analysis ~cfg ~report structure =
   let taint_of env e =
     if contains_sanitizer cfg e then None
     else
-      List.find_map (fun v -> List.assoc_opt v env.tainted) (expr_vars e)
+      match List.find_map (fun v -> List.assoc_opt v env.tainted) (expr_vars e) with
+      | Some chain -> Some chain
+      | None -> (
+          match source_call cfg e with
+          | Some (name, line) -> Some [ (name, line) ]
+          | None -> None)
   in
   let shadow env names =
     {
@@ -489,6 +528,11 @@ let taint_analysis ~cfg ~report structure =
     | Ppat_var { txt = name; _ }
       when List.exists (fun p -> has_prefix ~prefix:p name) cfg.source_prefixes ->
         analyze_handler name vb
+    | Ppat_var _ ->
+        (* Source calls — the obs_ accessors — taint values in any
+           function, so every top-level binding gets the flow analysis,
+           just without the handler-parameter taint. *)
+        analyze empty_env vb.pvb_expr
     | _ -> ()
   in
   List.iter

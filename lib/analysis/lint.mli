@@ -60,6 +60,12 @@ module Taint : sig
     source_prefixes : string list;
         (** Top-level functions whose name starts with one of these are
             network-receive entry points; their parameters are tainted. *)
+    source_call_prefixes : string list;
+        (** Functions whose name (last path component) starts with one
+            of these return attacker-visible data: their results are
+            tainted wherever the call appears, in any function.  Default
+            [obs_] — the adversary observation surface
+            ({!Sbft_core.Replica}'s [obs_*] accessors). *)
     implicit_params : string list;
         (** Parameter/binding names exempt from tainting: the handler's
             own state and scalar routing fields covered by the link-layer

@@ -40,14 +40,26 @@ type fuzz_result = {
   expectation_errors : (string * string) list;  (** (name, error) *)
 }
 
-let fuzz ?(seeds = 50) ?(quick = false) ?(mutate = false) ?(seed = 1L) ?(out_dir = "bench_out") () =
-  let profile = { Gen.quick; mutate } in
+let fuzz ?(seeds = 50) ?(quick = false) ?(mutate = false) ?(adversarial = false)
+    ?(seed = 1L) ?(out_dir = "bench_out") ?budget_s () =
+  let profile = { Gen.quick; mutate; adversarial } in
   let failures = ref [] in
   let expectation_errors = ref [] in
-  for index = 0 to seeds - 1 do
+  let ran = ref 0 in
+  let started = Sys.time () in
+  (* With a budget, `seeds` becomes an upper bound and the loop stops
+     once the CPU-time budget is spent.  Each individual schedule is
+     still derived purely from (seed, index), so any finding replays
+     exactly; only the number of schedules visited is host-dependent,
+     which is why the CI determinism gate never passes a budget. *)
+  let within_budget () =
+    match budget_s with None -> true | Some b -> Sys.time () -. started < b
+  in
+  let index = ref 0 in
+  while !index < seeds && within_budget () do
     let sched =
-      if mutate then Gen.generate_mutation ~seed index
-      else Gen.generate ~profile ~seed index
+      if mutate then Gen.generate_mutation ~seed !index
+      else Gen.generate ~profile ~seed !index
     in
     let outcome = Runner.run sched in
     report outcome;
@@ -56,11 +68,13 @@ let fuzz ?(seeds = 50) ?(quick = false) ?(mutate = false) ?(seed = 1L) ?(out_dir
     | Error e ->
         Printf.printf "  EXPECTATION VIOLATED: %s\n%!" e;
         expectation_errors := (sched.Schedule.name, e) :: !expectation_errors);
-    match shrink_and_save ~out_dir outcome with
+    (match shrink_and_save ~out_dir outcome with
     | Some (minimal, _) -> failures := (sched, minimal) :: !failures
-    | None -> ()
+    | None -> ());
+    incr ran;
+    incr index
   done;
-  { ran = seeds; failures = List.rev !failures; expectation_errors = List.rev !expectation_errors }
+  { ran = !ran; failures = List.rev !failures; expectation_errors = List.rev !expectation_errors }
 
 let replay_one path =
   match Schedule.load ~path with
@@ -95,7 +109,8 @@ let replay_dir dir =
 
 let usage () =
   print_string
-    "usage: check [--seeds N] [--seed S] [--quick] [--mutate] [--out DIR]\n\
+    "usage: check [--seeds N] [--seed S] [--quick] [--mutate] [--adversarial] [--out DIR]\n\
+    \             [--budget-s SECONDS]\n\
     \       check replay FILE.schedule...\n\
     \       check replay-dir DIR\n"
 
@@ -111,7 +126,9 @@ let main args =
       let seed = ref 1L in
       let quick = ref false in
       let mutate = ref false in
+      let adversarial = ref false in
       let out_dir = ref "bench_out" in
+      let budget_s = ref None in
       let bad = ref false in
       let rec parse = function
         | [] -> ()
@@ -129,8 +146,16 @@ let main args =
         | "--mutate" :: rest ->
             mutate := true;
             parse rest
+        | "--adversarial" :: rest ->
+            adversarial := true;
+            parse rest
         | "--out" :: dir :: rest ->
             out_dir := dir;
+            parse rest
+        | "--budget-s" :: s :: rest ->
+            (match float_of_string_opt s with
+            | Some s when s > 0. -> budget_s := Some s
+            | _ -> bad := true);
             parse rest
         | _ ->
             bad := true
@@ -139,7 +164,8 @@ let main args =
       if !bad then (usage (); 2)
       else begin
         let r =
-          fuzz ~seeds:!seeds ~quick:!quick ~mutate:!mutate ~seed:!seed ~out_dir:!out_dir ()
+          fuzz ~seeds:!seeds ~quick:!quick ~mutate:!mutate ~adversarial:!adversarial
+            ~seed:!seed ~out_dir:!out_dir ?budget_s:!budget_s ()
         in
         Printf.printf "fuzz: %d schedules, %d failures, %d expectation errors\n%!" r.ran
           (List.length r.failures)

@@ -17,17 +17,26 @@ open Sbft_sim
 type profile = {
   quick : bool;  (** smaller clusters, shorter horizons *)
   mutate : bool;  (** generate weak-sigma mutation schedules *)
+  adversarial : bool;
+      (** attach a random adaptive-adversary header (policy, pool ≤ f,
+          budget, observation window) to every schedule *)
 }
 
-let default_profile = { quick = false; mutate = false }
+let default_profile = { quick = false; mutate = false; adversarial = false }
 
-(* Weighted fault-class choice. *)
-type klass = K_crash | K_amnesia | K_recover | K_partition | K_heal | K_drop | K_delay | K_isolate | K_reconnect | K_byz
+(* Weighted fault-class choice.  Gray failures (slow CPU, flapping
+   links, degraded fsync) and rollback attacks are safety-neutral under
+   the defenses (WAL + conservative rejoin), so they join the
+   unbudgeted classes. *)
+type klass =
+  | K_crash | K_amnesia | K_recover | K_partition | K_heal | K_drop | K_delay
+  | K_isolate | K_reconnect | K_byz | K_slow | K_flap | K_fsync | K_rollback
 
 let classes =
   [|
     (K_crash, 15); (K_amnesia, 8); (K_recover, 10); (K_partition, 12); (K_heal, 8);
     (K_drop, 10); (K_delay, 12); (K_isolate, 10); (K_reconnect, 7); (K_byz, 16);
+    (K_slow, 8); (K_flap, 8); (K_fsync, 6); (K_rollback, 7);
   |]
 
 let pick_class rng =
@@ -64,6 +73,7 @@ let fault_steps rng ~num_replicas ~byz_pool ~count ~window_ms =
   let crashed = Hashtbl.create 8 in
   let isolated = Hashtbl.create 8 in
   let steps = ref [] in
+  let extra = ref [] in
   for _ = 1 to count do
     let at_ms = 100 + Rng.int rng (max 1 (window_ms - 100)) in
     let replica () = Rng.int rng num_replicas in
@@ -109,17 +119,47 @@ let fault_steps rng ~num_replicas ~byz_pool ~count ~window_ms =
           match byz_pool with
           | [] -> None
           | pool -> Some (Schedule.Byzantine (Rng.pick rng (Array.of_list pool), Rng.pick rng byz_flavours)))
+      | K_slow ->
+          Some (Schedule.Slow (replica (), float_of_int (2 + Rng.int rng 7)))
+      | K_flap ->
+          let src = replica () and dst = replica () in
+          if Int.equal src dst then None
+          else
+            let period_ms = 100 + Rng.int rng 400 in
+            let up_ms = 20 + Rng.int rng (period_ms - 20) in
+            Some (Schedule.Flap { src; dst; period_ms; up_ms })
+      | K_fsync ->
+          Some (Schedule.Fsync_delay (replica (), float_of_int (5 + Rng.int rng 45)))
+      | K_rollback ->
+          (* Composite: crash-amnesia now, tamper the disk shortly
+             after, rejoin later.  The tamper and recover ride as extra
+             steps so the trio survives independent shrinking (a lone
+             rollback without amnesia is a no-op, not an error). *)
+          let node = replica () in
+          Hashtbl.remove crashed node;
+          let before = Rng.int rng 16 in
+          extra :=
+            { Schedule.at_ms = at_ms + 200; action = Schedule.Rollback (node, before) }
+            :: { Schedule.at_ms = at_ms + 500 + Rng.int rng 1_000;
+                 action = Schedule.Recover node }
+            :: !extra;
+          Some (Schedule.Crash_amnesia node)
     in
     match action with
     | Some action -> steps := { Schedule.at_ms; action } :: !steps
     | None -> ()
   done;
-  List.rev !steps
+  List.rev_append !steps (List.rev !extra)
 
-(* Undo every fault at GST so the quiet period is genuinely quiet. *)
+(* Undo every fault at GST so the quiet period is genuinely quiet —
+   including the gray failures: slowed CPUs and degraded disks return
+   to full speed, flapping links stabilize. *)
 let heal_steps ~at_ms ~byz_pool steps =
   let crashed = Hashtbl.create 8 in
   let isolated = Hashtbl.create 8 in
+  let slowed = Hashtbl.create 8 in
+  let flapped = Hashtbl.create 8 in
+  let degraded = Hashtbl.create 8 in
   List.iter
     (fun (s : Schedule.step) ->
       match s.Schedule.action with
@@ -127,12 +167,28 @@ let heal_steps ~at_ms ~byz_pool steps =
       | Schedule.Recover n -> Hashtbl.remove crashed n
       | Schedule.Isolate n -> Hashtbl.replace isolated n ()
       | Schedule.Reconnect n -> Hashtbl.remove isolated n
+      | Schedule.Slow (n, scale) ->
+          if scale > 1.0 then Hashtbl.replace slowed n ()
+          else Hashtbl.remove slowed n
+      | Schedule.Flap { src; dst; _ } ->
+          Hashtbl.replace flapped src ();
+          Hashtbl.replace flapped dst ()
+      | Schedule.Unflap n -> Hashtbl.remove flapped n
+      | Schedule.Fsync_delay (n, scale) ->
+          if scale > 1.0 then Hashtbl.replace degraded n ()
+          else Hashtbl.remove degraded n
       | _ -> ())
-    steps;
+    (List.stable_sort
+       (fun (a : Schedule.step) b -> Int.compare a.Schedule.at_ms b.Schedule.at_ms)
+       steps);
   let mk action = { Schedule.at_ms; action } in
+  let keys tbl = Sbft_sim.Det.sorted_keys ~compare:Int.compare tbl in
   [ mk Schedule.Heal; mk (Schedule.Set_drop 0.0) ]
-  @ List.map (fun n -> mk (Schedule.Reconnect n)) (Sbft_sim.Det.sorted_keys ~compare:Int.compare isolated)
-  @ List.map (fun n -> mk (Schedule.Recover n)) (Sbft_sim.Det.sorted_keys ~compare:Int.compare crashed)
+  @ List.map (fun n -> mk (Schedule.Reconnect n)) (keys isolated)
+  @ List.map (fun n -> mk (Schedule.Recover n)) (keys crashed)
+  @ List.map (fun n -> mk (Schedule.Slow (n, 1.0))) (keys slowed)
+  @ List.map (fun n -> mk (Schedule.Unflap n)) (keys flapped)
+  @ List.map (fun n -> mk (Schedule.Fsync_delay (n, 1.0))) (keys degraded)
   @ List.map (fun n -> mk (Schedule.Byzantine (n, Schedule.Honest))) byz_pool
 
 let generate ?(profile = default_profile) ~seed index =
@@ -157,6 +213,32 @@ let generate ?(profile = default_profile) ~seed index =
     Array.to_list (Array.sub candidates 0 max_byz) |> List.sort Int.compare
   in
   let prefix = fault_steps rng ~num_replicas ~byz_pool ~count ~window_ms:fault_window in
+  (* Adaptive adversary rider: colluders come from the byz pool (so the
+     ≤ f budget and the GST honest-flip cover them), and the
+     observation window closes before GST so Expect_pass schedules
+     keep their quiet period. *)
+  let adversary =
+    if (not profile.adversarial) || byz_pool = [] then None
+    else
+      let policies =
+        [|
+          Schedule.Equivocating_collector;
+          Schedule.Withhold_until_threshold;
+          Schedule.View_change_storm;
+          Schedule.Checkpoint_split;
+        |]
+      in
+      let from_ms = 200 + Rng.int rng 800 in
+      Some
+        {
+          Schedule.policy = Rng.pick rng policies;
+          pool = byz_pool;
+          budget = 2 + Rng.int rng 7;
+          every_ms = 150 + Rng.int rng 350;
+          from_ms;
+          until_ms = max from_ms (fault_window - 500);
+        }
+  in
   let gst_ms, steps, horizon_ms, expect =
     if eventually_synchronous then
       let gst = fault_window + 1_000 in
@@ -180,9 +262,14 @@ let generate ?(profile = default_profile) ~seed index =
     topology = (if Rng.bool rng 0.8 then Schedule.Lan else Schedule.Continent);
     acks = Rng.bool rng 0.75;
     (* Always durable: amnesia crashes without a WAL can legitimately
-       lose promises, so a generated Expect_pass schedule would flake. *)
+       lose promises, so a generated Expect_pass schedule would flake.
+       Rejoin stays conservative for the same reason — eager rejoin
+       after a generated rollback can legitimately violate safety;
+       only hand-written Expect_fail twins disable the defense. *)
     wal = true;
+    rejoin_conservative = true;
     mutation;
+    adversary;
     gst_ms;
     horizon_ms;
     expect;
@@ -195,7 +282,7 @@ let generate ?(profile = default_profile) ~seed index =
    two disjoint halves each reach a certificate. *)
 let generate_mutation ~seed index =
   let rng = Rng.create (Int64.add seed (Int64.of_int ((index * 40503) + 7))) in
-  let base = generate ~profile:{ quick = false; mutate = true } ~seed index in
+  let base = generate ~profile:{ default_profile with mutate = true } ~seed index in
   let extra = fault_steps rng ~num_replicas:6 ~byz_pool:[ 0 ] ~count:(Rng.int rng 4) ~window_ms:10_000 in
   {
     base with

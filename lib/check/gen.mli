@@ -15,10 +15,15 @@
 type profile = {
   quick : bool;  (** smaller clusters, shorter horizons *)
   mutate : bool;  (** generate weak-sigma mutation schedules *)
+  adversarial : bool;
+      (** attach a random adaptive-adversary header to every schedule:
+          a policy over the Byzantine pool (≤ f colluders), a small
+          action budget, and an observation window that closes before
+          GST so [Expect_pass] schedules keep their quiet period *)
 }
 
 val default_profile : profile
-(** [{ quick = false; mutate = false }] *)
+(** [{ quick = false; mutate = false; adversarial = false }] *)
 
 val generate : ?profile:profile -> seed:int64 -> int -> Schedule.t
 (** [generate ~seed index] is the [index]-th schedule of the seeded

@@ -11,6 +11,41 @@ type ctx = {
   sanitizer_violation : string option;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Pure observation layer.
+
+   Every oracle is a function of [obs] only — a plain record snapshot
+   of everything the checks inspect.  [observe] extracts it from the
+   live cluster; tests hand-build counterexample snapshots directly, so
+   an oracle weakened by refactoring fails a synthetic trace loudly
+   instead of silently accepting whatever the simulator produces. *)
+
+type replica_obs = {
+  rid : int;
+  last_executed : int;
+  digest : string;  (* state digest at [last_executed] *)
+  blocks : (int * (int * int * string) list) list;
+      (* committed blocks by sequence number, each request canonicalized
+         to (client, timestamp, op) *)
+  certified : (int * string) list;  (* π-certified checkpoint digests *)
+  counters : int array;  (* per client index: service counter cell *)
+  executed_for : int array;
+      (* per client index: distinct requests executed (client table) *)
+}
+
+type obs = {
+  num_replicas : int;
+  num_clients : int;
+  replicas : replica_obs list;  (* honest replicas only *)
+  submitted : int array;  (* per client: highest timestamp submitted *)
+  completed_ops : int array;  (* per client: operations completed *)
+  accepted : (int * string) list array;
+      (* per client: (timestamp, accepted value) in completion order *)
+  requests : int;  (* closed-loop requests per client *)
+  gst_ms : int option;
+  sanitizer_violation : string option;
+}
+
 let is_byz ctx id = List.exists (Int.equal id) ctx.ever_byzantine
 
 let honest_replicas ctx =
@@ -22,11 +57,59 @@ let expected_op client_index =
 
 let counter_key client_index = "ctr:" ^ string_of_int client_index
 
-(* ------------------------------------------------------------------ *)
-(* Individual oracles.  Each returns (pass, detail). *)
-
 let canonical_block reqs =
   List.map (fun (r : Types.request) -> (r.Types.client, r.Types.timestamp, r.Types.op)) reqs
+
+let observe ctx =
+  let n = Cluster.num_replicas ctx.cluster in
+  let clients = ctx.cluster.Cluster.clients in
+  let honest = honest_replicas ctx in
+  let max_h = List.fold_left (fun acc r -> max acc (Replica.last_executed r)) 0 honest in
+  let replicas =
+    List.map
+      (fun r ->
+        let blocks = ref [] in
+        for seq = max_h downto 1 do
+          match Replica.committed_block r seq with
+          | None -> ()
+          | Some reqs -> blocks := (seq, canonical_block reqs) :: !blocks
+        done;
+        let state = Sbft_store.Auth_store.state (Replica.store r) in
+        {
+          rid = Replica.id r;
+          last_executed = Replica.last_executed r;
+          digest = Replica.state_digest r;
+          blocks = !blocks;
+          certified = Replica.certified_checkpoints r;
+          counters =
+            Array.mapi
+              (fun idx _ ->
+                match Sbft_store.Kv_service.read state ~key:(counter_key idx) with
+                | Some v -> Option.value ~default:(-1) (int_of_string_opt v)
+                | None -> 0)
+              clients;
+          executed_for =
+            Array.mapi
+              (fun idx _ ->
+                Option.value ~default:0 (Replica.client_last_timestamp r ~client:(n + idx)))
+              clients;
+        })
+      honest
+  in
+  {
+    num_replicas = n;
+    num_clients = Array.length clients;
+    replicas;
+    submitted = Array.map Client.last_timestamp clients;
+    completed_ops = Array.map Client.completed clients;
+    accepted = ctx.completions;
+    requests = ctx.sched.Schedule.requests;
+    gst_ms = ctx.sched.Schedule.gst_ms;
+    sanitizer_violation = ctx.sanitizer_violation;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Individual oracles.  Each returns (pass, detail). *)
 
 let block_equal a b =
   List.equal
@@ -37,16 +120,12 @@ let block_equal a b =
 (* Theorem VI.1: no two non-faulty replicas commit different blocks at
    the same sequence number; and replicas at equal executed heights have
    equal state digests. *)
-let agreement ctx =
-  let honest = honest_replicas ctx in
-  let max_h = List.fold_left (fun acc r -> max acc (Replica.last_executed r)) 0 honest in
+let agreement obs =
+  let max_h = List.fold_left (fun acc r -> max acc r.last_executed) 0 obs.replicas in
   let bad = ref [] in
   for seq = 1 to max_h do
     let blocks =
-      List.filter_map
-        (fun r ->
-          Option.map (fun reqs -> (Replica.id r, canonical_block reqs)) (Replica.committed_block r seq))
-        honest
+      List.filter_map (fun r -> Option.map (fun b -> (r.rid, b)) (List.assoc_opt seq r.blocks)) obs.replicas
     in
     match blocks with
     | [] | [ _ ] -> ()
@@ -62,73 +141,69 @@ let agreement ctx =
       List.iter
         (fun rj ->
           if
-            Replica.id ri < Replica.id rj
-            && Int.equal (Replica.last_executed ri) (Replica.last_executed rj)
-            && Replica.last_executed ri > 0
-            && not (String.equal (Replica.state_digest ri) (Replica.state_digest rj))
+            ri.rid < rj.rid
+            && Int.equal ri.last_executed rj.last_executed
+            && ri.last_executed > 0
+            && not (String.equal ri.digest rj.digest)
           then
             bad :=
               Printf.sprintf "digest divergence at height %d between replicas %d/%d"
-                (Replica.last_executed ri) (Replica.id ri) (Replica.id rj)
+                ri.last_executed ri.rid rj.rid
               :: !bad)
-        honest)
-    honest;
+        obs.replicas)
+    obs.replicas;
   match List.rev !bad with
   | [] -> (true, Printf.sprintf "heights<=%d consistent" max_h)
   | d :: _ -> (false, d)
 
 (* Every executed operation traces back to a client request (or is the
    view change's null filler). *)
-let validity ctx =
-  let n = Cluster.num_replicas ctx.cluster in
-  let clients = ctx.cluster.Cluster.clients in
+let validity obs =
   let bad = ref [] in
   List.iter
     (fun r ->
-      for seq = 1 to Replica.last_executed r do
-        match Replica.committed_block r seq with
-        | None -> ()
-        | Some reqs ->
+      List.iter
+        (fun (seq, block) ->
+          if seq >= 1 && seq <= r.last_executed then
             List.iter
-              (fun (req : Types.request) ->
-                if req.Types.client < 0 then begin
-                  if not (String.equal req.Types.op "") then
-                    bad := Printf.sprintf "replica %d seq %d: non-null op without client" (Replica.id r) seq :: !bad
+              (fun (client, timestamp, op) ->
+                if client < 0 then begin
+                  if not (String.equal op "") then
+                    bad := Printf.sprintf "replica %d seq %d: non-null op without client" r.rid seq :: !bad
                 end
                 else begin
-                  let idx = req.Types.client - n in
-                  if idx < 0 || idx >= Array.length clients then
-                    bad := Printf.sprintf "replica %d seq %d: unknown client %d" (Replica.id r) seq req.Types.client :: !bad
+                  let idx = client - obs.num_replicas in
+                  if idx < 0 || idx >= obs.num_clients then
+                    bad := Printf.sprintf "replica %d seq %d: unknown client %d" r.rid seq client :: !bad
                   else begin
-                    let submitted = Client.last_timestamp clients.(idx) in
-                    if req.Types.timestamp < 1 || req.Types.timestamp > submitted then
+                    let submitted = obs.submitted.(idx) in
+                    if timestamp < 1 || timestamp > submitted then
                       bad :=
                         Printf.sprintf "replica %d seq %d: client %d never submitted timestamp %d"
-                          (Replica.id r) seq req.Types.client req.Types.timestamp
+                          r.rid seq client timestamp
                         :: !bad
-                    else if not (String.equal req.Types.op (expected_op idx)) then
+                    else if not (String.equal op (expected_op idx)) then
                       bad :=
                         Printf.sprintf "replica %d seq %d: op bytes differ from client %d's submission"
-                          (Replica.id r) seq req.Types.client
+                          r.rid seq client
                         :: !bad
                   end
                 end)
-              reqs
-      done)
-    (honest_replicas ctx);
+              block)
+        r.blocks)
+    obs.replicas;
   match List.rev !bad with
   | [] -> (true, "all executed ops trace to client requests")
   | d :: _ -> (false, d)
 
 (* π-certified checkpoint digests agree across non-faulty replicas. *)
-let checkpoints ctx =
-  let honest = honest_replicas ctx in
+let checkpoints obs =
   let bad = ref [] in
   List.iter
     (fun ri ->
       List.iter
         (fun rj ->
-          if Replica.id ri < Replica.id rj then
+          if ri.rid < rj.rid then
             List.iter
               (fun (seq, di) ->
                 List.iter
@@ -136,12 +211,12 @@ let checkpoints ctx =
                     if Int.equal seq seq' && not (String.equal di dj) then
                       bad :=
                         Printf.sprintf "checkpoint digest mismatch at seq %d between replicas %d/%d"
-                          seq (Replica.id ri) (Replica.id rj)
+                          seq ri.rid rj.rid
                         :: !bad)
-                  (Replica.certified_checkpoints rj))
-              (Replica.certified_checkpoints ri))
-        honest)
-    honest;
+                  rj.certified)
+              ri.certified)
+        obs.replicas)
+    obs.replicas;
   match List.rev !bad with
   | [] -> (true, "certified checkpoint digests consistent")
   | d :: _ -> (false, d)
@@ -150,35 +225,24 @@ let checkpoints ctx =
    equals the number of distinct requests executed for it (server side),
    and the value each client accepted for its k-th request is exactly
    the k-th counter reading (client side). *)
-let at_most_once ctx =
-  let n = Cluster.num_replicas ctx.cluster in
+let at_most_once obs =
   let bad = ref [] in
   List.iter
     (fun r ->
-      if Replica.last_executed r > 0 then begin
-        let state = Sbft_store.Auth_store.state (Replica.store r) in
+      if r.last_executed > 0 then
         Array.iteri
-          (fun idx _ ->
-            let counter =
-              match Sbft_store.Kv_service.read state ~key:(counter_key idx) with
-              | Some v -> Option.value ~default:(-1) (int_of_string_opt v)
-              | None -> 0
-            in
-            let executed =
-              Option.value ~default:0
-                (Replica.client_last_timestamp r ~client:(n + idx))
-            in
+          (fun idx counter ->
+            let executed = r.executed_for.(idx) in
             if not (Int.equal counter executed) then
               bad :=
                 Printf.sprintf
                   "replica %d: client %d counter=%d but %d distinct requests executed"
-                  (Replica.id r) (n + idx) counter executed
+                  r.rid (obs.num_replicas + idx) counter executed
                 :: !bad)
-          ctx.cluster.Cluster.clients
-      end)
-    (honest_replicas ctx);
+          r.counters)
+    obs.replicas;
   Array.iteri
-    (fun idx completions ->
+    (fun idx accepted ->
       List.iter
         (fun (timestamp, value) ->
           if not (String.equal value (string_of_int timestamp)) then
@@ -186,8 +250,8 @@ let at_most_once ctx =
               Printf.sprintf "client %d accepted value %S for request %d (expected %d)"
                 idx value timestamp timestamp
               :: !bad)
-        completions)
-    ctx.completions;
+        accepted)
+    obs.accepted;
   match List.rev !bad with
   | [] -> (true, "counters match distinct executions")
   | d :: _ -> (false, d)
@@ -195,33 +259,34 @@ let at_most_once ctx =
 (* Liveness after GST: an eventually-synchronous schedule guarantees a
    heal + quiet period, so every submitted operation must complete
    within the horizon. *)
-let liveness ctx =
-  match ctx.sched.Schedule.gst_ms with
+let liveness obs =
+  match obs.gst_ms with
   | None -> (true, "not an eventually-synchronous schedule (skipped)")
   | Some gst ->
-      let expected = ctx.sched.Schedule.requests in
       let lagging =
-        Array.to_list ctx.cluster.Cluster.clients
-        |> List.mapi (fun idx c -> (idx, Client.completed c))
-        |> List.filter (fun (_, done_) -> done_ < expected)
+        Array.to_list obs.completed_ops
+        |> List.mapi (fun idx done_ -> (idx, done_))
+        |> List.filter (fun (_, done_) -> done_ < obs.requests)
       in
       (match lagging with
-      | [] -> (true, Printf.sprintf "all %d ops done after gst=%dms" (expected * Array.length ctx.cluster.Cluster.clients) gst)
+      | [] -> (true, Printf.sprintf "all %d ops done after gst=%dms" (obs.requests * obs.num_clients) gst)
       | (idx, done_) :: _ ->
-          (false, Printf.sprintf "client %d completed %d/%d after gst=%dms" idx done_ expected gst))
+          (false, Printf.sprintf "client %d completed %d/%d after gst=%dms" idx done_ obs.requests gst))
 
-let sanitizer ctx =
-  match ctx.sanitizer_violation with
+let sanitizer obs =
+  match obs.sanitizer_violation with
   | None -> (true, "no runtime invariant violation")
   | Some msg -> (false, msg)
 
-let evaluate ctx =
+let evaluate_obs obs =
   let mk name (pass, detail) = { name; pass; detail } in
   [
-    mk "sanitizer" (sanitizer ctx);
-    mk "agreement" (agreement ctx);
-    mk "validity" (validity ctx);
-    mk "checkpoints" (checkpoints ctx);
-    mk "at-most-once" (at_most_once ctx);
-    mk "liveness" (liveness ctx);
+    mk "sanitizer" (sanitizer obs);
+    mk "agreement" (agreement obs);
+    mk "validity" (validity obs);
+    mk "checkpoints" (checkpoints obs);
+    mk "at-most-once" (at_most_once obs);
+    mk "liveness" (liveness obs);
   ]
+
+let evaluate ctx = evaluate_obs (observe ctx)

@@ -16,6 +16,7 @@ let config_of (s : Schedule.t) =
     Config.win = s.Schedule.win;
     execution_acks = s.Schedule.acks;
     durable_wal = s.Schedule.wal;
+    conservative_rejoin = s.Schedule.rejoin_conservative;
     mutation =
       (match s.Schedule.mutation with
       | Schedule.No_mutation -> None
@@ -49,19 +50,28 @@ let replica_byz = function
 
 (* Replicas the schedule ever flips to a non-honest behaviour.  The
    oracles exclude these even if a later step (the post-GST quiet
-   period) flips them back: state corrupted while Byzantine persists. *)
+   period) flips them back: state corrupted while Byzantine persists.
+   An adaptive adversary's pool counts wholesale — its policy may flip
+   any member at any tick, so all of them are suspect. *)
 let ever_byzantine (s : Schedule.t) =
   let n = Schedule.num_replicas s in
-  List.filter_map
-    (fun (step : Schedule.step) ->
-      match step.Schedule.action with
-      | Schedule.Byzantine (node, b)
-        when node >= 0 && node < n
-             && not (match b with Schedule.Honest -> true | _ -> false) ->
-          Some node
-      | _ -> None)
-    s.Schedule.steps
-  |> List.sort_uniq Int.compare
+  let static =
+    List.filter_map
+      (fun (step : Schedule.step) ->
+        match step.Schedule.action with
+        | Schedule.Byzantine (node, b)
+          when node >= 0 && node < n
+               && not (match b with Schedule.Honest -> true | _ -> false) ->
+            Some node
+        | _ -> None)
+      s.Schedule.steps
+  in
+  let pool =
+    match s.Schedule.adversary with
+    | None -> []
+    | Some a -> List.filter (fun p -> p >= 0 && p < n) a.Schedule.pool
+  in
+  List.sort_uniq Int.compare (static @ pool)
 
 let apply (cluster : Cluster.t) (sched : Schedule.t) action =
   let num_nodes = Schedule.num_nodes sched in
@@ -92,6 +102,24 @@ let apply (cluster : Cluster.t) (sched : Schedule.t) action =
       if valid_node node then Network.reconnect_node cluster.Cluster.network ~node ~num_nodes
   | Schedule.Byzantine (node, b) ->
       if node >= 0 && node < n then Replica.set_byzantine cluster.Cluster.replicas.(node) (replica_byz b)
+  | Schedule.Slow (node, scale) ->
+      if valid_node node then Engine.set_cpu_scale cluster.Cluster.engine node scale
+  | Schedule.Flap { src; dst; period_ms; up_ms } ->
+      if valid_node src && valid_node dst then
+        Network.set_flap cluster.Cluster.network ~src ~dst ~period:(Engine.ms period_ms)
+          ~up:(Engine.ms up_ms)
+  | Schedule.Unflap node ->
+      if valid_node node then Network.clear_flap_node cluster.Cluster.network ~node ~num_nodes
+  | Schedule.Fsync_delay (node, scale) ->
+      if node >= 0 && node < n then Replica.set_fsync_scale cluster.Cluster.replicas.(node) scale
+  | Schedule.Rollback (node, before) ->
+      (* Disk tampering requires the victim to be down with volatile
+         state gone (crash-amnesia): a live replica shares its WAL
+         buffers, and a plain crash keeps memory no disk rewind can
+         touch.  Misplaced rollbacks are no-ops, like other
+         out-of-range actions. *)
+      if node >= 0 && node < n && cluster.Cluster.amnesia.(node) then
+        ignore (Cluster.rollback_replica cluster node ~before)
 
 let run (sched : Schedule.t) =
   let config = config_of sched in
@@ -112,6 +140,42 @@ let run (sched : Schedule.t) =
       Engine.schedule cluster.Cluster.engine ~at:(Engine.ms step.Schedule.at_ms) (fun () ->
           apply cluster sched step.Schedule.action))
     (Schedule.sorted_steps sched);
+  (* Adaptive adversary: a recurring engine event observes the cluster
+     through the restricted obs_* surface and reacts via the same fault
+     primitives the static steps use.  The tick is an ordinary
+     scheduled event, so replays interleave it identically. *)
+  (match sched.Schedule.adversary with
+  | None -> ()
+  | Some spec ->
+      let adv = Adversary.create spec in
+      let n = Schedule.num_replicas sched in
+      let apply_adv = function
+        | Adversary.Flip (node, b) ->
+            if node >= 0 && node < n then
+              Replica.set_byzantine cluster.Cluster.replicas.(node) (replica_byz b)
+        | Adversary.Isolate node ->
+            if node >= 0 && node < n then
+              Network.isolate_node cluster.Cluster.network ~node
+                ~num_nodes:(Schedule.num_nodes sched)
+        | Adversary.Reconnect node ->
+            if node >= 0 && node < n then
+              Network.reconnect_node cluster.Cluster.network ~node
+                ~num_nodes:(Schedule.num_nodes sched)
+      in
+      let until = min spec.Schedule.until_ms sched.Schedule.horizon_ms in
+      let rec tick at_ms =
+        if at_ms > until then
+          Engine.schedule cluster.Cluster.engine ~at:(Engine.ms until) (fun () ->
+              List.iter apply_adv (Adversary.cleanup adv))
+        else
+          Engine.schedule cluster.Cluster.engine ~at:(Engine.ms at_ms) (fun () ->
+              let v =
+                Adversary.view_of cluster ~pool:spec.Schedule.pool ~now_ms:at_ms
+              in
+              List.iter apply_adv (Adversary.observe adv v);
+              tick (at_ms + spec.Schedule.every_ms))
+      in
+      tick (max 0 spec.Schedule.from_ms));
   let violation = ref None in
   (try Engine.run_until cluster.Cluster.engine (Engine.ms sched.Schedule.horizon_ms)
    with Sanitizer.Violation msg -> violation := Some msg);

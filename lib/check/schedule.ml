@@ -17,6 +17,11 @@ type action =
   | Isolate of int
   | Reconnect of int
   | Byzantine of int * byz
+  | Slow of int * float
+  | Flap of { src : int; dst : int; period_ms : int; up_ms : int }
+  | Unflap of int
+  | Fsync_delay of int * float
+  | Rollback of int * int
 
 type step = { at_ms : int; action : action }
 
@@ -25,6 +30,21 @@ type mutation = No_mutation | Weak_sigma | Weak_tau | Weak_vc
 type expect = Expect_pass | Expect_fail of string | Expect_any
 
 type topology = Lan | Continent | World
+
+type policy =
+  | Equivocating_collector
+  | Withhold_until_threshold
+  | View_change_storm
+  | Checkpoint_split
+
+type adversary = {
+  policy : policy;
+  pool : int list;
+  budget : int;
+  every_ms : int;
+  from_ms : int;
+  until_ms : int;
+}
 
 type t = {
   name : string;
@@ -37,7 +57,9 @@ type t = {
   topology : topology;
   acks : bool;
   wal : bool;
+  rejoin_conservative : bool;
   mutation : mutation;
+  adversary : adversary option;
   gst_ms : int option;
   horizon_ms : int;
   expect : expect;
@@ -64,6 +86,19 @@ let byz_of_string = function
   | "honest" -> Some Honest
   | _ -> None
 
+let policy_to_string = function
+  | Equivocating_collector -> "equivocating-collector"
+  | Withhold_until_threshold -> "withhold-until-threshold"
+  | View_change_storm -> "vc-storm"
+  | Checkpoint_split -> "checkpoint-split"
+
+let policy_of_string = function
+  | "equivocating-collector" -> Some Equivocating_collector
+  | "withhold-until-threshold" -> Some Withhold_until_threshold
+  | "vc-storm" -> Some View_change_storm
+  | "checkpoint-split" -> Some Checkpoint_split
+  | _ -> None
+
 let groups_to_string groups =
   String.concat "|"
     (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups)
@@ -79,6 +114,12 @@ let action_to_string = function
   | Isolate n -> Printf.sprintf "isolate %d" n
   | Reconnect n -> Printf.sprintf "reconnect %d" n
   | Byzantine (n, b) -> Printf.sprintf "byz %d %s" n (byz_to_string b)
+  | Slow (n, scale) -> Printf.sprintf "slow %d %g" n scale
+  | Flap { src; dst; period_ms; up_ms } ->
+      Printf.sprintf "flap %d %d %d %d" src dst period_ms up_ms
+  | Unflap n -> Printf.sprintf "unflap %d" n
+  | Fsync_delay (n, scale) -> Printf.sprintf "fsync-delay %d %g" n scale
+  | Rollback (n, before) -> Printf.sprintf "rollback %d %d" n before
 
 let topology_to_string = function
   | Lan -> "lan"
@@ -107,12 +148,20 @@ let to_string t =
   line "topology %s" (topology_to_string t.topology);
   line "acks %s" (if t.acks then "on" else "off");
   line "wal %s" (if t.wal then "on" else "off");
+  line "rejoin %s" (if t.rejoin_conservative then "conservative" else "eager");
   line "mutation %s"
     (match t.mutation with
     | No_mutation -> "none"
     | Weak_sigma -> "weak-sigma"
     | Weak_tau -> "weak-tau"
     | Weak_vc -> "weak-vc");
+  (match t.adversary with
+  | None -> ()
+  | Some a ->
+      line "adversary %s pool %s budget %d every %d from %d until %d"
+        (policy_to_string a.policy)
+        (String.concat "," (List.map string_of_int a.pool))
+        a.budget a.every_ms a.from_ms a.until_ms);
   (match t.gst_ms with None -> line "gst none" | Some g -> line "gst %d" g);
   line "horizon %d" t.horizon_ms;
   (match t.expect with
@@ -177,7 +226,59 @@ let parse_action words =
           match byz_of_string b with
           | Some b -> Ok (Byzantine (n, b))
           | None -> Error (Printf.sprintf "unknown byzantine behaviour %S" b))
+  | [ "slow"; n; s ] ->
+      Result.bind (parse_int "node" n) (fun n ->
+          match float_of_string_opt s with
+          | Some scale when scale >= 1.0 -> Ok (Slow (n, scale))
+          | _ -> Error (Printf.sprintf "bad slow scale %S" s))
+  | [ "flap"; src; dst; period; up ] ->
+      Result.bind (parse_int "src" src) (fun src ->
+          Result.bind (parse_int "dst" dst) (fun dst ->
+              Result.bind (parse_int "flap period" period) (fun period_ms ->
+                  Result.bind (parse_int "flap up" up) (fun up_ms ->
+                      if period_ms < 1 || up_ms < 0 then
+                        Error "flap period must be positive and up non-negative"
+                      else Ok (Flap { src; dst; period_ms; up_ms })))))
+  | [ "unflap"; n ] -> Result.map (fun n -> Unflap n) (parse_int "node" n)
+  | [ "fsync-delay"; n; s ] ->
+      Result.bind (parse_int "node" n) (fun n ->
+          match float_of_string_opt s with
+          | Some scale when scale >= 1.0 -> Ok (Fsync_delay (n, scale))
+          | _ -> Error (Printf.sprintf "bad fsync-delay scale %S" s))
+  | [ "rollback"; n; before ] ->
+      Result.bind (parse_int "node" n) (fun n ->
+          Result.map (fun before -> Rollback (n, before)) (parse_int "rollback seq" before))
   | _ -> Error (Printf.sprintf "unknown action %S" (String.concat " " words))
+
+let parse_pool s =
+  List.fold_left
+    (fun acc p ->
+      match (acc, int_of_string_opt p) with
+      | Ok nodes, Some n when n >= 0 -> Ok (n :: nodes)
+      | Ok _, _ -> Error (Printf.sprintf "bad adversary pool node %S" p)
+      | (Error _ as e), _ -> e)
+    (Ok [])
+    (String.split_on_char ',' s)
+  |> Result.map List.rev
+
+let parse_adversary words =
+  match words with
+  | [ p; "pool"; pool; "budget"; b; "every"; e; "from"; fr; "until"; u ] -> (
+      match policy_of_string p with
+      | None -> Error (Printf.sprintf "unknown adversary policy %S" p)
+      | Some policy ->
+          Result.bind (parse_pool pool) (fun pool ->
+              Result.bind (parse_int "budget" b) (fun budget ->
+                  Result.bind (parse_int "every" e) (fun every_ms ->
+                      Result.bind (parse_int "from" fr) (fun from_ms ->
+                          Result.bind (parse_int "until" u) (fun until_ms ->
+                              if pool = [] then Error "adversary pool is empty"
+                              else if budget < 0 then Error "negative adversary budget"
+                              else if every_ms < 1 then Error "adversary tick must be positive"
+                              else if until_ms < from_ms then Error "adversary until before from"
+                              else
+                                Ok { policy; pool; budget; every_ms; from_ms; until_ms }))))))
+  | _ -> Error (Printf.sprintf "bad adversary line %S" (String.concat " " words))
 
 let default ~name ~seed =
   {
@@ -191,7 +292,9 @@ let default ~name ~seed =
     topology = Lan;
     acks = true;
     wal = true;
+    rejoin_conservative = true;
     mutation = No_mutation;
+    adversary = None;
     gst_ms = None;
     horizon_ms = 30_000;
     expect = Expect_any;
@@ -240,11 +343,18 @@ let parse text =
             | [ "acks"; "off" ] -> t := { !t with acks = false }
             | [ "wal"; "on" ] -> t := { !t with wal = true }
             | [ "wal"; "off" ] -> t := { !t with wal = false }
+            | [ "rejoin"; "conservative" ] -> t := { !t with rejoin_conservative = true }
+            | [ "rejoin"; "eager" ] -> t := { !t with rejoin_conservative = false }
+            | [ "rejoin"; other ] -> fail (Printf.sprintf "unknown rejoin mode %S" other)
             | [ "mutation"; "none" ] -> t := { !t with mutation = No_mutation }
             | [ "mutation"; "weak-sigma" ] -> t := { !t with mutation = Weak_sigma }
             | [ "mutation"; "weak-tau" ] -> t := { !t with mutation = Weak_tau }
             | [ "mutation"; "weak-vc" ] -> t := { !t with mutation = Weak_vc }
             | [ "mutation"; other ] -> fail (Printf.sprintf "unknown mutation %S" other)
+            | "adversary" :: adv_words -> (
+                match parse_adversary adv_words with
+                | Ok a -> t := { !t with adversary = Some a }
+                | Error e -> fail e)
             | [ "gst"; "none" ] -> t := { !t with gst_ms = None }
             | [ "gst"; v ] ->
                 t := set_field (Result.map (fun g -> { !t with gst_ms = Some g }) (parse_int "gst" v))
@@ -273,7 +383,14 @@ let parse text =
             else if t.clients < 1 then Error "need at least one client"
             else if t.requests < 1 then Error "need at least one request"
             else if t.horizon_ms < 1 then Error "horizon must be positive"
-            else Ok { t with steps = sorted_steps t })
+            else
+              let bad_pool =
+                match t.adversary with
+                | None -> false
+                | Some a -> List.exists (fun n -> n >= num_replicas t) a.pool
+              in
+              if bad_pool then Error "adversary pool names a non-replica node"
+              else Ok { t with steps = sorted_steps t })
   | _ -> Error "not an sbft-schedule v1 file"
 
 (* ------------------------------------------------------------------ *)

@@ -54,6 +54,23 @@ type action =
   | Isolate of int  (** all links to/from the node go down *)
   | Reconnect of int
   | Byzantine of int * byz
+  | Slow of int * float
+      (** Gray failure: dilate the node's CPU by this factor (≥ 1.0;
+          1.0 heals).  The node stays alive and correct — just slow. *)
+  | Flap of { src : int; dst : int; period_ms : int; up_ms : int }
+      (** Gray failure: the directed link passes traffic only during the
+          first [up_ms] of each [period_ms] window (deterministic, no
+          RNG).  Flap one direction only for an asymmetric link. *)
+  | Unflap of int  (** clear flapping on every link touching the node *)
+  | Fsync_delay of int * float
+      (** Gray failure: multiply the node's WAL group-commit flush
+          latency by this factor (fail-slow disk; ≥ 1.0, 1.0 heals). *)
+  | Rollback of int * int
+      (** [Rollback (node, before)]: while [node] is down after a
+          [Crash_amnesia], re-image its disk from a stale backup — WAL
+          and block ledger roll back to the newest stable checkpoint
+          with seq ≤ [before] ({!Sbft_core.Cluster.rollback_replica}).
+          The subsequent [Recover] restarts from the outdated prefix. *)
 
 type step = { at_ms : int; action : action }
 
@@ -71,6 +88,40 @@ type expect = Expect_pass | Expect_fail of string | Expect_any
 
 type topology = Lan | Continent | World
 
+(** Adaptive-adversary policies ({!Adversary} interprets them).  Each
+    policy observes the cluster through the restricted [obs_*] surface
+    every tick and reacts — unlike the static [step] list, its actions
+    depend on protocol state, but the whole loop stays deterministic
+    and replayable because observation times and the decision rule are
+    fixed by the schedule. *)
+type policy =
+  | Equivocating_collector
+      (** the colluding primary equivocates exactly when enough slots
+          are in flight for the split to stick, then goes quiet *)
+  | Withhold_until_threshold
+      (** pool replicas participate normally until a slot is one share
+          short of its commit threshold, then fall silent — maximal
+          damage per withheld share *)
+  | View_change_storm
+      (** pool replicas watch for any view-change activity and amplify
+          it with spam votes for higher views *)
+  | Checkpoint_split
+      (** pool replicas wait for a checkpoint boundary, then isolate the
+          slowest honest replica so its checkpoint diverges from the
+          quorum's *)
+
+type adversary = {
+  policy : policy;
+  pool : int list;  (** colluding replica ids (generator keeps ≤ f) *)
+  budget : int;  (** max actions the policy may take over the run *)
+  every_ms : int;  (** observation tick period *)
+  from_ms : int;  (** first observation tick *)
+  until_ms : int;  (** last tick; connectivity damage is undone here *)
+}
+(** Header-level adaptive attacker.  Shrinkable along [budget] (fewer
+    actions) and the [from_ms .. until_ms] horizon (shorter observation
+    window) — see {!Shrink}. *)
+
 type t = {
   name : string;
   seed : int64;
@@ -85,7 +136,12 @@ type t = {
       (** {!Config.durable_wal}: switching it off turns every
           crash-amnesia recovery into a from-genesis restart, which is
           how the corpus proves the WAL is load-bearing. *)
+  rejoin_conservative : bool;
+      (** {!Config.conservative_rejoin}: [eager] disables the
+          state-transfer + view-discovery probes after recovery — the
+          defenseless baseline the rollback-attack twins must fail. *)
   mutation : mutation;
+  adversary : adversary option;
   gst_ms : int option;
       (** Eventual synchrony: after this point the schedule guarantees a
           heal + quiet period, and the liveness oracle applies. *)
@@ -113,3 +169,5 @@ val load : path:string -> (t, string) result
 
 val byz_to_string : byz -> string
 val action_to_string : action -> string
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option

@@ -71,13 +71,61 @@ let shrink_clients ~oracle sched =
   in
   loop sched
 
+(* Shrink the adaptive adversary along its two extra axes: the action
+   budget (how often the policy may react) and the observation horizon
+   (how long it watches).  Halving loops like the workload passes; a
+   final probe tries dropping the adversary outright — many failures
+   blamed on the policy turn out to be static-schedule bugs, and the
+   minimal artifact should say so. *)
+let shrink_adversary ~oracle sched =
+  match sched.Schedule.adversary with
+  | None -> sched
+  | Some _ ->
+      let try_adv sched a =
+        let candidate = { sched with Schedule.adversary = Some a } in
+        if Runner.fails_on candidate ~oracle then Some candidate else None
+      in
+      let rec budget sched =
+        match sched.Schedule.adversary with
+        | Some a when a.Schedule.budget > 0 -> (
+            match try_adv sched { a with Schedule.budget = a.Schedule.budget / 2 } with
+            | Some smaller -> budget smaller
+            | None -> sched)
+        | _ -> sched
+      in
+      let rec horizon sched =
+        match sched.Schedule.adversary with
+        | Some a when a.Schedule.until_ms > a.Schedule.from_ms -> (
+            let span = a.Schedule.until_ms - a.Schedule.from_ms in
+            match
+              try_adv sched { a with Schedule.until_ms = a.Schedule.from_ms + (span / 2) }
+            with
+            | Some smaller -> horizon smaller
+            | None -> sched)
+        | _ -> sched
+      in
+      let sched = budget sched in
+      let sched = horizon sched in
+      let without = { sched with Schedule.adversary = None } in
+      if Runner.fails_on without ~oracle then without else sched
+
 (* [minimize ~oracle sched] assumes [sched] currently fails on [oracle]
    and returns a locally minimal schedule that still does, renamed and
-   re-expected so it can be committed to the corpus as-is. *)
+   re-expected so it can be committed to the corpus as-is.
+
+   Workload halving runs BEFORE step-ddmin: every ddmin probe replays
+   the whole schedule, so at n ≥ 20 replicas an un-shrunk closed-loop
+   workload multiplied across ddmin's O(steps²) worst-case probes blows
+   the CI fuzz-smoke budget.  Requests/clients shrink in a handful of
+   cheap halving runs and every subsequent probe inherits the smaller
+   workload; a second requests pass after ddmin catches reductions the
+   full step list was blocking. *)
 let minimize ~oracle sched =
-  let sched = ddmin_steps ~oracle sched in
   let sched = shrink_requests ~oracle sched in
   let sched = shrink_clients ~oracle sched in
+  let sched = shrink_adversary ~oracle sched in
+  let sched = ddmin_steps ~oracle sched in
+  let sched = shrink_requests ~oracle sched in
   {
     sched with
     Schedule.name = sched.Schedule.name ^ "-shrunk";

@@ -14,7 +14,16 @@ val ddmin :
 
 val minimize : oracle:string -> Schedule.t -> Schedule.t
 (** [minimize ~oracle sched] assumes [sched] currently fails on
-    [oracle] and returns a locally minimal schedule that still does —
-    ddmin over the steps, then request halving and client removal —
+    [oracle] and returns a locally minimal schedule that still does,
     renamed ["-shrunk"] and re-expected to [Expect_fail oracle] so it
-    can be committed to the corpus as-is. *)
+    can be committed to the corpus as-is.
+
+    Pass order: workload halving (requests, then clients) runs FIRST so
+    every subsequent ddmin probe replays the cheapest workload that
+    still reproduces — un-shrunk workloads multiplied across ddmin's
+    probe count are what blew the CI budget at n ≥ 20.  The adaptive
+    adversary (if any) then shrinks along its own axes — action budget
+    halving, observation-horizon halving, and a drop-it-entirely probe
+    (a failure that persists without the adversary is a static bug and
+    the artifact should say so) — before step-ddmin and a final
+    requests pass. *)

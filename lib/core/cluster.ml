@@ -139,6 +139,20 @@ let crash_amnesia t id =
   Sbft_store.Wal.drop_pending t.durables.(id).Replica.wal;
   t.amnesia.(id) <- true
 
+(* Rollback attack: while the node is down, re-image its disk from a
+   stale backup — the WAL rolls back to the newest stable checkpoint at
+   or below [before] and the block ledger follows, so recovery restarts
+   from an internally consistent but outdated prefix that has forgotten
+   every later promise (the software analogue of the rollback attacks
+   trusted monotonic counters exist to stop).  Only meaningful after
+   [crash_amnesia]; a plain crash keeps volatile memory, which no disk
+   tampering can rewind. *)
+let rollback_replica t id ~before =
+  let d = t.durables.(id) in
+  let cp = Sbft_store.Wal.rollback_to_checkpoint d.Replica.wal ~before in
+  Sbft_store.Block_store.rollback d.Replica.blocks ~above:cp;
+  cp
+
 (* Recover a crashed node.  A plain crash resumes with full memory (the
    legacy pause semantics); an amnesia crash rebuilds the replica from
    scratch around its durable state and runs the recovery protocol. *)

@@ -67,6 +67,15 @@ val crash_amnesia : t -> int -> unit
     only group-committed records survive — recovery must rebuild from
     the WAL plus the persisted block store. *)
 
+val rollback_replica : t -> int -> before:int -> int
+(** Rollback attack (schedule fuzzer): while replica [id] is down after
+    {!crash_amnesia}, re-image its disk from a stale backup — the WAL is
+    truncated to the newest stable checkpoint at or below [before]
+    ({!Sbft_store.Wal.rollback_to_checkpoint}) and the block ledger
+    follows.  Recovery then restarts from an internally consistent but
+    outdated prefix that has forgotten every later prepare promise.
+    Returns the checkpoint seq the disk rolled back to (0 = genesis). *)
+
 val recover_replica : t -> int -> unit
 (** Bring a crashed replica back.  After a plain crash it resumes with
     full memory; after {!crash_amnesia} a fresh replica is built around

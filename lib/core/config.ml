@@ -18,6 +18,7 @@ type t = {
   optimistic_combine : bool;
   sanitize : bool;
   durable_wal : bool;
+  conservative_rejoin : bool;
   state_transfer_retry : Engine.time;
   mutation : mutation option;
 }
@@ -61,6 +62,7 @@ let default ~f ~c =
     optimistic_combine = true;
     sanitize = true;
     durable_wal = true;
+    conservative_rejoin = true;
     state_transfer_retry = Engine.ms 300;
     mutation = None;
   }

@@ -58,6 +58,17 @@ type t = {
           crash-amnesia restart recovers from the durable prefix; off =
           restarts lose everything (benchmark reference point and the
           fuzzer's proof that the fault class has teeth) *)
+  conservative_rejoin : bool;
+      (** after a crash-amnesia recovery the rebuilt replica probes the
+          cluster before acting: a state-transfer probe fetches
+          checkpoints/blocks it missed and a view-discovery probe (a
+          stale view-change vote answered with stored new-view
+          evidence) re-synchronizes its view — the software substitute
+          for the trusted monotonic counters FastBFT-style protocols
+          need against rollback attacks; off = "eager rejoin", the
+          replica trusts whatever durable state it restarted from and
+          participates immediately (the fuzzer's rollback-attack twins
+          prove this switch is load-bearing) *)
   state_transfer_retry : Sbft_sim.Engine.time;
       (** base retry timer for an unanswered [Get_state] (doubles per
           attempt, capped; each retry rotates to the next peer) *)

@@ -186,6 +186,9 @@ type t = {
          paper's "adaptive protocol based on past network profiling" for
          the fast-path fallback timer (§V-E) *)
   mutable byz : byzantine;
+  mutable fsync_scale : float;
+      (* gray-failure knob: degraded-disk multiplier applied to the WAL
+         group-commit flush charge (1.0 = healthy) *)
   (* metrics *)
   mutable n_committed : int;
   mutable n_executed_blocks : int;
@@ -238,6 +241,7 @@ let create ~env ~my ~store ~(durable : durable) =
     failures_observed = false;
     fast_eta = float_of_int (env.keys.Keys.config.Config.fast_path_timeout / 2);
     byz = Honest;
+    fsync_scale = 1.0;
     n_committed = 0;
     n_executed_blocks = 0;
     n_fast = 0;
@@ -262,6 +266,35 @@ let slow_commits t = t.n_slow
 let set_byzantine t b = t.byz <- b
 let byzantine t = t.byz
 let wal t = t.wal
+let set_fsync_scale t s = t.fsync_scale <- Float.max 1.0 s
+
+(* ------------------------------------------------------------------ *)
+(* Adversary observation surface (obs_* namespace).
+
+   Everything an adaptive schedule-fuzzer attacker may inspect when
+   choosing its next move.  Deliberately restricted to state a real
+   network adversary colluding with f replicas could learn from traffic
+   and its own members: view/progress counters and per-slot share
+   tallies — never key material, never honest replicas' unsent buffers.
+   The R6 taint lint treats obs_* results as attacker-tainted, so
+   protocol handlers cannot grow a dependence on them. *)
+
+let obs_view t = t.view
+let obs_last_executed t = last_executed t
+let obs_last_stable t = t.stable
+let obs_next_seq t = t.next_seq
+let obs_in_view_change t = t.in_view_change
+
+(* Share counts an adversary's colluding collector would see arriving
+   for slot [seq]: (sigma, tau, commit) tallies, 0s for unknown slots. *)
+let obs_slot_shares t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | None -> (0, 0, 0)
+  | Some s -> (s.sigma_shares.count, s.tau_shares.count, s.commit_shares.count)
+
+(* Highest slot with any protocol activity — where the frontier is. *)
+let obs_frontier t =
+  Hashtbl.fold (fun seq _ acc -> max seq acc) t.slots 0
 
 let certified_checkpoints t =
   List.map
@@ -342,7 +375,9 @@ let wal_log t ctx record =
 
 let wal_sync t ctx =
   if (cfg t).Config.durable_wal && Sbft_store.Wal.sync t.wal then
-    Engine.charge ctx (Cost_model.Tally.note "wal_fsync" Cost_model.wal_fsync)
+    Engine.charge ctx
+      (Cost_model.Tally.note "wal_fsync"
+         (Cost_model.wal_fsync_scaled ~scale:t.fsync_scale))
 
 let wal_ops reqs =
   List.map (fun (r : Types.request) -> (r.Types.client, r.Types.timestamp, r.Types.op)) reqs
@@ -638,7 +673,12 @@ and collector_check t ctx sl ~view =
         | Some (v, _, h) when Int.equal v view ->
             sl.fast_sent <- true;
             let act ctx =
-              if sl.committed = None && sl.pending_fast = None then begin
+              (* The view guard kills zombie firings: a view change
+                 resets the slot's share stashes in place, so a
+                 staggered callback armed in the old view would
+                 otherwise combine an empty (or refilling) stash. *)
+              if sl.committed = None && sl.pending_fast = None && Int.equal t.view view
+              then begin
                 Sanitizer.check_quorum t.san Sanitizer.Sigma
                   ~count:sl.sigma_shares.count;
                 let k = Config.sigma_threshold config in
@@ -691,8 +731,12 @@ and collector_check t ctx sl ~view =
               + (rank * config.Config.collector_stagger)
             in
             let act ctx =
-              (* Give up on the fast path only if no proof emerged. *)
-              if sl.committed = None && sl.pending_fast = None then begin
+              (* Give up on the fast path only if no proof emerged.
+                 The view guard matches the σ collector above: entering
+                 a new view stash-resets this slot, so a fallback timer
+                 armed in the old view must not fire into it. *)
+              if sl.committed = None && sl.pending_fast = None && Int.equal t.view view
+              then begin
                 if config.Config.fast_path then t.failures_observed <- true;
                 Sanitizer.check_quorum t.san Sanitizer.Tau
                   ~count:sl.tau_shares.count;
@@ -1959,23 +2003,31 @@ let recover t ctx =
     max t.next_seq (max (Sbft_store.Block_store.highest t.blocks) !promised_seq + 1);
   note_progress t ctx;
   arm_liveness t;
-  (* Probe for whatever we missed while down (newer checkpoints, view
-     changes); peers answer blocks-only when they have no checkpoint,
-     and stale view-change complaints trigger new-view retransmission. *)
-  start_state_transfer t ctx
-    ~target:(last_executed t + config.Config.win + 1)
-    ~first_peer:None;
-  (* View-discovery probe: a view-change vote for the view we are
-     already in.  Peers at our view or ahead see it as stale and answer
-     with their stored new-view evidence (the on_view_change stale
-     branch); peers behind us count it as a legitimate vote toward the
-     view we genuinely occupy.  Either way it casts no ballot toward
-     any NEWER view, so a healthy cluster cannot be destabilised by a
-     rejoining replica.  Without this, a replica that slept through a
-     view change and returns to an idle cluster would wait in its old
-     view forever (state transfer moves data, not views). *)
-  Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
-  let probe = { (build_view_change t) with Types.vc_view = t.view - 1 } in
-  broadcast_replicas t ctx (Types.View_change probe);
+  if config.Config.conservative_rejoin then begin
+    (* Probe for whatever we missed while down (newer checkpoints, view
+       changes); peers answer blocks-only when they have no checkpoint,
+       and stale view-change complaints trigger new-view retransmission.
+       This probing is the software stand-in for the trusted monotonic
+       counters hardware-assisted BFT uses against rollback attacks: a
+       replica restarted from a stale durable prefix re-certifies where
+       the cluster actually is before its forgotten promises can be
+       leveraged.  [conservative_rejoin = false] is the eager-rejoin
+       baseline the rollback corpus twins must defeat. *)
+    start_state_transfer t ctx
+      ~target:(last_executed t + config.Config.win + 1)
+      ~first_peer:None;
+    (* View-discovery probe: a view-change vote for the view we are
+       already in.  Peers at our view or ahead see it as stale and answer
+       with their stored new-view evidence (the on_view_change stale
+       branch); peers behind us count it as a legitimate vote toward the
+       view we genuinely occupy.  Either way it casts no ballot toward
+       any NEWER view, so a healthy cluster cannot be destabilised by a
+       rejoining replica.  Without this, a replica that slept through a
+       view change and returns to an idle cluster would wait in its old
+       view forever (state transfer moves data, not views). *)
+    Engine.charge ctx (Cost_model.Tally.note "rsa_sign" Cost_model.rsa_sign);
+    let probe = { (build_view_change t) with Types.vc_view = t.view - 1 } in
+    broadcast_replicas t ctx (Types.View_change probe)
+  end;
   trace t ctx "recovered"
     (Printf.sprintf "view=%d le=%d stable=%d" t.view (last_executed t) t.stable)

@@ -91,6 +91,36 @@ val client_last_timestamp : t -> client:int -> int option
 val wal : t -> Sbft_store.Wal.t
 (** The replica's write-ahead log (tests inspect append/sync counts). *)
 
+val set_fsync_scale : t -> float -> unit
+(** Gray-failure knob: multiply the WAL group-commit flush charge by
+    this factor (fail-slow disk).  Clamped to ≥ 1.0; 1.0 = healthy.
+    Deterministic — affects virtual time only. *)
+
+(** {2 Adversary observation surface}
+
+    The [obs_*] accessors are what an adaptive schedule-fuzzer attacker
+    ({!Sbft_check.Adversary}) may inspect when choosing its next move:
+    view/progress counters and per-slot share tallies — state a network
+    adversary colluding with f replicas could learn from traffic and
+    its own members.  Key material, honest replicas' unsent buffers and
+    pending queues are deliberately not exposed.  The R6 taint lint
+    treats [obs_*] results as attacker-controlled, so protocol handlers
+    cannot grow a dependence on them. *)
+
+val obs_view : t -> int
+val obs_last_executed : t -> int
+val obs_last_stable : t -> int
+val obs_next_seq : t -> int
+val obs_in_view_change : t -> bool
+
+val obs_slot_shares : t -> int -> int * int * int
+(** [(sigma, tau, commit)] share counts collected at this replica for a
+    slot — what a colluding collector sees arriving; [(0,0,0)] for
+    unknown slots. *)
+
+val obs_frontier : t -> int
+(** Highest slot with any protocol activity at this replica. *)
+
 (** {2 Byzantine behaviours (tests only)} *)
 
 type byzantine =

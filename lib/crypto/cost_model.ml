@@ -60,6 +60,15 @@ let wal_append bytes = us_f 0.5 + bytes
    per handler that dirtied the log, not per record. *)
 let wal_fsync = us_f 120.
 
+(* Gray-failure knob: a degraded disk stretches the flush latency by a
+   per-node factor (firmware GC stalls, throttled cloud volumes).  The
+   scale multiplies the nominal fsync only — appends hit the page cache
+   and stay cheap, which is exactly the fail-slow asymmetry reported in
+   gray-failure studies. *)
+let wal_fsync_scaled ~scale =
+  if scale <= 1.0 then wal_fsync
+  else int_of_float (float_of_int wal_fsync *. scale)
+
 (* Calibrated to the paper's unreplicated baseline of ~840 contract
    transactions per second on one machine (execution + RocksDB commit). *)
 let evm_execute_tx = us_f 1190.

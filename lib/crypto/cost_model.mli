@@ -87,6 +87,12 @@ val wal_fsync : time
 (** Group-commit flush of the WAL tail — charged once per handler that
     dirtied the log (NVMe-class flush latency). *)
 
+val wal_fsync_scaled : scale:float -> time
+(** {!wal_fsync} stretched by a per-node degradation factor — the
+    gray-failure "fail-slow disk" knob (firmware GC stalls, throttled
+    cloud volumes).  Scales the flush only; appends still hit the page
+    cache at full speed.  [scale <= 1.0] is the healthy baseline. *)
+
 val evm_execute_tx : time
 (** Average smart-contract transaction: EVM interpretation + state
     update + persistence (calibrated to the 840 tx/s baseline). *)

@@ -108,6 +108,14 @@ let state_digest t = Sbft_store.Auth_store.digest t.store
 let blocks_committed t = t.n_committed
 let view_changes_completed t = t.n_view_changes
 
+(* Adversary observation surface — same restricted namespace as the
+   SBFT replica so the schedule fuzzer's attacker sees both systems
+   through one lens (see Replica's obs_* block for the rationale). *)
+let obs_view t = t.view
+let obs_last_executed t = last_executed t
+let obs_next_seq t = t.next_seq
+let obs_frontier t = Hashtbl.fold (fun seq _ acc -> max seq acc) t.slots 0
+
 let committed_block t seq =
   match Hashtbl.find_opt t.slots seq with Some s -> s.committed | None -> None
 

@@ -13,6 +13,13 @@ type t = {
   mutable partition : int array option;
   down : bool array; (* down.(src * n + dst): directed link is cut *)
   extra : Engine.time array; (* extra.(src * n + dst): adversarial delay *)
+  (* Gray failure: flapping links.  A directed link with a non-zero
+     flap period passes traffic only during the first [flap_up] ns of
+     each period (phase anchored at virtual time 0), so connectivity is
+     a pure function of departure time — deterministic and replayable,
+     unlike drop_prob which burns RNG draws. *)
+  flap_period : Engine.time array; (* 0 = link does not flap *)
+  flap_up : Engine.time array; (* up-window length within each period *)
   nic_free_at : Engine.time array; (* per-node sender-NIC FIFO horizon *)
   mutable messages_sent : int;
   mutable bytes_sent : int;
@@ -32,6 +39,8 @@ let create ?(bandwidth_gbps = 10.0) ?(drop_prob = 0.0)
     partition = None;
     down = Array.make (n * n) false;
     extra = Array.make (n * n) 0;
+    flap_period = Array.make (n * n) 0;
+    flap_up = Array.make (n * n) 0;
     nic_free_at = Array.make n 0;
     messages_sent = 0;
     bytes_sent = 0;
@@ -40,8 +49,13 @@ let create ?(bandwidth_gbps = 10.0) ?(drop_prob = 0.0)
 
 let topology t = t.topology
 
-let blocked t ~src ~dst =
+let flapped_off t ~src ~dst ~at =
+  let p = t.flap_period.((src * t.num_nodes) + dst) in
+  p > 0 && at mod p >= t.flap_up.((src * t.num_nodes) + dst)
+
+let blocked t ~src ~dst ~at =
   t.down.((src * t.num_nodes) + dst)
+  || flapped_off t ~src ~dst ~at
   ||
   match t.partition with
   | None -> false
@@ -51,7 +65,7 @@ let send t eng ~src ~dst ~size ~at f =
   t.messages_sent <- t.messages_sent + 1;
   t.bytes_sent <- t.bytes_sent + size;
   let dropped =
-    blocked t ~src ~dst
+    blocked t ~src ~dst ~at
     || (t.drop_prob > 0.0 && src <> dst && Rng.bool (Engine.rng eng) t.drop_prob)
   in
   if dropped then t.messages_dropped <- t.messages_dropped + 1
@@ -78,6 +92,23 @@ let send t eng ~src ~dst ~size ~at f =
 let set_partition t ~groups = t.partition <- groups
 let set_link t ~src ~dst ~up = t.down.((src * t.num_nodes) + dst) <- not up
 let set_extra_delay t ~src ~dst d = t.extra.((src * t.num_nodes) + dst) <- d
+
+let set_flap t ~src ~dst ~period ~up =
+  let i = (src * t.num_nodes) + dst in
+  if period <= 0 || up >= period then begin
+    t.flap_period.(i) <- 0;
+    t.flap_up.(i) <- 0
+  end
+  else begin
+    t.flap_period.(i) <- period;
+    t.flap_up.(i) <- max 0 up
+  end
+
+let clear_flap_node t ~node ~num_nodes =
+  for other = 0 to num_nodes - 1 do
+    set_flap t ~src:node ~dst:other ~period:0 ~up:0;
+    set_flap t ~src:other ~dst:node ~period:0 ~up:0
+  done
 
 let set_drop_prob t p = t.drop_prob <- p
 

@@ -46,6 +46,19 @@ val set_link : t -> src:int -> dst:int -> up:bool -> unit
 val set_extra_delay : t -> src:int -> dst:int -> Engine.time -> unit
 (** Adversarial fixed extra delay on a directed link (0 clears it). *)
 
+val set_flap : t -> src:int -> dst:int -> period:Engine.time -> up:Engine.time -> unit
+(** Gray failure: make a directed link flap.  The link passes traffic
+    only during the first [up] ns of each [period] (phase anchored at
+    virtual time 0) — messages departing in the off-window are silently
+    dropped.  Connectivity is a pure function of departure time, so
+    flapping is deterministic and replayable (no RNG draws).
+    [period <= 0] or [up >= period] clears the flap.  Directed: flap
+    only one direction for an asymmetric gray link. *)
+
+val clear_flap_node : t -> node:int -> num_nodes:int -> unit
+(** Clear flapping on every link touching [node] (both directions) —
+    the heal counterpart of {!set_flap} for GST schedules. *)
+
 val set_drop_prob : t -> float -> unit
 
 val isolate_node : t -> node:int -> num_nodes:int -> unit

@@ -46,6 +46,20 @@ let prune_below t seq =
   in
   List.iter (Hashtbl.remove t.blocks) stale
 
+(* Rollback-attack counterpart of {!Wal.rollback_to_checkpoint}: erase
+   every block above [above] and any newer checkpoint, as a stale disk
+   restore would. *)
+let rollback t ~above =
+  let doomed =
+    Hashtbl.fold (fun s _ acc -> if s > above then s :: acc else acc) t.blocks []
+    |> List.sort Int.compare
+  in
+  List.iter (Hashtbl.remove t.blocks) doomed;
+  t.highest <- Hashtbl.fold (fun s _ acc -> max s acc) t.blocks 0;
+  match t.checkpoint with
+  | Some { cp_seq; _ } when cp_seq > above -> t.checkpoint <- None
+  | _ -> ()
+
 let set_checkpoint t ~seq ~snapshot ~table =
   match t.checkpoint with
   | Some { cp_seq; _ } when cp_seq >= seq -> ()

@@ -67,6 +67,11 @@ val sorted_seqs : t -> int list
 
 val prune_below : t -> int -> unit
 
+val rollback : t -> above:int -> unit
+(** Rollback-attack counterpart of {!Wal.rollback_to_checkpoint}: erase
+    every block with seq > [above] and any checkpoint newer than
+    [above], as restoring the disk from a stale backup would. *)
+
 val set_checkpoint :
   t -> seq:int -> snapshot:string Lazy.t -> table:client_entry list -> unit
 (** Retains the latest stable checkpoint (snapshot + client table). *)

@@ -281,6 +281,40 @@ let reset t =
   t.trunc_seq <- 0;
   t.compact_watermark <- initial_watermark
 
+(* Rollback-attack helper (schedule fuzzer): restore the stale durable
+   prefix ending at the newest Stable_checkpoint whose seq is at most
+   [before] — the state an attacker gets by re-imaging a replica's disk
+   from an old backup.  Every later frame disappears, including view
+   records and Accepted_* promises logged after the checkpoint, so the
+   restarted replica resurrects pre-view-change state and forgets
+   prepare promises the network already acted on.  The kept prefix is
+   internally consistent (it is exactly what the log held when that
+   checkpoint was synced).  Returns the checkpoint seq kept, or 0 when
+   no checkpoint qualifies (the log rolls back to empty — a factory
+   restore). *)
+let rollback_to_checkpoint t ~before =
+  Buffer.clear t.pending;
+  let records = replay_string (Buffer.contents t.durable) in
+  let cut = ref (-1) in
+  let cp = ref 0 in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Stable_checkpoint { seq; _ } when seq <= before && seq >= !cp ->
+          cut := i;
+          cp := seq
+      | _ -> ())
+    records;
+  let kept =
+    if !cut < 0 then []
+    else List.filteri (fun i _ -> i <= !cut) records
+  in
+  Buffer.clear t.durable;
+  List.iter (fun r -> Buffer.add_string t.durable (frame r)) kept;
+  t.trunc_seq <- 0;
+  t.compact_watermark <- max initial_watermark (2 * Buffer.length t.durable);
+  !cp
+
 (* Test helper: simulate a torn write by overwriting the last [bytes]
    durable bytes with garbage. *)
 let corrupt_tail t ~bytes =

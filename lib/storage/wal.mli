@@ -77,6 +77,16 @@ val reset : t -> unit
 (** Wipe everything (models losing the disk; used when durability is
     disabled). *)
 
+val rollback_to_checkpoint : t -> before:int -> int
+(** Rollback-attack helper for the schedule fuzzer: discard the pending
+    buffer and truncate the durable log to the prefix ending at the
+    newest [Stable_checkpoint] whose seq is ≤ [before] — the disk image
+    an attacker restores from an old backup.  Later view records and
+    accepted pre-prepare/prepare promises vanish, so a recovery from
+    this log resurrects pre-view-change state and forgets promises the
+    network already saw.  Returns the checkpoint seq kept, or [0] when
+    no checkpoint qualifies (the log becomes empty). *)
+
 val corrupt_tail : t -> bytes:int -> unit
 (** Test helper: overwrite the last [bytes] durable bytes with garbage
     to simulate a torn write. *)

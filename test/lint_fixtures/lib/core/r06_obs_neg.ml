@@ -1,0 +1,6 @@
+(* R6 negative, obs source: reading the observation surface and keeping
+   the result out of protocol state is fine — here it only feeds a
+   pure computation returned to the caller. *)
+let frontier_gap peer upto =
+  let frontier = Replica.obs_frontier peer in
+  max 0 (upto - frontier)

@@ -1,0 +1,6 @@
+(* R6 positive, obs source: an adversary observation accessor's result
+   reaches protocol state.  obs_* values are attacker-visible by
+   construction, so protocol behavior must never depend on them. *)
+let refresh_frontier t peer =
+  let frontier = Replica.obs_frontier peer in
+  Hashtbl.replace t.frontiers frontier ()

@@ -103,11 +103,91 @@ let prop_generated_roundtrip =
       | Error e -> QCheck2.Test.fail_reportf "parse failed: %s\n%s" e text
       | Ok parsed -> String.equal text (Schedule.to_string parsed))
 
+let prop_adversarial_roundtrip =
+  (* Same identity, but over schedules carrying the adaptive-adversary
+     header and the gray-failure / rollback actions the adversarial
+     profile generates. *)
+  qtest "adversarial schedules round-trip byte-identically" 30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun index ->
+      let sched =
+        Gen.generate
+          ~profile:{ Gen.default_profile with Gen.adversarial = true }
+          ~seed:0xADC0DEL index
+      in
+      let text = Schedule.to_string sched in
+      match Schedule.parse text with
+      | Error e -> QCheck2.Test.fail_reportf "parse failed: %s\n%s" e text
+      | Ok parsed -> String.equal text (Schedule.to_string parsed))
+
+let prop_generator_respects_fault_budget =
+  (* The safety proofs assume at most f replicas ever misbehave; the
+     generator must respect that across BOTH channels — static
+     [Byzantine] steps and the adaptive adversary's colluder pool — or
+     a failing oracle could be an over-budget adversary rather than a
+     protocol bug. *)
+  qtest "generated adversaries stay within the f budget" 40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun index ->
+      let sched =
+        Gen.generate
+          ~profile:{ Gen.default_profile with Gen.adversarial = true }
+          ~seed:0xB00DAL index
+      in
+      let n = Schedule.num_replicas sched in
+      let static =
+        List.filter_map
+          (fun (st : Schedule.step) ->
+            match st.Schedule.action with
+            | Schedule.Byzantine (node, b)
+              when not (match b with Schedule.Honest -> true | _ -> false) ->
+                Some node
+            | _ -> None)
+          sched.Schedule.steps
+      in
+      let pool =
+        match sched.Schedule.adversary with None -> [] | Some a -> a.Schedule.pool
+      in
+      let suspects = List.sort_uniq Int.compare (static @ pool) in
+      List.length suspects <= sched.Schedule.f
+      && List.for_all (fun p -> p >= 0 && p < n) suspects
+      &&
+      match sched.Schedule.adversary with
+      | None -> true
+      | Some a ->
+          a.Schedule.budget >= 0 && a.Schedule.every_ms >= 1
+          && a.Schedule.until_ms >= a.Schedule.from_ms)
+
+let prop_ddmin_one_minimal =
+  (* Pure ddmin property: for a random monotone predicate ("the list
+     still contains this target subset") the result must still fail and
+     be 1-minimal — removing any single surviving step passes. *)
+  qtest "ddmin output is 1-minimal and still failing" 50
+    QCheck2.Gen.(pair (int_range 1 24) (int_range 0 0xFFF))
+    (fun (len, mask) ->
+      let steps =
+        List.init len (fun i -> { Schedule.at_ms = 100 * (i + 1); action = Schedule.Crash i })
+      in
+      let in_target i = (mask lsr (i mod 12)) land 1 = 1 in
+      let target =
+        match List.filteri (fun i _ -> in_target i) steps with
+        | [] -> [ List.hd steps ]
+        | t -> t
+      in
+      let still_fails candidate =
+        List.for_all (fun t -> List.mem t candidate) target
+      in
+      let minimal = Shrink.ddmin ~still_fails steps in
+      still_fails minimal
+      && List.for_all
+           (fun i -> not (still_fails (List.filteri (fun j _ -> not (Int.equal i j)) minimal)))
+           (List.init (List.length minimal) Fun.id))
+
 (* ------------------------------------------------------------------ *)
 (* Determinism *)
 
 let test_run_deterministic () =
-  let sched = Gen.generate ~profile:{ Gen.quick = true; mutate = false } ~seed:0xDE7L 3 in
+  let sched = Gen.generate ~profile:{ Gen.default_profile with quick = true } ~seed:0xDE7L 3 in
   let a = Runner.run sched and b = Runner.run sched in
   check_int "events equal" a.Runner.events b.Runner.events;
   check_int "completed equal" a.Runner.completed b.Runner.completed;
@@ -231,9 +311,15 @@ let () =
           Alcotest.test_case "rejects malformed" `Quick test_parse_rejects;
           Alcotest.test_case "comments and whitespace" `Quick test_parse_comments_and_whitespace;
           prop_generated_roundtrip;
+          prop_adversarial_roundtrip;
+          prop_generator_respects_fault_budget;
         ] );
       ("determinism", [ Alcotest.test_case "same schedule, same run" `Quick test_run_deterministic ]);
-      ("shrink", [ Alcotest.test_case "ddmin predicate sanity" `Quick test_ddmin_minimal ]);
+      ( "shrink",
+        [
+          Alcotest.test_case "ddmin predicate sanity" `Quick test_ddmin_minimal;
+          prop_ddmin_one_minimal;
+        ] );
       ( "mutation-check",
         [
           Alcotest.test_case "weak-sigma detected and shrunk" `Slow test_mutation_detected;

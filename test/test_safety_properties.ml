@@ -29,7 +29,7 @@ let prop_safety =
   qtest "safety oracles hold under random fault schedules" 10
     QCheck2.Gen.(int_range 0 10_000)
     (fun index ->
-      let sched = Gen.generate ~profile:{ Gen.quick = true; mutate = false } ~seed:0x5EEDL index in
+      let sched = Gen.generate ~profile:{ Gen.default_profile with quick = true } ~seed:0x5EEDL index in
       let outcome = Runner.run sched in
       match List.find_opt (fun (v : Oracle.verdict) -> not v.Oracle.pass) (safety_only outcome) with
       | Some v -> fail_with sched v
@@ -42,7 +42,7 @@ let prop_liveness_after_gst =
   qtest "liveness after GST" 6
     QCheck2.Gen.(int_range 0 10_000)
     (fun index ->
-      let base = Gen.generate ~profile:{ Gen.quick = true; mutate = false } ~seed:0x11FEL index in
+      let base = Gen.generate ~profile:{ Gen.default_profile with quick = true } ~seed:0x11FEL index in
       let sched = base in
       match sched.Schedule.gst_ms with
       | None -> true (* generator chose an async schedule: nothing to assert *)
